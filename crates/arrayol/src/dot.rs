@@ -1,0 +1,122 @@
+//! Graphviz DOT export of application graphs.
+//!
+//! Renders the "globally irregular" level — tasks as boxes, arrays as edges
+//! labelled with their shapes — the way the paper's Figure 3 draws the
+//! downscaler overview.
+
+use crate::graph::ApplicationGraph;
+use crate::task::TaskBody;
+use std::fmt::Write as _;
+
+/// Render the graph in Graphviz DOT syntax.
+pub fn to_dot(g: &ApplicationGraph, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{title}\" {{");
+    out.push_str("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+
+    // Environment pseudo-nodes.
+    if !g.external_inputs.is_empty() {
+        out.push_str("  Tin [shape=plaintext, label=\"Tin\"];\n");
+    }
+    if !g.external_outputs.is_empty() {
+        out.push_str("  Tout [shape=plaintext, label=\"Tout\"];\n");
+    }
+
+    for (t, task) in g.tasks().iter().enumerate() {
+        let kind = match &task.body {
+            TaskBody::Elementary { kernel_name, .. } => kernel_name.clone(),
+            TaskBody::Hierarchical(sub) => format!("hierarchy({} tasks)", sub.task_count()),
+        };
+        let _ = writeln!(
+            out,
+            "  t{t} [label=\"{}\\nrep {}\\n{}\"];",
+            task.name, task.repetition, kind
+        );
+    }
+
+    // Edges: producer task -> consumer task, labelled by the array.
+    let producer_of = |array: crate::graph::ArrayId| -> Option<usize> {
+        g.tasks()
+            .iter()
+            .position(|t| t.outputs.iter().any(|p| p.array == array))
+    };
+    for (t, task) in g.tasks().iter().enumerate() {
+        for port in &task.inputs {
+            let decl = &g.arrays()[port.array.0];
+            let label = format!("{} {}", decl.name, decl.shape);
+            match producer_of(port.array) {
+                Some(p) => {
+                    let _ = writeln!(out, "  t{p} -> t{t} [label=\"{label}\"];");
+                }
+                None if g.external_inputs.contains(&port.array) => {
+                    let _ = writeln!(out, "  Tin -> t{t} [label=\"{label}\"];");
+                }
+                None => {}
+            }
+        }
+        for port in &task.outputs {
+            if g.external_outputs.contains(&port.array) {
+                let decl = &g.arrays()[port.array.0];
+                let _ = writeln!(
+                    out,
+                    "  t{t} -> Tout [label=\"{} {}\"];",
+                    decl.name, decl.shape
+                );
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ApplicationGraph;
+    use crate::linalg::IMat;
+    use crate::task::{Port, RepetitiveTask, TaskBody};
+    use crate::tiler::Tiler;
+    use mdarray::Shape;
+    use std::sync::Arc;
+
+    fn two_stage() -> ApplicationGraph {
+        let mut g = ApplicationGraph::new();
+        let a = g.declare_array("video_in", [8usize]);
+        let b = g.declare_array("mid", [8usize]);
+        let c = g.declare_array("video_out", [8usize]);
+        g.external_inputs.push(a);
+        g.external_outputs.push(c);
+        let unit = Tiler::new(vec![0], IMat::from_rows(&[&[1]]), IMat::from_rows(&[&[1]]));
+        for (name, i, o) in [("hf", a, b), ("vf", b, c)] {
+            g.add_task(RepetitiveTask {
+                name: name.into(),
+                repetition: Shape::new(vec![8]),
+                inputs: vec![Port::new("in", i, [1usize], unit.clone())],
+                outputs: vec![Port::new("out", o, [1usize], unit.clone())],
+                body: TaskBody::Elementary {
+                    kernel_name: "copy".into(),
+                    f: Arc::new(|p| p.to_vec()),
+                },
+            });
+        }
+        g
+    }
+
+    #[test]
+    fn dot_contains_tasks_and_dataflow() {
+        let dot = to_dot(&two_stage(), "Downscaler");
+        assert!(dot.starts_with("digraph \"Downscaler\""));
+        assert!(dot.contains("hf"), "{dot}");
+        assert!(dot.contains("vf"), "{dot}");
+        assert!(dot.contains("Tin -> t0"), "{dot}");
+        assert!(dot.contains("t0 -> t1"), "{dot}");
+        assert!(dot.contains("t1 -> Tout"), "{dot}");
+        assert!(dot.contains("video_in [8]"), "{dot}");
+    }
+
+    #[test]
+    fn dot_is_balanced() {
+        let dot = to_dot(&two_stage(), "x");
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,284 @@
+//! Application graphs: the "globally irregular" half of GILR.
+//!
+//! An [`ApplicationGraph`] declares multidimensional arrays and the repetitive
+//! tasks that exchange them. Because ArrayOL is single-assignment, every array
+//! has at most one producer; the graph therefore induces a DAG of true data
+//! dependences, and [`ApplicationGraph::schedule`] returns any topological
+//! order (all such orders compute the same arrays — the language is
+//! deterministic).
+
+use crate::task::{RepetitiveTask, TaskBody};
+use crate::validate::ArrayOlError;
+use mdarray::Shape;
+
+/// Identifier of an array declared in an [`ApplicationGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+/// Identifier of a task within an [`ApplicationGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+/// A declared multidimensional array (a graph edge carrier).
+#[derive(Debug, Clone)]
+pub struct ArrayDecl {
+    /// Diagnostic name.
+    pub name: String,
+    /// Full shape of the array (time expanded as array dimensions, per ArrayOL).
+    pub shape: Shape,
+}
+
+/// A GILR application: arrays + repetitive tasks.
+#[derive(Clone, Debug, Default)]
+pub struct ApplicationGraph {
+    arrays: Vec<ArrayDecl>,
+    tasks: Vec<RepetitiveTask>,
+    /// Arrays supplied by the environment (e.g. the input video signal).
+    pub external_inputs: Vec<ArrayId>,
+    /// Arrays delivered to the environment (e.g. the downscaled video).
+    pub external_outputs: Vec<ArrayId>,
+}
+
+impl ApplicationGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an array; returns its id.
+    pub fn declare_array(&mut self, name: impl Into<String>, shape: impl Into<Shape>) -> ArrayId {
+        self.arrays.push(ArrayDecl { name: name.into(), shape: shape.into() });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Add a task; returns its id.
+    pub fn add_task(&mut self, task: RepetitiveTask) -> TaskId {
+        self.tasks.push(task);
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Look up an array declaration.
+    pub fn array(&self, id: ArrayId) -> Result<&ArrayDecl, ArrayOlError> {
+        self.arrays.get(id.0).ok_or(ArrayOlError::UnknownId { what: "array", id: id.0 })
+    }
+
+    /// Look up a task.
+    pub fn task(&self, id: TaskId) -> Result<&RepetitiveTask, ArrayOlError> {
+        self.tasks.get(id.0).ok_or(ArrayOlError::UnknownId { what: "task", id: id.0 })
+    }
+
+    /// All tasks in declaration order.
+    pub fn tasks(&self) -> &[RepetitiveTask] {
+        &self.tasks
+    }
+
+    /// All array declarations.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Number of tasks (including nested hierarchy only at this level).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The unique producer of each array, if any.
+    fn producers(&self) -> Result<Vec<Option<TaskId>>, ArrayOlError> {
+        let mut prod: Vec<Option<TaskId>> = vec![None; self.arrays.len()];
+        for (t, task) in self.tasks.iter().enumerate() {
+            for port in &task.outputs {
+                let slot = prod
+                    .get_mut(port.array.0)
+                    .ok_or(ArrayOlError::UnknownId { what: "array", id: port.array.0 })?;
+                if slot.is_some() {
+                    return Err(ArrayOlError::MultipleWriters {
+                        array: self.arrays[port.array.0].name.clone(),
+                    });
+                }
+                *slot = Some(TaskId(t));
+            }
+        }
+        Ok(prod)
+    }
+
+    /// Validate the graph:
+    ///
+    /// 1. every port references a declared array,
+    /// 2. single assignment: at most one producer per array,
+    /// 3. every consumed array is produced or an external input,
+    /// 4. tilers are dimensionally consistent with their array / pattern /
+    ///    repetition shapes,
+    /// 5. every output tiler covers its array exactly once (so results are
+    ///    fully defined and repetitions are independent),
+    /// 6. the dependence relation is acyclic.
+    pub fn validate(&self) -> Result<(), ArrayOlError> {
+        let producers = self.producers()?;
+        for task in &self.tasks {
+            for port in task.inputs.iter().chain(&task.outputs) {
+                let arr = self.array(port.array)?;
+                port.tiler.validate(&arr.shape, &port.pattern, &task.repetition)?;
+            }
+            for port in &task.outputs {
+                let arr = self.array(port.array)?;
+                port.tiler.check_exact_cover(&arr.shape, &task.repetition, &port.pattern)?;
+            }
+            for port in &task.inputs {
+                if producers[port.array.0].is_none()
+                    && !self.external_inputs.contains(&port.array)
+                {
+                    return Err(ArrayOlError::NoProducer {
+                        array: self.arrays[port.array.0].name.clone(),
+                    });
+                }
+            }
+            if let TaskBody::Hierarchical(sub) = &task.body {
+                sub.validate()?;
+            }
+        }
+        self.schedule()?;
+        Ok(())
+    }
+
+    /// A dependence-respecting task order (Kahn's algorithm).
+    ///
+    /// Errors with [`ArrayOlError::DependenceCycle`] if the graph is cyclic,
+    /// which cannot happen for a well-formed single-assignment specification
+    /// unless a task consumes its own output.
+    pub fn schedule(&self) -> Result<Vec<TaskId>, ArrayOlError> {
+        let producers = self.producers()?;
+        // deps[t] = tasks that must run before t.
+        let mut indegree = vec![0usize; self.tasks.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.tasks.len()];
+        for (t, task) in self.tasks.iter().enumerate() {
+            for port in &task.inputs {
+                if let Some(TaskId(p)) = producers[port.array.0] {
+                    if p != t {
+                        indegree[t] += 1;
+                        dependents[p].push(t);
+                    } else {
+                        return Err(ArrayOlError::DependenceCycle {
+                            involving: task.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        let mut ready: Vec<usize> =
+            (0..self.tasks.len()).filter(|&t| indegree[t] == 0).collect();
+        let mut order = Vec::with_capacity(self.tasks.len());
+        while let Some(t) = ready.pop() {
+            order.push(TaskId(t));
+            for &d in &dependents[t] {
+                indegree[d] -= 1;
+                if indegree[d] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+        if order.len() != self.tasks.len() {
+            let stuck = (0..self.tasks.len())
+                .find(|&t| indegree[t] > 0)
+                .map(|t| self.tasks[t].name.clone())
+                .unwrap_or_default();
+            return Err(ArrayOlError::DependenceCycle { involving: stuck });
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::IMat;
+    use crate::task::{Port, TaskBody};
+    use crate::tiler::Tiler;
+    use std::sync::Arc;
+
+    fn identity_tiler_1d() -> Tiler {
+        // Rank-1 array, scalar-free: pattern {1}, paving step 1.
+        Tiler::new(vec![0], IMat::from_rows(&[&[1]]), IMat::from_rows(&[&[1]]))
+    }
+
+    fn copy_task(name: &str, input: ArrayId, output: ArrayId, n: usize) -> RepetitiveTask {
+        RepetitiveTask {
+            name: name.into(),
+            repetition: Shape::new(vec![n]),
+            inputs: vec![Port::new("in", input, [1usize], identity_tiler_1d())],
+            outputs: vec![Port::new("out", output, [1usize], identity_tiler_1d())],
+            body: TaskBody::Elementary {
+                kernel_name: "copy".into(),
+                f: Arc::new(|ins| ins.to_vec()),
+            },
+        }
+    }
+
+    fn pipeline_graph() -> (ApplicationGraph, ArrayId, ArrayId, ArrayId) {
+        let mut g = ApplicationGraph::new();
+        let a = g.declare_array("a", [8usize]);
+        let b = g.declare_array("b", [8usize]);
+        let c = g.declare_array("c", [8usize]);
+        g.external_inputs.push(a);
+        g.external_outputs.push(c);
+        g.add_task(copy_task("t1", a, b, 8));
+        g.add_task(copy_task("t2", b, c, 8));
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn valid_pipeline_validates_and_schedules() {
+        let (g, ..) = pipeline_graph();
+        g.validate().unwrap();
+        let order = g.schedule().unwrap();
+        assert_eq!(order, vec![TaskId(0), TaskId(1)]);
+    }
+
+    #[test]
+    fn multiple_writers_rejected() {
+        let (mut g, a, b, _) = pipeline_graph();
+        // A second task also writing b.
+        g.add_task(copy_task("t3", a, b, 8));
+        assert!(matches!(g.validate(), Err(ArrayOlError::MultipleWriters { .. })));
+    }
+
+    #[test]
+    fn missing_producer_rejected() {
+        let mut g = ApplicationGraph::new();
+        let a = g.declare_array("a", [4usize]);
+        let b = g.declare_array("b", [4usize]);
+        // `a` is not an external input and nothing produces it.
+        g.add_task(copy_task("t", a, b, 4));
+        assert!(matches!(g.validate(), Err(ArrayOlError::NoProducer { .. })));
+    }
+
+    #[test]
+    fn self_dependence_is_a_cycle() {
+        let mut g = ApplicationGraph::new();
+        let a = g.declare_array("a", [4usize]);
+        g.add_task(copy_task("t", a, a, 4));
+        assert!(matches!(g.schedule(), Err(ArrayOlError::DependenceCycle { .. })));
+    }
+
+    #[test]
+    fn schedule_respects_dependences_regardless_of_declaration_order() {
+        let mut g = ApplicationGraph::new();
+        let a = g.declare_array("a", [4usize]);
+        let b = g.declare_array("b", [4usize]);
+        let c = g.declare_array("c", [4usize]);
+        g.external_inputs.push(a);
+        // Declare the consumer first.
+        g.add_task(copy_task("late", b, c, 4));
+        g.add_task(copy_task("early", a, b, 4));
+        let order = g.schedule().unwrap();
+        assert_eq!(order, vec![TaskId(1), TaskId(0)]);
+    }
+
+    #[test]
+    fn gapped_output_tiler_fails_validation() {
+        let mut g = ApplicationGraph::new();
+        let a = g.declare_array("a", [4usize]);
+        let b = g.declare_array("b", [8usize]); // twice as large: only half covered
+        g.external_inputs.push(a);
+        g.add_task(copy_task("t", a, b, 4));
+        assert!(matches!(g.validate(), Err(ArrayOlError::NotExactCover { .. })));
+    }
+}

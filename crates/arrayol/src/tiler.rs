@@ -1,0 +1,351 @@
+//! Tilers: ArrayOL's mechanism for addressing sub-arrays (*patterns*).
+//!
+//! A tiler binds a task port to an array and is defined by three pieces of
+//! data (Section IV of the paper):
+//!
+//! * **origin vector** `o` — where the reference tile starts in the array,
+//! * **fitting matrix** `F` — how a pattern's elements map to array elements:
+//!   `e_i = o_ref + F·i  (mod s_array)` for every pattern index `i`,
+//! * **paving matrix** `P` — how tiles cover the array as the repetition index
+//!   advances: `ref_r = o + P·r  (mod s_array)` for every repetition index `r`.
+//!
+//! All addressing is modulo the array shape, which makes every tiler total:
+//! boundary tiles wrap around (toroidal addressing), exactly as in ArrayOL.
+
+use crate::linalg::{to_signed, vadd, IMat, IVec};
+use crate::validate::ArrayOlError;
+use mdarray::{IndexIter, NdArray, Shape};
+
+/// A tiler: origin vector, fitting matrix and paving matrix.
+///
+/// ```
+/// use arrayol::{IMat, Tiler};
+/// use mdarray::{NdArray, Shape};
+///
+/// // The paper's horizontal-filter input tiler: 11-pixel patterns along the
+/// // columns, one tile every 8 columns, one row of tiles per image row.
+/// let tiler = Tiler::new(
+///     vec![0, 0],
+///     IMat::from_rows(&[&[0], &[1]]),          // fitting: pattern walks columns
+///     IMat::from_rows(&[&[1, 0], &[0, 8]]),    // paving: rows x 8-column tiles
+/// );
+/// let frame = NdArray::from_fn([2usize, 16], |ix| (ix[0] * 16 + ix[1]) as i64);
+/// let tiles = tiler
+///     .gather(&frame, &Shape::new(vec![2, 2]), &Shape::new(vec![11]))
+///     .unwrap();
+/// assert_eq!(tiles.shape().dims(), &[2, 2, 11]);
+/// assert_eq!(*tiles.get(&[1, 1, 0]).unwrap(), 16 + 8); // row 1, tile 1 starts at col 8
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tiler {
+    /// Origin of the reference tile in array space (length = array rank).
+    pub origin: IVec,
+    /// Fitting matrix, `array_rank × pattern_rank`.
+    pub fitting: IMat,
+    /// Paving matrix, `array_rank × repetition_rank`.
+    pub paving: IMat,
+}
+
+impl Tiler {
+    /// Construct a tiler; matrices are validated lazily via [`Tiler::validate`].
+    pub fn new(origin: IVec, fitting: IMat, paving: IMat) -> Self {
+        Tiler { origin, fitting, paving }
+    }
+
+    /// Check this tiler against the shapes it is supposed to connect.
+    pub fn validate(
+        &self,
+        array: &Shape,
+        pattern: &Shape,
+        repetition: &Shape,
+    ) -> Result<(), ArrayOlError> {
+        if self.origin.len() != array.rank() {
+            return Err(ArrayOlError::TilerDimMismatch {
+                what: "origin length vs array rank",
+                expected: array.rank(),
+                actual: self.origin.len(),
+            });
+        }
+        if self.fitting.rows() != array.rank() {
+            return Err(ArrayOlError::TilerDimMismatch {
+                what: "fitting rows vs array rank",
+                expected: array.rank(),
+                actual: self.fitting.rows(),
+            });
+        }
+        if self.fitting.cols() != pattern.rank() {
+            return Err(ArrayOlError::TilerDimMismatch {
+                what: "fitting cols vs pattern rank",
+                expected: pattern.rank(),
+                actual: self.fitting.cols(),
+            });
+        }
+        if self.paving.rows() != array.rank() {
+            return Err(ArrayOlError::TilerDimMismatch {
+                what: "paving rows vs array rank",
+                expected: array.rank(),
+                actual: self.paving.rows(),
+            });
+        }
+        if self.paving.cols() != repetition.rank() {
+            return Err(ArrayOlError::TilerDimMismatch {
+                what: "paving cols vs repetition rank",
+                expected: repetition.rank(),
+                actual: self.paving.cols(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The reference element of tile `rep`: `o + P·rep` (unwrapped, signed).
+    pub fn reference(&self, rep: &[usize]) -> IVec {
+        vadd(&self.origin, &self.paving.mv(&to_signed(rep)))
+    }
+
+    /// Array index of pattern element `pat` within tile `rep`, wrapped modulo
+    /// the array shape: `(o + P·rep + F·pat) mod s_array`.
+    pub fn element_index(&self, array: &Shape, rep: &[usize], pat: &[usize]) -> Vec<usize> {
+        let unwrapped = vadd(&self.reference(rep), &self.fitting.mv(&to_signed(pat)));
+        array.wrap(&unwrapped)
+    }
+
+    /// Gather every tile into an intermediate array of shape
+    /// `repetition ++ pattern` (the paper's Step 1 for input tilers).
+    pub fn gather(
+        &self,
+        array: &NdArray<i64>,
+        repetition: &Shape,
+        pattern: &Shape,
+    ) -> Result<NdArray<i64>, ArrayOlError> {
+        self.validate(array.shape(), pattern, repetition)?;
+        let out_shape = repetition.concat(pattern);
+        let mut data = Vec::with_capacity(out_shape.len());
+        IndexIter::for_each_index(repetition, |rep| {
+            IndexIter::for_each_index(pattern, |pat| {
+                let ix = self.element_index(array.shape(), rep, pat);
+                data.push(*array.get_unchecked(&ix));
+            });
+        });
+        NdArray::from_vec(out_shape, data)
+            .map_err(|_| ArrayOlError::BadTaskOutput { task: "gather".into(), detail: "length".into() })
+    }
+
+    /// Scatter a `repetition ++ pattern` intermediate into `out` (the paper's
+    /// Step 3 for output tilers). Elements hit more than once are overwritten
+    /// in repetition order; use [`Tiler::check_exact_cover`] to rule that out.
+    pub fn scatter(
+        &self,
+        tiles: &NdArray<i64>,
+        out: &mut NdArray<i64>,
+        repetition: &Shape,
+        pattern: &Shape,
+    ) -> Result<(), ArrayOlError> {
+        self.validate(out.shape(), pattern, repetition)?;
+        let expected = repetition.concat(pattern);
+        if tiles.shape() != &expected {
+            return Err(ArrayOlError::BadTaskOutput {
+                task: "scatter".into(),
+                detail: format!("tiles shape {} != {}", tiles.shape(), expected),
+            });
+        }
+        let src = tiles.as_slice();
+        let mut pos = 0usize;
+        let out_shape = out.shape().clone();
+        IndexIter::for_each_index(repetition, |rep| {
+            IndexIter::for_each_index(pattern, |pat| {
+                let ix = self.element_index(&out_shape, rep, pat);
+                out.set_unchecked(&ix, src[pos]);
+                pos += 1;
+            });
+        });
+        Ok(())
+    }
+
+    /// Verify that tiling writes every element of `array` exactly once —
+    /// the condition for an output tiler to define a single-assignment array.
+    pub fn check_exact_cover(
+        &self,
+        array: &Shape,
+        repetition: &Shape,
+        pattern: &Shape,
+    ) -> Result<(), ArrayOlError> {
+        self.validate(array, pattern, repetition)?;
+        let mut counts = vec![0u32; array.len()];
+        IndexIter::for_each_index(repetition, |rep| {
+            IndexIter::for_each_index(pattern, |pat| {
+                let ix = self.element_index(array, rep, pat);
+                counts[array.offset_unchecked(&ix)] += 1;
+            });
+        });
+        for (off, &c) in counts.iter().enumerate() {
+            if c != 1 {
+                return Err(ArrayOlError::NotExactCover {
+                    element: array.index_of(off),
+                    writes: c as usize,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: a 1-D "sliding window" tiler along dimension `dim` of a
+    /// rank-2 array — pattern of `width` consecutive elements, tiles stepped by
+    /// `step` along `dim` and by 1 along the other dimension.
+    ///
+    /// This is exactly the shape of the downscaler's filters: the horizontal
+    /// filter is `sliding_window(1, 11, 8)`, reading an 11-pixel pattern every
+    /// 8 columns.
+    pub fn sliding_window(dim: usize, step: i64) -> Tiler {
+        assert!(dim < 2, "sliding_window is defined for rank-2 arrays");
+        let fitting = if dim == 0 {
+            IMat::from_rows(&[&[1], &[0]])
+        } else {
+            IMat::from_rows(&[&[0], &[1]])
+        };
+        let paving = if dim == 0 {
+            IMat::from_rows(&[&[step, 0], &[0, 1]])
+        } else {
+            IMat::from_rows(&[&[1, 0], &[0, step]])
+        };
+        Tiler { origin: vec![0, 0], fitting, paving }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's horizontal-filter input tiler (Figure 10):
+    /// array {1080,1920}, pattern {11}, origin {0,0},
+    /// fitting {{0},{1}}, paving {{1,0},{0,8}}, repetition {1080,240}.
+    fn hfilter_input_tiler() -> Tiler {
+        Tiler::new(
+            vec![0, 0],
+            IMat::from_rows(&[&[0], &[1]]),
+            IMat::from_rows(&[&[1, 0], &[0, 8]]),
+        )
+    }
+
+    /// The paper's horizontal-filter output tiler: array {1080,720},
+    /// pattern {3}, fitting {{0},{1}}, paving {{1,0},{0,3}}.
+    fn hfilter_output_tiler() -> Tiler {
+        Tiler::new(
+            vec![0, 0],
+            IMat::from_rows(&[&[0], &[1]]),
+            IMat::from_rows(&[&[1, 0], &[0, 3]]),
+        )
+    }
+
+    #[test]
+    fn validate_catches_dimension_errors() {
+        let t = hfilter_input_tiler();
+        let arr = Shape::new(vec![1080, 1920]);
+        let pat = Shape::new(vec![11]);
+        let rep = Shape::new(vec![1080, 240]);
+        assert!(t.validate(&arr, &pat, &rep).is_ok());
+        // Wrong pattern rank.
+        assert!(t.validate(&arr, &Shape::new(vec![11, 1]), &rep).is_err());
+        // Wrong repetition rank.
+        assert!(t.validate(&arr, &pat, &Shape::new(vec![1080])).is_err());
+        // Wrong array rank.
+        assert!(t.validate(&Shape::new(vec![1080]), &pat, &rep).is_err());
+    }
+
+    #[test]
+    fn element_index_matches_paper_formulae() {
+        let t = hfilter_input_tiler();
+        let arr = Shape::new(vec![16, 32]);
+        // ref_r = o + P.r: repetition (2, 3) -> row 2, col 24.
+        assert_eq!(t.reference(&[2, 3]), vec![2, 24]);
+        // e_i = ref + F.i: pattern index 5 -> col 29.
+        assert_eq!(t.element_index(&arr, &[2, 3], &[5]), vec![2, 29]);
+        // Wrapping: pattern overruns the right edge and wraps modulo 32.
+        assert_eq!(t.element_index(&arr, &[0, 3], &[10]), vec![0, 2]);
+    }
+
+    #[test]
+    fn gather_produces_rep_concat_pattern() {
+        let t = hfilter_input_tiler();
+        // Small frame: 2 rows x 16 cols, repetition 2 x 2, pattern 11.
+        let frame = NdArray::from_fn([2usize, 16], |ix| (ix[0] * 16 + ix[1]) as i64);
+        let rep = Shape::new(vec![2, 2]);
+        let pat = Shape::new(vec![11]);
+        let tiles = t.gather(&frame, &rep, &pat).unwrap();
+        assert_eq!(tiles.shape().dims(), &[2, 2, 11]);
+        // Tile (0,0) = columns 0..11 of row 0.
+        assert_eq!(*tiles.get(&[0, 0, 4]).unwrap(), 4);
+        // Tile (1,1) starts at column 8 of row 1.
+        assert_eq!(*tiles.get(&[1, 1, 0]).unwrap(), 16 + 8);
+        // Wrapping within tile (0,1): pattern index 10 is column 18 mod 16 = 2.
+        assert_eq!(*tiles.get(&[0, 1, 10]).unwrap(), 2);
+    }
+
+    #[test]
+    fn scatter_is_inverse_of_gather_for_exact_covers() {
+        // Non-overlapping output tiler: pattern 3, step 3, 2x4 tiles on 2x12.
+        let t = hfilter_output_tiler();
+        let rep = Shape::new(vec![2, 4]);
+        let pat = Shape::new(vec![3]);
+        let out_shape = Shape::new(vec![2, 12]);
+        t.check_exact_cover(&out_shape, &rep, &pat).unwrap();
+
+        let original = NdArray::from_fn([2usize, 12], |ix| (ix[0] * 100 + ix[1]) as i64);
+        let tiles = t.gather(&original, &rep, &pat).unwrap();
+        let mut rebuilt = NdArray::filled([2usize, 12], -1i64);
+        t.scatter(&tiles, &mut rebuilt, &rep, &pat).unwrap();
+        assert_eq!(rebuilt, original);
+    }
+
+    #[test]
+    fn exact_cover_detects_overlap_and_gaps() {
+        // Overlapping: pattern 3 stepped by 2 over 12 columns writes some twice.
+        let overlapping = Tiler::new(
+            vec![0, 0],
+            IMat::from_rows(&[&[0], &[1]]),
+            IMat::from_rows(&[&[1, 0], &[0, 2]]),
+        );
+        let err = overlapping
+            .check_exact_cover(&Shape::new(vec![2, 12]), &Shape::new(vec![2, 6]), &Shape::new(vec![3]))
+            .unwrap_err();
+        assert!(matches!(err, ArrayOlError::NotExactCover { .. }));
+
+        // Gapped: pattern 2 stepped by 3 leaves every third column unwritten.
+        let gapped = Tiler::new(
+            vec![0, 0],
+            IMat::from_rows(&[&[0], &[1]]),
+            IMat::from_rows(&[&[1, 0], &[0, 3]]),
+        );
+        let err = gapped
+            .check_exact_cover(&Shape::new(vec![2, 12]), &Shape::new(vec![2, 4]), &Shape::new(vec![2]))
+            .unwrap_err();
+        assert!(matches!(err, ArrayOlError::NotExactCover { writes: 0, .. }));
+    }
+
+    #[test]
+    fn paper_hfilter_tilers_cover_output_exactly() {
+        // Scaled-down frame keeping the 8 -> 3 column ratio: 4x48 -> 4x18.
+        let out = Shape::new(vec![4, 18]);
+        let rep = Shape::new(vec![4, 6]);
+        let pat = Shape::new(vec![3]);
+        hfilter_output_tiler().check_exact_cover(&out, &rep, &pat).unwrap();
+    }
+
+    #[test]
+    fn sliding_window_constructor() {
+        let t = Tiler::sliding_window(1, 8);
+        assert_eq!(t, hfilter_input_tiler());
+        let tv = Tiler::sliding_window(0, 9);
+        assert_eq!(tv.paving.row(0), &[9, 0]);
+        assert_eq!(tv.fitting.row(0), &[1]);
+        assert_eq!(tv.fitting.row(1), &[0]);
+    }
+
+    #[test]
+    fn origin_offsets_every_tile() {
+        let mut t = hfilter_input_tiler();
+        t.origin = vec![1, 2];
+        let arr = Shape::new(vec![8, 32]);
+        assert_eq!(t.element_index(&arr, &[0, 0], &[0]), vec![1, 2]);
+        assert_eq!(t.element_index(&arr, &[1, 1], &[3]), vec![2, 13]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Static well-formedness checks and the crate-wide error type.
+
+/// Errors raised while validating or executing an ArrayOL specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum ArrayOlError {
+    /// A tiler's matrices disagree with the shapes of the array / pattern /
+    /// repetition space it connects.
+    TilerDimMismatch { what: &'static str, expected: usize, actual: usize },
+    /// An output tiler does not write every array element exactly once.
+    NotExactCover { element: Vec<usize>, writes: usize },
+    /// Two tasks write the same array — violates single assignment.
+    MultipleWriters { array: String },
+    /// An array is consumed but never produced and is not a graph input.
+    NoProducer { array: String },
+    /// The task graph contains a dependence cycle (impossible schedule).
+    DependenceCycle { involving: String },
+    /// An elementary function returned the wrong number or shape of patterns.
+    BadTaskOutput { task: String, detail: String },
+    /// A referenced array or task id was out of range.
+    UnknownId { what: &'static str, id: usize },
+    /// An execution input was missing or had the wrong shape.
+    BadInput { array: String, detail: String },
+}
+
+impl std::fmt::Display for ArrayOlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrayOlError::TilerDimMismatch { what, expected, actual } => {
+                write!(f, "tiler {what}: expected dimension {expected}, got {actual}")
+            }
+            ArrayOlError::NotExactCover { element, writes } => {
+                write!(f, "output tiler writes element {element:?} {writes} times (expected 1)")
+            }
+            ArrayOlError::MultipleWriters { array } => {
+                write!(f, "array '{array}' has multiple writers (single assignment violated)")
+            }
+            ArrayOlError::NoProducer { array } => {
+                write!(f, "array '{array}' is read but never produced")
+            }
+            ArrayOlError::DependenceCycle { involving } => {
+                write!(f, "dependence cycle involving task '{involving}'")
+            }
+            ArrayOlError::BadTaskOutput { task, detail } => {
+                write!(f, "task '{task}' produced invalid output: {detail}")
+            }
+            ArrayOlError::UnknownId { what, id } => write!(f, "unknown {what} id {id}"),
+            ArrayOlError::BadInput { array, detail } => {
+                write!(f, "bad input for array '{array}': {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayOlError {}

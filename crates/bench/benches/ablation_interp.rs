@@ -1,0 +1,88 @@
+//! Ablation: kernel-IR interpretation overhead (DESIGN.md §5.1).
+//!
+//! The simulator interprets kernel IR rather than running native code. This
+//! bench compares the interpreted kernel against a hand-written native Rust
+//! closure computing the same saxpy-style body, quantifying the interpreter
+//! overhead per element, and measures the parallel-block scaling of the
+//! interpreter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simgpu::device::Device;
+use simgpu::exec::LaunchConfig;
+use simgpu::kir::{BinOp, Kernel, KernelArg, KernelBuilder, KernelFlavor, Special};
+use std::hint::black_box;
+
+const N: usize = 1 << 18;
+
+fn saxpy_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("saxpy", KernelFlavor::Cuda);
+    let x = b.buffer_param("x", false);
+    let y = b.buffer_param("y", true);
+    let n = b.scalar_param("n");
+    let gid = b.special(Special::GlobalIdX);
+    let nv = b.param_value(n);
+    let oob = b.bin(BinOp::Le, nv, gid);
+    b.begin_if(oob);
+    b.ret();
+    b.end_if();
+    let xv = b.load(x, gid);
+    let yv = b.load(y, gid);
+    let a = b.constant(3);
+    let ax = b.bin(BinOp::Mul, a, xv);
+    let sum = b.bin(BinOp::Add, ax, yv);
+    b.store(y, gid, sum);
+    b.finish()
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_interp");
+    group.sample_size(10);
+    let xs: Vec<i32> = (0..N as i32).collect();
+    let ys: Vec<i32> = (0..N as i32).map(|v| v * 2).collect();
+
+    // Native baseline.
+    group.bench_function("native_saxpy", |b| {
+        b.iter(|| {
+            let mut y = ys.clone();
+            for i in 0..N {
+                y[i] += 3 * xs[i];
+            }
+            black_box(y)
+        })
+    });
+
+    // Interpreted on the simulator, at several host worker counts.
+    let kernel = saxpy_kernel();
+    for workers in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("interpreted_saxpy", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let mut device = Device::gtx480();
+                    device.set_host_workers(workers);
+                    let xb = device.malloc(N).unwrap();
+                    let yb = device.malloc(N).unwrap();
+                    device.poke(xb, &xs).unwrap();
+                    device.poke(yb, &ys).unwrap();
+                    device
+                        .launch(
+                            &kernel,
+                            LaunchConfig::cover_1d(N, 256),
+                            &[
+                                KernelArg::Buffer(xb.0),
+                                KernelArg::Buffer(yb.0),
+                                KernelArg::Scalar(N as i64),
+                            ],
+                        )
+                        .unwrap();
+                    black_box(device.peek(yb).unwrap()[N - 1])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

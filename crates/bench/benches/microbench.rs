@@ -1,0 +1,116 @@
+//! Microbenchmarks of the substrates: tiler gather/scatter, the ArrayOL
+//! executor (sequential vs parallel), index iteration, and SaC parsing.
+
+use arrayol::exec::{execute, ExecOptions};
+use arrayol::{ApplicationGraph, IMat, Port, RepetitiveTask, TaskBody, Tiler};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdarray::{IndexIter, NdArray, Shape};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_tilers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiler");
+    let frame = NdArray::from_fn([288usize, 352], |ix| (ix[0] * 352 + ix[1]) as i64);
+    let tiler = Tiler::new(
+        vec![0, -1],
+        IMat::from_rows(&[&[0], &[1]]),
+        IMat::from_rows(&[&[1, 0], &[0, 8]]),
+    );
+    let rep = Shape::new(vec![288, 44]);
+    let pat = Shape::new(vec![11]);
+    group.bench_function("gather_cif_11pattern", |b| {
+        b.iter(|| black_box(tiler.gather(black_box(&frame), &rep, &pat).unwrap()))
+    });
+
+    let out_tiler = Tiler::new(
+        vec![0, 0],
+        IMat::from_rows(&[&[0], &[1]]),
+        IMat::from_rows(&[&[1, 0], &[0, 3]]),
+    );
+    let out_pat = Shape::new(vec![3]);
+    let tiles = out_tiler
+        .gather(&NdArray::filled([288usize, 132], 5i64), &rep, &out_pat)
+        .unwrap();
+    group.bench_function("scatter_cif_3pattern", |b| {
+        b.iter(|| {
+            let mut out = NdArray::filled([288usize, 132], 0i64);
+            out_tiler.scatter(black_box(&tiles), &mut out, &rep, &out_pat).unwrap();
+            black_box(out)
+        })
+    });
+    group.bench_function("exact_cover_check", |b| {
+        b.iter(|| {
+            out_tiler
+            .check_exact_cover(&Shape::new(vec![288, 132]), &rep, &out_pat)
+            .unwrap();
+            black_box(
+                (),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_arrayol_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrayol_exec");
+    group.sample_size(10);
+    // A 256x256 image, 4x4 block sums.
+    let mut g = ApplicationGraph::new();
+    let input = g.declare_array("in", [256usize, 256]);
+    let output = g.declare_array("out", [64usize, 64]);
+    g.external_inputs.push(input);
+    g.external_outputs.push(output);
+    let in_tiler = Tiler::new(
+        vec![0, 0],
+        IMat::identity(2),
+        IMat::from_rows(&[&[4, 0], &[0, 4]]),
+    );
+    let out_tiler = Tiler::new(vec![0, 0], IMat::zeros(2, 0), IMat::identity(2));
+    g.add_task(RepetitiveTask {
+        name: "sum".into(),
+        repetition: Shape::new(vec![64, 64]),
+        inputs: vec![Port::new("in", input, [4usize, 4], in_tiler)],
+        outputs: vec![Port::new("out", output, Shape::scalar(), out_tiler)],
+        body: TaskBody::Elementary {
+            kernel_name: "sum".into(),
+            f: Arc::new(|p| vec![NdArray::scalar(p[0].as_slice().iter().sum())]),
+        },
+    });
+    let image = NdArray::from_fn([256usize, 256], |ix| (ix[0] ^ ix[1]) as i64);
+    let mut inputs = HashMap::new();
+    inputs.insert(input, image);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(execute(&g, &inputs, &ExecOptions::sequential()).unwrap()))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(execute(&g, &inputs, &ExecOptions::parallel()).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    let src = downscaler::sac_src::program_src(
+        &downscaler::Scenario::hd1080(),
+        downscaler::sac_src::Variant::NonGeneric,
+        downscaler::sac_src::Part::Full,
+    );
+    group.bench_function("parse_downscaler", |b| {
+        b.iter(|| black_box(sac_lang::parse_program(black_box(&src)).unwrap()))
+    });
+
+    let shape = Shape::new(vec![64, 64, 8]);
+    group.bench_function("index_iteration_32k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            IndexIter::for_each_index(&shape, |ix| acc += ix[2]);
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tilers, bench_arrayol_executor, bench_frontend);
+criterion_main!(benches);

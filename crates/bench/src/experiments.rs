@@ -1,0 +1,399 @@
+//! The experiments behind each table and figure.
+
+use crate::calibration::{HOST_NS_PER_OP, SEQ_CPU_NS_PER_OP};
+use downscaler::frames::FrameGenerator;
+use downscaler::pipelines::{build_gaspard, build_sac, PipelineError, SacRoute};
+use downscaler::sac_src::{Part, Variant};
+use downscaler::Scenario;
+use mdarray::NdArray;
+use sac_cuda::exec::{run_on_device_opts, ExecOptions, HostCost};
+use sac_cuda::PlanOp;
+use simgpu::cost::Direction;
+use simgpu::device::Device;
+use simgpu::profiler::{Group, OpClass, TableRow};
+
+/// One bar pair of Figure 9.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Configuration label, e.g. `SAC-CUDA Non-Generic`.
+    pub config: String,
+    /// Horizontal-filter execution time for the whole run, seconds.
+    pub horizontal_s: f64,
+    /// Vertical-filter execution time, seconds.
+    pub vertical_s: f64,
+}
+
+/// A rendered profile table (Tables I / II).
+#[derive(Debug, Clone)]
+pub struct ProfileTable {
+    /// Rows in paper order.
+    pub rows: Vec<TableRow>,
+    /// Total simulated seconds.
+    pub total_s: f64,
+}
+
+/// Figure 12's four operation groups for both routes, seconds.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// (SAC, Gaspard2) per group.
+    pub horizontal: (f64, f64),
+    /// Vertical filter kernels.
+    pub vertical: (f64, f64),
+    /// Host-to-device transfers.
+    pub h2d: (f64, f64),
+    /// Device-to-host transfers.
+    pub d2h: (f64, f64),
+}
+
+fn default_exec(s: &Scenario) -> ExecOptions {
+    ExecOptions {
+        host_cost: HostCost { ns_per_op: HOST_NS_PER_OP },
+        channel_chunks: s.channels,
+    }
+}
+
+fn test_frame(s: &Scenario) -> NdArray<i64> {
+    FrameGenerator::new(s.channels, s.rows, s.cols, 0xD05C).frame_rank3(0)
+}
+
+/// Simulated seconds to transfer `route`'s result back, if the plan does.
+fn result_download_us(s: &Scenario, route: &SacRoute, device: &Device) -> f64 {
+    let downloads_result = route
+        .plan_last_download()
+        .map(|arr| arr == route.flat.result)
+        .unwrap_or(false);
+    if !downloads_result {
+        return 0.0;
+    }
+    let shape = &route.flat.arrays[route.flat.result].shape;
+    let len: usize = shape.iter().product();
+    let chunks =
+        if shape.first() == Some(&s.channels) && s.channels > 1 { s.channels } else { 1 };
+    let calib = device.calibration();
+    chunks as f64 * calib.transfer_time_us(len * 4 / chunks, Direction::DeviceToHost)
+}
+
+/// Helper on [`SacRoute`]: the array id of a trailing download, if any.
+trait PlanExt {
+    fn plan_last_download(&self) -> Option<usize>;
+}
+
+impl PlanExt for SacRoute {
+    fn plan_last_download(&self) -> Option<usize> {
+        match self.cuda.plan.last() {
+            Some(PlanOp::Download { array }) => Some(*array),
+            _ => None,
+        }
+    }
+}
+
+/// Per-filter *execution* time of a CUDA route over the full run, seconds:
+/// kernel + host-fallback + *forced mid-pipeline* transfer time. The frame
+/// upload and (when present) final result download are excluded — they are
+/// common to every configuration and reported separately in Tables I/II.
+fn cuda_filter_time_s(
+    s: &Scenario,
+    variant: Variant,
+    part: Part,
+) -> Result<f64, PipelineError> {
+    let route = build_sac(s, variant, part, &Default::default())?;
+    let mut device = Device::gtx480();
+    let input = match part {
+        Part::Vertical => {
+            downscaler::pipelines::reference_horizontal(s, &test_frame(s))
+        }
+        _ => test_frame(s),
+    };
+    run_on_device_opts(&route.cuda, &mut device, &[input], default_exec(s))?;
+    let total = device.now_us();
+    let h2d = device.profiler.class_total_us(OpClass::H2D);
+    let result_d2h = result_download_us(s, &route, &device);
+    let per_frame_us = total - h2d - result_d2h;
+    Ok(per_frame_us * s.frames as f64 / 1e6)
+}
+
+/// Sequential (SAC-Seq) per-filter time over the full run, seconds.
+fn seq_filter_time_s(
+    s: &Scenario,
+    variant: Variant,
+    part: Part,
+) -> Result<f64, PipelineError> {
+    let route = build_sac(s, variant, part, &Default::default())?;
+    let input = match part {
+        Part::Vertical => {
+            downscaler::pipelines::reference_horizontal(s, &test_frame(s))
+        }
+        _ => test_frame(s),
+    };
+    let mut ops = 0u64;
+    route
+        .flat
+        .run(&[input], &mut ops)
+        .map_err(PipelineError::Sac)?;
+    Ok(ops as f64 * SEQ_CPU_NS_PER_OP * s.frames as f64 / 1e9)
+}
+
+/// Figure 9: filter execution times of the four SaC configurations.
+pub fn figure9(s: &Scenario) -> Result<Vec<Fig9Row>, PipelineError> {
+    let mut rows = Vec::new();
+    for (label, variant, cuda) in [
+        ("SAC-Seq Generic", Variant::Generic, false),
+        ("SAC-Seq Non-Generic", Variant::NonGeneric, false),
+        ("SAC-CUDA Generic", Variant::Generic, true),
+        ("SAC-CUDA Non-Generic", Variant::NonGeneric, true),
+    ] {
+        let (h, v) = if cuda {
+            (
+                cuda_filter_time_s(s, variant, Part::Horizontal)?,
+                cuda_filter_time_s(s, variant, Part::Vertical)?,
+            )
+        } else {
+            (
+                seq_filter_time_s(s, variant, Part::Horizontal)?,
+                seq_filter_time_s(s, variant, Part::Vertical)?,
+            )
+        };
+        rows.push(Fig9Row { config: label.into(), horizontal_s: h, vertical_s: v });
+    }
+    Ok(rows)
+}
+
+/// The paper's table groups.
+fn paper_groups() -> Vec<Group> {
+    vec![
+        Group::kernels("H. Filter", "hf_"),
+        Group::kernels("V. Filter", "vf_"),
+        Group::class("memcpyHtoDasync", OpClass::H2D),
+        Group::class("memcpyDtoHasync", OpClass::D2H),
+    ]
+}
+
+/// Table I: the GASPARD2 implementation's profile over the full run.
+pub fn table1(s: &Scenario) -> Result<ProfileTable, PipelineError> {
+    let route = build_gaspard(s)?;
+    let mut device = Device::gtx480();
+    let channels =
+        FrameGenerator::new(s.channels, s.rows, s.cols, 0xD05C).frame_channels(0);
+    gaspard::run_opencl(&route.opencl, &mut device, &channels)?;
+    device.profiler.scale(s.frames as u64);
+    Ok(ProfileTable {
+        rows: device.profiler.rows(&paper_groups()),
+        total_s: device.profiler.total_us() / 1e6,
+    })
+}
+
+/// Table II: the non-generic SaC implementation's profile over the full run.
+pub fn table2(s: &Scenario) -> Result<ProfileTable, PipelineError> {
+    let route = build_sac(s, Variant::NonGeneric, Part::Full, &Default::default())?;
+    let mut device = Device::gtx480();
+    run_on_device_opts(&route.cuda, &mut device, &[test_frame(s)], default_exec(s))?;
+    device.profiler.scale(s.frames as u64);
+    Ok(ProfileTable {
+        rows: device.profiler.rows(&paper_groups()),
+        total_s: device.profiler.total_us() / 1e6,
+    })
+}
+
+/// Figure 12: SAC vs GASPARD2 per operation group.
+pub fn figure12(s: &Scenario) -> Result<Fig12, PipelineError> {
+    let t1 = table1(s)?; // Gaspard
+    let t2 = table2(s)?; // SaC
+    let pick = |t: &ProfileTable, i: usize| t.rows[i].time_us / 1e6;
+    Ok(Fig12 {
+        horizontal: (pick(&t2, 0), pick(&t1, 0)),
+        vertical: (pick(&t2, 1), pick(&t1, 1)),
+        h2d: (pick(&t2, 2), pick(&t1, 2)),
+        d2h: (pick(&t2, 3), pick(&t1, 3)),
+    })
+}
+
+/// Figure 3 artefact: the downscaler overview as a Graphviz DOT graph.
+pub fn figure3_dot(s: &Scenario) -> Result<String, PipelineError> {
+    let route = build_gaspard(s)?;
+    let g = gaspard::transform::to_arrayol(&route.scheduled)
+        .map_err(PipelineError::Gaspard)?;
+    Ok(arrayol::dot::to_dot(&g, "Downscaler"))
+}
+
+/// Figure 8 artefact: the folded horizontal filter, rendered as SaC text.
+pub fn figure8_text(s: &Scenario) -> Result<String, PipelineError> {
+    let route = build_sac(s, Variant::NonGeneric, Part::Horizontal, &Default::default())?;
+    Ok(format!(
+        "// WITH-loop folding fused the 3-step horizontal filter into one\n\
+         // {}-generator WITH-loop (paper Figure 8 reports 5 generators):\n\n{}",
+        route.report.generators_after_split, route.flat
+    ))
+}
+
+/// Figure 11 artefact: a generated GASPARD2 OpenCL tiler kernel.
+pub fn figure11_text(s: &Scenario) -> Result<String, PipelineError> {
+    let route = build_gaspard(s)?;
+    let bhf = route
+        .opencl
+        .kernels
+        .iter()
+        .find(|k| k.kernel.name.contains("bhf"))
+        .unwrap_or(&route.opencl.kernels[0]);
+    Ok(bhf.kernel.emit_source())
+}
+
+/// Generated CUDA source for the folded SaC program (companion artefact).
+pub fn cuda_source_text(s: &Scenario) -> Result<String, PipelineError> {
+    let route = build_sac(s, Variant::NonGeneric, Part::Full, &Default::default())?;
+    Ok(route.cuda.emit_cuda_source())
+}
+
+/// Kernel-count summary (paper: 3+3 Gaspard vs 5+7 SaC).
+#[derive(Debug, Clone)]
+pub struct KernelCounts {
+    /// (horizontal, vertical) kernels of the GASPARD2 route.
+    pub gaspard: (usize, usize),
+    /// (horizontal, vertical) kernels of the folded SaC route.
+    pub sac: (usize, usize),
+}
+
+/// Count kernels per filter for both routes.
+pub fn kernel_counts(s: &Scenario) -> Result<KernelCounts, PipelineError> {
+    let g = build_gaspard(s)?;
+    let gh = g.opencl.kernels.iter().filter(|k| k.kernel.name.starts_with("hf_")).count();
+    let gv = g.opencl.kernels.iter().filter(|k| k.kernel.name.starts_with("vf_")).count();
+    let h = build_sac(s, Variant::NonGeneric, Part::Horizontal, &Default::default())?;
+    let v = build_sac(s, Variant::NonGeneric, Part::Vertical, &Default::default())?;
+    Ok(KernelCounts {
+        gaspard: (gh, gv),
+        sac: (h.report.generators_after_split, v.report.generators_after_split),
+    })
+}
+
+/// One row of the frame-size sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Scenario rows × cols.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Sequential (SAC-Seq, non-generic) per-frame time, µs.
+    pub seq_us: f64,
+    /// GPU kernel-only per-frame time (non-generic), µs.
+    pub gpu_kernels_us: f64,
+    /// GPU per-frame time including transfers, µs.
+    pub gpu_total_us: f64,
+}
+
+/// Frame-size sweep: where does the GPU overtake sequential execution?
+///
+/// The paper evaluates a single (HD) size; this sweep locates the crossover
+/// the launch-overhead story implies — at small frames the 12 kernel launches
+/// and PCIe latency dominate and the CPU wins; the GPU overtakes as frames
+/// grow.
+pub fn sweep(scales: &[usize]) -> Result<Vec<SweepRow>, PipelineError> {
+    let mut out = Vec::new();
+    for &k in scales {
+        let (rows, cols) = (9 * k, 16 * k);
+        let mut s = Scenario::new(&format!("sweep{k}"), 3, rows, cols, 1);
+        s.frames = 1;
+        let route = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default())?;
+        let frame = test_frame(&s);
+
+        let mut ops = 0u64;
+        route.flat.run(std::slice::from_ref(&frame), &mut ops).map_err(PipelineError::Sac)?;
+        let seq_us = ops as f64 * SEQ_CPU_NS_PER_OP / 1e3;
+
+        let mut device = Device::gtx480();
+        run_on_device_opts(&route.cuda, &mut device, std::slice::from_ref(&frame), default_exec(&s))?;
+        let gpu_total_us = device.now_us();
+        let gpu_kernels_us = device.profiler.class_total_us(OpClass::Kernel);
+        out.push(SweepRow { rows, cols, seq_us, gpu_kernels_us, gpu_total_us });
+    }
+    Ok(out)
+}
+
+/// Cost-model ablation: rerun Table I/II totals under a modified calibration.
+pub fn totals_with_calibration(
+    s: &Scenario,
+    calib: simgpu::Calibration,
+) -> Result<(f64, f64), PipelineError> {
+    // Gaspard.
+    let route = build_gaspard(s)?;
+    let mut device = Device::gtx480();
+    device.set_calibration(calib.clone());
+    let channels =
+        FrameGenerator::new(s.channels, s.rows, s.cols, 0xD05C).frame_channels(0);
+    gaspard::run_opencl(&route.opencl, &mut device, &channels)?;
+    let gaspard_total = device.now_us() * s.frames as f64 / 1e6;
+    // SaC non-generic.
+    let route = build_sac(s, Variant::NonGeneric, Part::Full, &Default::default())?;
+    let mut device = Device::gtx480();
+    device.set_calibration(calib);
+    run_on_device_opts(&route.cuda, &mut device, &[test_frame(s)], default_exec(s))?;
+    let sac_total = device.now_us() * s.frames as f64 / 1e6;
+    Ok((sac_total, gaspard_total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scenario {
+        Scenario::tiny()
+    }
+
+    #[test]
+    fn figure9_shapes_hold_at_small_scale() {
+        // Big enough that per-kernel launch overhead does not dominate the
+        // (simulated) GPU side; the qualitative orderings are scale-free
+        // beyond that point.
+        let small = Scenario::new("small", 3, 270, 480, 10);
+        let rows = figure9(&small).unwrap();
+        assert_eq!(rows.len(), 4);
+        let by = |label: &str| {
+            rows.iter().find(|r| r.config == label).unwrap_or_else(|| panic!("{label}"))
+        };
+        let seq_ng = by("SAC-Seq Non-Generic");
+        let cuda_ng = by("SAC-CUDA Non-Generic");
+        let cuda_g = by("SAC-CUDA Generic");
+        // GPU beats sequential.
+        assert!(cuda_ng.horizontal_s < seq_ng.horizontal_s);
+        assert!(cuda_ng.vertical_s < seq_ng.vertical_s);
+        // Generic CUDA is slower than non-generic CUDA (host round-trip).
+        assert!(cuda_g.horizontal_s > cuda_ng.horizontal_s);
+        assert!(cuda_g.vertical_s > cuda_ng.vertical_s);
+    }
+
+    #[test]
+    fn tables_have_paper_structure() {
+        let s = tiny();
+        let t1 = table1(&s).unwrap();
+        assert_eq!(t1.rows.len(), 4);
+        assert!(t1.rows[0].label.contains("H. Filter (3 kernels)"), "{:?}", t1.rows);
+        assert!(t1.rows[1].label.contains("V. Filter (3 kernels)"), "{:?}", t1.rows);
+        assert_eq!(t1.rows[2].calls, (s.frames * s.channels) as u64);
+
+        let t2 = table2(&s).unwrap();
+        assert!(t2.rows[0].label.contains("H. Filter (5 kernels)"), "{:?}", t2.rows);
+        assert!(t2.rows[1].label.contains("V. Filter (7 kernels)"), "{:?}", t2.rows);
+        assert_eq!(t2.rows[2].calls, (s.frames * s.channels) as u64);
+        // Kernel group call counts follow the paper's convention (one group
+        // call per frame).
+        assert_eq!(t1.rows[0].calls, s.frames as u64);
+        assert_eq!(t2.rows[0].calls, s.frames as u64);
+    }
+
+    #[test]
+    fn kernel_counts_match_paper() {
+        let k = kernel_counts(&tiny()).unwrap();
+        assert_eq!(k.gaspard, (3, 3));
+        assert_eq!(k.sac, (5, 7));
+    }
+
+    #[test]
+    fn artefacts_render() {
+        let s = tiny();
+        let f8 = figure8_text(&s).unwrap();
+        assert!(f8.contains("genarray"), "{f8}");
+        let f11 = figure11_text(&s).unwrap();
+        assert!(f11.contains("__kernel"), "{f11}");
+        let cu = cuda_source_text(&s).unwrap();
+        assert!(cu.contains("__global__"), "{cu}");
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # bench — regenerating the paper's evaluation
+//!
+//! Every table and figure of §VIII has a function here that reruns the
+//! corresponding experiment on the simulator and renders it in the paper's
+//! format. The `reproduce` binary drives them; `cargo bench` adds wall-clock
+//! Criterion measurements of the underlying machinery.
+//!
+//! Timing methodology: kernels execute functionally on the simulator and the
+//! reported "GPU time" is simulated time from [`simgpu::Calibration`]
+//! (constants derived from the paper's own measurements — see
+//! `crates/simgpu/src/cost.rs`). Per-frame cost is content-independent under
+//! that model, so experiments simulate one frame and scale to the scenario's
+//! frame count exactly.
+
+pub mod calibration;
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;

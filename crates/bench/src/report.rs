@@ -1,0 +1,128 @@
+//! Text rendering of experiment results (ASCII bars and the paper's tables).
+
+use crate::experiments::{Fig12, Fig9Row, ProfileTable};
+
+/// Render Figure 9 as labelled ASCII bars.
+pub fn render_fig9(rows: &[Fig9Row]) -> String {
+    let max = rows
+        .iter()
+        .flat_map(|r| [r.horizontal_s, r.vertical_s])
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let bar = |v: f64| {
+        let n = ((v / max) * 40.0).round() as usize;
+        "#".repeat(n.max(1))
+    };
+    let mut out = String::from(
+        "Figure 9: Execution time of horizontal and vertical filters\n\
+         (simulated; whole run)\n\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} H {:>8.3}s |{}\n{:<22} V {:>8.3}s |{}\n",
+            r.config,
+            r.horizontal_s,
+            bar(r.horizontal_s),
+            "",
+            r.vertical_s,
+            bar(r.vertical_s)
+        ));
+    }
+    out
+}
+
+/// Render a profile table in the paper's Table I/II format.
+pub fn render_table(title: &str, t: &ProfileTable) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<26} {:>8} {:>16} {:>13}\n",
+        "Operation", "#calls", "GPU time(usec)", "GPU time(%)"
+    ));
+    for r in &t.rows {
+        out.push_str(&format!(
+            "{:<26} {:>8} {:>16.0} {:>13.2}\n",
+            r.label, r.calls, r.time_us, r.percent
+        ));
+    }
+    let total = if t.total_s >= 0.01 {
+        format!("{:.2}s", t.total_s)
+    } else {
+        format!("{:.3}ms", t.total_s * 1e3)
+    };
+    out.push_str(&format!("{:<26} {:>8} {:>16} {:>13.2}\n", "Total", "-", total, 100.0));
+    out
+}
+
+/// Render Figure 12's grouped comparison.
+pub fn render_fig12(f: &Fig12) -> String {
+    let groups = [
+        ("Horizontal Filter", f.horizontal),
+        ("Vertical Filter", f.vertical),
+        ("Host2Device", f.h2d),
+        ("Device2Host", f.d2h),
+    ];
+    let max = groups.iter().flat_map(|(_, (a, b))| [*a, *b]).fold(0.0f64, f64::max).max(1e-12);
+    let bar = |v: f64| "#".repeat(((v / max) * 36.0).round() as usize);
+    let mut out = String::from("Figure 12: Kernel execution and data transfer time\n\n");
+    for (label, (sac, gaspard)) in groups {
+        out.push_str(&format!(
+            "{label:<18} SAC      {sac:>8.3}s |{}\n{:<18} Gaspard2 {gaspard:>8.3}s |{}\n",
+            bar(sac),
+            "",
+            bar(gaspard)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgpu::profiler::TableRow;
+
+    #[test]
+    fn fig9_renders_bars() {
+        let rows = vec![
+            Fig9Row { config: "A".into(), horizontal_s: 2.0, vertical_s: 1.0 },
+            Fig9Row { config: "B".into(), horizontal_s: 0.5, vertical_s: 0.25 },
+        ];
+        let text = render_fig9(&rows);
+        assert!(text.contains('A'));
+        assert!(text.contains("2.000s"));
+        // Longer bar for the bigger value.
+        let lines: Vec<&str> = text.lines().collect();
+        let a_h = lines.iter().find(|l| l.starts_with('A')).unwrap();
+        let b_h = lines.iter().find(|l| l.starts_with('B')).unwrap();
+        assert!(a_h.matches('#').count() > b_h.matches('#').count());
+    }
+
+    #[test]
+    fn table_renders_paper_columns() {
+        let t = ProfileTable {
+            rows: vec![TableRow {
+                label: "H. Filter (3 kernels)".into(),
+                calls: 300,
+                time_us: 844185.0,
+                percent: 29.51,
+            }],
+            total_s: 2.86,
+        };
+        let text = render_table("Table I", &t);
+        assert!(text.contains("H. Filter (3 kernels)"));
+        assert!(text.contains("844185"));
+        assert!(text.contains("2.86s"));
+    }
+
+    #[test]
+    fn fig12_renders_groups() {
+        let f = Fig12 {
+            horizontal: (1.0, 0.8),
+            vertical: (0.7, 0.4),
+            h2d: (1.4, 1.4),
+            d2h: (0.2, 0.2),
+        };
+        let text = render_fig12(&f);
+        assert!(text.contains("Horizontal Filter"));
+        assert!(text.contains("Gaspard2"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Reference CPU implementation — the golden model.
+//!
+//! Semantics follow the paper's tiler specifications exactly, including
+//! ArrayOL's toroidal (modulo) addressing at frame edges:
+//!
+//! * horizontal (Figure 10): input pattern of 11 pixels every 8 columns,
+//!   three 6-pixel windows at offsets {0, 2, 5} (Figure 5), output
+//!   `t/6 - t%6`,
+//! * vertical: input pattern of 13 rows every 9 rows, anchored 3 rows above
+//!   the tile (origin −3), four 6-pixel windows at offsets {0, 2, 5, 7}.
+
+use mdarray::NdArray;
+
+/// One directional filter: gathers `pattern` elements every `step`, emits
+/// one output per window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterSpec {
+    /// Input pattern length.
+    pub pattern: usize,
+    /// Tiler origin along the filtered dimension (may be negative).
+    pub origin: i64,
+    /// Paving step along the filtered dimension.
+    pub step: usize,
+    /// Window offsets within the pattern (one output pixel per window).
+    pub windows: Vec<usize>,
+    /// Window length.
+    pub window_len: usize,
+    /// Interpolation divisor.
+    pub divisor: i64,
+}
+
+impl FilterSpec {
+    /// The paper's horizontal filter: 8 → 3, 11-pattern, windows {0,2,5}
+    /// (exactly the index sets of Figure 5's `tmp0`/`tmp1`/`tmp2`), anchored
+    /// one pixel left of the tile (origin −1). The anchor makes the first
+    /// and last windows wrap at the frame edge, which is what splits the
+    /// folded WITH-loop into the paper's five generators (Figure 8); see
+    /// EXPERIMENTS.md for the origin-0 ablation (four generators).
+    pub fn paper_horizontal() -> Self {
+        FilterSpec {
+            pattern: 11,
+            origin: -1,
+            step: 8,
+            windows: vec![0, 2, 5],
+            window_len: 6,
+            divisor: 6,
+        }
+    }
+
+    /// The paper's vertical filter: 9 → 4, 13-pattern centred one half-tile
+    /// up (origin −3), windows {0,2,5,7}.
+    pub fn paper_vertical() -> Self {
+        FilterSpec {
+            pattern: 13,
+            origin: -3,
+            step: 9,
+            windows: vec![0, 2, 5, 7],
+            window_len: 6,
+            divisor: 6,
+        }
+    }
+
+    /// Outputs per tile.
+    pub fn outputs_per_tile(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The paper's interpolation arithmetic on one window sum.
+    #[inline]
+    pub fn interpolate(&self, t: i64) -> i64 {
+        t / self.divisor - t % self.divisor
+    }
+}
+
+/// Apply a filter along the columns of a 2-D channel plane.
+///
+/// `[rows, cols]` → `[rows, cols/step * windows]`, toroidal addressing.
+pub fn horizontal_filter(ch: &NdArray<i64>, spec: &FilterSpec) -> NdArray<i64> {
+    let rows = ch.shape().dim(0);
+    let cols = ch.shape().dim(1);
+    let tiles = cols / spec.step;
+    let k = spec.outputs_per_tile();
+    let out_cols = tiles * k;
+    let src = ch.as_slice();
+    let mut out = Vec::with_capacity(rows * out_cols);
+    for i in 0..rows {
+        let row = &src[i * cols..(i + 1) * cols];
+        for t in 0..tiles {
+            let base = spec.origin + (t * spec.step) as i64;
+            for &w in &spec.windows {
+                let mut sum = 0i64;
+                for p in 0..spec.window_len {
+                    let c = (base + (w + p) as i64).rem_euclid(cols as i64) as usize;
+                    sum += row[c];
+                }
+                out.push(spec.interpolate(sum));
+            }
+        }
+    }
+    NdArray::from_vec([rows, out_cols], out).expect("length matches")
+}
+
+/// Apply a filter along the rows of a 2-D channel plane.
+///
+/// `[rows, cols]` → `[rows/step * windows, cols]`, toroidal addressing.
+pub fn vertical_filter(ch: &NdArray<i64>, spec: &FilterSpec) -> NdArray<i64> {
+    let rows = ch.shape().dim(0);
+    let cols = ch.shape().dim(1);
+    let tiles = rows / spec.step;
+    let k = spec.outputs_per_tile();
+    let out_rows = tiles * k;
+    let src = ch.as_slice();
+    let mut out = vec![0i64; out_rows * cols];
+    for t in 0..tiles {
+        let base = spec.origin + (t * spec.step) as i64;
+        for (ki, &w) in spec.windows.iter().enumerate() {
+            let orow = t * k + ki;
+            for j in 0..cols {
+                let mut sum = 0i64;
+                for p in 0..spec.window_len {
+                    let r = (base + (w + p) as i64).rem_euclid(rows as i64) as usize;
+                    sum += src[r * cols + j];
+                }
+                out[orow * cols + j] = spec.interpolate(sum);
+            }
+        }
+    }
+    NdArray::from_vec([out_rows, cols], out).expect("length matches")
+}
+
+/// Full per-channel downscale: horizontal then vertical.
+pub fn downscale_channel(
+    ch: &NdArray<i64>,
+    h: &FilterSpec,
+    v: &FilterSpec,
+) -> NdArray<i64> {
+    vertical_filter(&horizontal_filter(ch, h), v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn horizontal_shapes_follow_spec() {
+        let s = Scenario::tiny();
+        let ch = NdArray::filled([s.rows, s.cols], 6i64);
+        let out = horizontal_filter(&ch, &s.h);
+        assert_eq!(out.shape().dims(), &[s.rows, s.h_out_cols()]);
+        // Constant input of value 6: window sum 36 -> 36/6 - 0 = 6.
+        assert!(out.as_slice().iter().all(|&v| v == 6));
+    }
+
+    #[test]
+    fn vertical_shapes_follow_spec() {
+        let s = Scenario::tiny();
+        let ch = NdArray::filled([s.rows, s.h_out_cols()], 12i64);
+        let out = vertical_filter(&ch, &s.v);
+        assert_eq!(out.shape().dims(), &[s.v_out_rows(), s.h_out_cols()]);
+        assert!(out.as_slice().iter().all(|&v| v == 12));
+    }
+
+    #[test]
+    fn interpolation_matches_figure5_arithmetic() {
+        // Tile 0 windows {0,2,5} sum 6 consecutive pixels starting at
+        // origin + offset; expectations computed from the spec itself.
+        let cols = 16usize;
+        let ch = NdArray::from_fn([1usize, cols], |ix| (ix[1] * ix[1] % 97) as i64);
+        let spec = FilterSpec::paper_horizontal();
+        let out = horizontal_filter(&ch, &spec);
+        for (k, &w) in spec.windows.iter().enumerate() {
+            let t: i64 = (0..spec.window_len)
+                .map(|p| {
+                    let c = (spec.origin + (w + p) as i64).rem_euclid(cols as i64) as usize;
+                    ch.as_slice()[c]
+                })
+                .sum();
+            assert_eq!(out.as_slice()[k], t / 6 - t % 6, "window {k}");
+        }
+    }
+
+    #[test]
+    fn horizontal_wraps_toroidally() {
+        // Origin -1 makes tile 0's first window read column -1 -> cols-1;
+        // the last tile's last window runs past the right edge.
+        let cols = 16usize;
+        let ch = NdArray::from_fn([1usize, cols], |ix| if ix[1] >= 12 { 600 } else { 0 });
+        let spec = FilterSpec::paper_horizontal();
+        let out = horizontal_filter(&ch, &spec);
+        // Tile 0, window 0: columns -1..5 -> wraps once to column 15.
+        assert_eq!(out.as_slice()[0], spec.interpolate(600));
+        // Tile 1, window 2 (offset 5): base 7, columns 12..18 -> 12,13,14,15
+        // hit, 16,17 wrap to 0,1 (zeros).
+        assert_eq!(out.as_slice()[5], spec.interpolate(4 * 600));
+    }
+
+    #[test]
+    fn vertical_negative_origin_wraps() {
+        // Tile 0 reads rows -3..10; rows -3,-2,-1 wrap to 6,7,8 (rows=9).
+        let ch = NdArray::from_fn([9usize, 1], |ix| 10i64.pow(ix[0] as u32 % 9) % 1000);
+        let spec = FilterSpec::paper_vertical();
+        let out = vertical_filter(&ch, &spec);
+        // First output row sums rows (-3..3) mod 9 = {6,7,8,0,1,2}.
+        let s: i64 = [6, 7, 8, 0, 1, 2].iter().map(|&r| 10i64.pow(r as u32 % 9) % 1000).sum();
+        assert_eq!(out.as_slice()[0], spec.interpolate(s));
+    }
+
+    #[test]
+    fn downscale_channel_composes() {
+        let s = Scenario::tiny();
+        let ch = NdArray::from_fn([s.rows, s.cols], |ix| ((ix[0] * 31 + ix[1] * 7) % 256) as i64);
+        let out = downscale_channel(&ch, &s.h, &s.v);
+        let (orows, ocols) = s.out_shape();
+        assert_eq!(out.shape().dims(), &[orows, ocols]);
+        // Spot-check one pixel against a hand computation.
+        let hout = horizontal_filter(&ch, &s.h);
+        let vout = vertical_filter(&hout, &s.v);
+        assert_eq!(out, vout);
+    }
+
+    #[test]
+    fn hd_dimensions_produce_dvd_output() {
+        // Shape-only check at full scale (no content sweep).
+        let s = Scenario::hd1080();
+        let ch = NdArray::filled([s.rows, s.cols], 0i64);
+        let h = horizontal_filter(&ch, &s.h);
+        assert_eq!(h.shape().dims(), &[1080, 720]);
+        let v = vertical_filter(&h, &s.v);
+        assert_eq!(v.shape().dims(), &[480, 720]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A constant frame downscales to the same constant: every window sum
+        /// is `6c`, and `6c/6 - 6c%6 = c`. Holds for both filters at any
+        /// valid size, which pins the interpolation normalisation.
+        #[test]
+        fn constant_frames_are_fixed_points(
+            c in 0i64..=255,
+            rt in 1usize..4,
+            ct in 1usize..4,
+        ) {
+            let rows = 9 * rt;
+            let cols = 8 * ct;
+            let ch = NdArray::filled([rows, cols], c);
+            let h = horizontal_filter(&ch, &FilterSpec::paper_horizontal());
+            prop_assert!(h.as_slice().iter().all(|&v| v == c));
+            let v = vertical_filter(&h, &FilterSpec::paper_vertical());
+            prop_assert!(v.as_slice().iter().all(|&v| v == c));
+        }
+
+        /// Output shapes follow the 8→3 / 9→4 ratios for any multiple sizes.
+        #[test]
+        fn output_shapes(rt in 1usize..6, ct in 1usize..6) {
+            let rows = 9 * rt;
+            let cols = 8 * ct;
+            let ch = NdArray::filled([rows, cols], 1i64);
+            let out = downscale_channel(
+                &ch,
+                &FilterSpec::paper_horizontal(),
+                &FilterSpec::paper_vertical(),
+            );
+            prop_assert_eq!(out.shape().dims(), &[4 * rt, 3 * ct]);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # downscaler — the paper's H.263 video-compression case study
+//!
+//! A classical downscaler: a **horizontal filter** reduces the columns of
+//! each frame 8 → 3 (CIF 352 → 132, HD 1920 → 720) and a **vertical filter**
+//! reduces the rows 9 → 4 (288 → 128, 1080 → 480), per RGB channel, by
+//! interpolating 6-pixel windows with the paper's `t/6 - t%6` arithmetic
+//! (Figure 5).
+//!
+//! The crate provides every form of the application the paper compares:
+//!
+//! * [`filter`] — a direct Rust reference implementation (the golden model
+//!   every route is bit-checked against),
+//! * [`frames`] — deterministic synthetic video I/O (substituting the
+//!   paper's OpenCV `FrameGenerator`/`FrameConstructor` IPs; see DESIGN.md),
+//! * [`sac_src`] — the SaC sources: the *generic* variant (Figures 4–6:
+//!   reusable tiler functions, `for`-loop output tiler) and the
+//!   *non-generic* variant (Figure 7: WITH-loop output tiler that WLF can
+//!   fold),
+//! * [`model`] — the GASPARD2/MARTE model (Figures 3 and 10: per-channel
+//!   repetitive filter tasks wired by tiler connectors),
+//! * [`scenario`] — problem-size presets (HD 1080×1920 as evaluated, CIF,
+//!   and test-sized variants),
+//! * [`pipelines`] — one-call builders that compile each route end to end.
+
+pub mod filter;
+pub mod frames;
+pub mod model;
+pub mod pipelines;
+pub mod sac_src;
+pub mod scenario;
+
+pub use filter::{downscale_channel, horizontal_filter, vertical_filter, FilterSpec};
+pub use frames::{FrameGenerator, FrameSink};
+pub use scenario::Scenario;

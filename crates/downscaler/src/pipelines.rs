@@ -1,0 +1,232 @@
+//! One-call builders for each compilation route of the study.
+
+use crate::frames::FrameGenerator;
+use crate::sac_src::{program_src, Part, Variant};
+use crate::scenario::Scenario;
+use gaspard::codegen::{generate_opencl, OpenClProgram};
+use gaspard::transform::{deploy, schedule, ScheduledModel};
+use gaspard::Platform;
+use mdarray::NdArray;
+use sac_cuda::codegen::{compile_flat_program, CudaProgram};
+use sac_lang::opt::{optimize, ArgDesc, OptConfig, OptReport};
+use sac_lang::wir::FlatProgram;
+
+/// Errors from route construction.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// SaC front end / optimiser failure.
+    Sac(sac_lang::SacError),
+    /// CUDA backend failure.
+    Cuda(sac_cuda::CudaError),
+    /// MDE chain failure.
+    Gaspard(gaspard::GaspardError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Sac(e) => write!(f, "sac: {e}"),
+            PipelineError::Cuda(e) => write!(f, "cuda backend: {e}"),
+            PipelineError::Gaspard(e) => write!(f, "gaspard: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<sac_lang::SacError> for PipelineError {
+    fn from(e: sac_lang::SacError) -> Self {
+        PipelineError::Sac(e)
+    }
+}
+impl From<sac_cuda::CudaError> for PipelineError {
+    fn from(e: sac_cuda::CudaError) -> Self {
+        PipelineError::Cuda(e)
+    }
+}
+impl From<gaspard::GaspardError> for PipelineError {
+    fn from(e: gaspard::GaspardError) -> Self {
+        PipelineError::Gaspard(e)
+    }
+}
+
+/// A compiled SaC route: source, optimised flat program, and CUDA plan.
+#[derive(Debug, Clone)]
+pub struct SacRoute {
+    /// The SaC source text.
+    pub src: String,
+    /// The optimised flat program (used directly for SAC-Seq runs).
+    pub flat: FlatProgram,
+    /// Optimiser statistics (fold counts, kernel counts).
+    pub report: OptReport,
+    /// The compiled CUDA program (kernels + transfer plan).
+    pub cuda: CudaProgram,
+}
+
+/// Compile the SaC route for a scenario/variant/part.
+pub fn build_sac(
+    s: &Scenario,
+    variant: Variant,
+    part: Part,
+    cfg: &OptConfig,
+) -> Result<SacRoute, PipelineError> {
+    let src = program_src(s, variant, part);
+    let prog = sac_lang::parse_program(&src)?;
+    let in_shape = match part {
+        Part::Vertical => vec![s.channels, s.rows, s.h_out_cols()],
+        _ => vec![s.channels, s.rows, s.cols],
+    };
+    let args = [ArgDesc::Array { name: "frame".into(), shape: in_shape }];
+    let (flat, report) = optimize(&prog, "main", &args, cfg)?;
+    let cuda = compile_flat_program(&flat)?;
+    Ok(SacRoute { src, flat, report, cuda })
+}
+
+/// A compiled GASPARD2 route: scheduled model and generated OpenCL.
+#[derive(Debug, Clone)]
+pub struct GaspardRoute {
+    /// The flattened, scheduled model.
+    pub scheduled: ScheduledModel,
+    /// The generated OpenCL program.
+    pub opencl: OpenClProgram,
+}
+
+/// Run the full MDE chain for a scenario.
+pub fn build_gaspard(s: &Scenario) -> Result<GaspardRoute, PipelineError> {
+    let (model, alloc) = crate::model::downscaler_model(s);
+    let deployed = deploy(model, Platform::cpu_gpu(), alloc)?;
+    let scheduled = schedule(&deployed)?;
+    let opencl = generate_opencl(&scheduled)?;
+    Ok(GaspardRoute { scheduled, opencl })
+}
+
+/// Golden-model downscale of a rank-3 `[channels, rows, cols]` frame.
+pub fn reference_downscale(s: &Scenario, frame: &NdArray<i64>) -> NdArray<i64> {
+    let planes: Vec<NdArray<i64>> = FrameGenerator::unstack(frame)
+        .iter()
+        .map(|ch| crate::filter::downscale_channel(ch, &s.h, &s.v))
+        .collect();
+    FrameGenerator::stack(&planes)
+}
+
+/// Golden-model horizontal filter of a rank-3 frame.
+pub fn reference_horizontal(s: &Scenario, frame: &NdArray<i64>) -> NdArray<i64> {
+    let planes: Vec<NdArray<i64>> = FrameGenerator::unstack(frame)
+        .iter()
+        .map(|ch| crate::filter::horizontal_filter(ch, &s.h))
+        .collect();
+    FrameGenerator::stack(&planes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_cuda::exec::{run_on_device, HostCost};
+    use simgpu::device::Device;
+
+    #[test]
+    fn nongeneric_route_reproduces_paper_kernel_counts() {
+        // "the final fused WITH-loop for horizontal filter after applying WLF
+        // has 5 generators (the vertical filter has 7 generators)" — §VIII.C.
+        let s = Scenario::tiny();
+        let h = build_sac(&s, Variant::NonGeneric, Part::Horizontal, &OptConfig::default())
+            .unwrap();
+        assert_eq!(h.report.generators_after_split, 5, "horizontal: {}", h.flat);
+        assert_eq!(h.report.host_steps, 0);
+
+        let v = build_sac(&s, Variant::NonGeneric, Part::Vertical, &OptConfig::default())
+            .unwrap();
+        assert_eq!(v.report.generators_after_split, 7, "vertical: {}", v.flat);
+
+        let full =
+            build_sac(&s, Variant::NonGeneric, Part::Full, &OptConfig::default()).unwrap();
+        assert_eq!(full.report.generators_after_split, 12, "full: {}", full.flat);
+        assert_eq!(full.cuda.launches_per_run(), 12);
+    }
+
+    #[test]
+    fn generic_route_keeps_host_steps() {
+        let s = Scenario::tiny();
+        let g =
+            build_sac(&s, Variant::Generic, Part::Full, &OptConfig::default()).unwrap();
+        assert_eq!(g.report.host_steps, 2, "{}", g.flat);
+        assert!(g.cuda.host_steps_per_run() == 2);
+        // The host fallback forces device-to-host downloads mid-pipeline.
+        let downloads = g
+            .cuda
+            .plan
+            .iter()
+            .filter(|op| matches!(op, sac_cuda::PlanOp::Download { .. }))
+            .count();
+        assert!(downloads >= 2, "{:?}", g.cuda.plan);
+    }
+
+    #[test]
+    fn sac_cuda_routes_match_reference() {
+        let s = Scenario::tiny();
+        let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 99);
+        let frame = gen.frame_rank3(0);
+        let expect = reference_downscale(&s, &frame);
+        for variant in [Variant::Generic, Variant::NonGeneric] {
+            let route = build_sac(&s, variant, Part::Full, &OptConfig::default()).unwrap();
+            let mut device = Device::gtx480();
+            let (got, _) =
+                run_on_device(&route.cuda, &mut device, std::slice::from_ref(&frame), HostCost::default())
+                    .unwrap();
+            assert_eq!(got, expect, "variant {variant:?}");
+        }
+    }
+
+    #[test]
+    fn sac_seq_flat_programs_match_reference() {
+        let s = Scenario::tiny();
+        let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 7);
+        let frame = gen.frame_rank3(1);
+        let expect = reference_downscale(&s, &frame);
+        for variant in [Variant::Generic, Variant::NonGeneric] {
+            let route = build_sac(&s, variant, Part::Full, &OptConfig::default()).unwrap();
+            let mut ops = 0;
+            let got = route.flat.run(std::slice::from_ref(&frame), &mut ops).unwrap();
+            assert_eq!(got, expect, "variant {variant:?}");
+            assert!(ops > 0);
+        }
+    }
+
+    #[test]
+    fn gaspard_route_matches_reference() {
+        let s = Scenario::tiny();
+        let route = build_gaspard(&s).unwrap();
+        assert_eq!(route.opencl.kernels.len(), 6);
+
+        let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 123);
+        let channels = gen.frame_channels(0);
+        let mut device = Device::gtx480();
+        let outs = gaspard::run_opencl(&route.opencl, &mut device, &channels).unwrap();
+        for (c, ch) in channels.iter().enumerate() {
+            let expect = crate::filter::downscale_channel(ch, &s.h, &s.v);
+            assert_eq!(outs[c], expect, "channel {c}");
+        }
+    }
+
+    #[test]
+    fn both_routes_agree_bit_exactly() {
+        // The cross-route check the paper's comparison implies: same frames,
+        // same downscaled video.
+        let s = Scenario::tiny();
+        let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 2024);
+        let frame_planes = gen.frame_channels(0);
+        let frame3 = FrameGenerator::stack(&frame_planes);
+
+        let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &OptConfig::default())
+            .unwrap();
+        let mut dev1 = Device::gtx480();
+        let (sac_out, _) =
+            run_on_device(&sac.cuda, &mut dev1, &[frame3], HostCost::default()).unwrap();
+
+        let gasp = build_gaspard(&s).unwrap();
+        let mut dev2 = Device::gtx480();
+        let gasp_out = gaspard::run_opencl(&gasp.opencl, &mut dev2, &frame_planes).unwrap();
+        let gasp_stacked = FrameGenerator::stack(&gasp_out);
+        assert_eq!(sac_out, gasp_stacked);
+    }
+}

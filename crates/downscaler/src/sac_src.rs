@@ -1,0 +1,457 @@
+//! The downscaler's SaC sources (the paper's Figures 4–7), generated for a
+//! given [`Scenario`].
+//!
+//! Two variants exist, differing **only** in the output tiler — exactly the
+//! experiment of §VI/§VIII.A:
+//!
+//! * **generic** — `input_tiler` (Figure 4), the task functions (Figure 5)
+//!   and `generic_output_tiler` (Figure 6): fully reusable functions whose
+//!   tiler parameters (`origin`, `fitting`, `paving`) are passed as data.
+//!   The output tiler is a `for` nest, which the compiler cannot
+//!   parallelise — it stays on the host and forces a mid-pipeline
+//!   device-to-host transfer,
+//! * **non-generic** — the same input tiler and task, but the output tiler
+//!   of Figure 7: a multi-generator WITH-loop with baked-in tile size, which
+//!   WITH-loop folding fuses with the rest of the filter.
+//!
+//! The frames carry all colour channels as one `int[3,R,C]` array, so a
+//! filter is a single (rank-3) WITH-loop pipeline and the folded result
+//! launches the paper's 5 (horizontal) / 7 (vertical) kernels per frame.
+
+use crate::filter::FilterSpec;
+use crate::scenario::Scenario;
+
+/// Which slice of the application a `main` should cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Part {
+    /// Horizontal filter only: `frame -> hf`.
+    Horizontal,
+    /// Vertical filter only: `hf -> vf`.
+    Vertical,
+    /// The whole downscaler: `frame -> vf`.
+    Full,
+}
+
+/// Which programming style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Figures 4–6: generic tilers, host-bound output scatter.
+    Generic,
+    /// Figure 7: WITH-loop output tiler, fully foldable.
+    NonGeneric,
+}
+
+/// Render `[a,b,c]`.
+fn vec_lit(v: &[i64]) -> String {
+    format!("[{}]", v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(","))
+}
+
+/// Render `[[..],[..]]`.
+fn mat_lit(m: &[Vec<i64>]) -> String {
+    format!("[{}]", m.iter().map(|r| vec_lit(r)).collect::<Vec<_>>().join(","))
+}
+
+/// Tiler data for one filter in the rank-3 `[channel, row, col]` layout.
+struct Tilers {
+    in_pattern: usize,
+    in_origin: Vec<i64>,
+    in_fitting: Vec<Vec<i64>>,
+    in_paving: Vec<Vec<i64>>,
+    repetition: Vec<i64>,
+    out_pattern: usize,
+    out_origin: Vec<i64>,
+    out_fitting: Vec<Vec<i64>>,
+    out_paving: Vec<Vec<i64>>,
+}
+
+/// `dim`: 1 = vertical (rows), 2 = horizontal (cols).
+fn tilers(s: &Scenario, spec: &FilterSpec, dim: usize, tiles: usize, other: usize) -> Tilers {
+    let unit = |d: usize| {
+        let mut col = vec![vec![0i64], vec![0], vec![0]];
+        col[d] = vec![1];
+        col
+    };
+    let mut in_origin = vec![0i64, 0, 0];
+    in_origin[dim] = spec.origin;
+    let mut in_paving = vec![vec![1i64, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
+    in_paving[dim][dim] = spec.step as i64;
+    let mut out_paving = vec![vec![1i64, 0, 0], vec![0, 1, 0], vec![0, 0, 1]];
+    out_paving[dim][dim] = spec.outputs_per_tile() as i64;
+    let repetition = if dim == 2 {
+        vec![s.channels as i64, other as i64, tiles as i64]
+    } else {
+        vec![s.channels as i64, tiles as i64, other as i64]
+    };
+    Tilers {
+        in_pattern: spec.pattern,
+        in_origin,
+        in_fitting: unit(dim),
+        in_paving,
+        repetition,
+        out_pattern: spec.outputs_per_tile(),
+        out_origin: vec![0, 0, 0],
+        out_fitting: unit(dim),
+        out_paving,
+    }
+}
+
+fn h_tilers(s: &Scenario) -> Tilers {
+    tilers(s, &s.h, 2, s.h_tiles(), s.rows)
+}
+
+fn v_tilers(s: &Scenario) -> Tilers {
+    tilers(s, &s.v, 1, s.v_tiles(), s.h_out_cols())
+}
+
+/// Figure 4: the generic input tiler, verbatim (rank-polymorphic).
+pub fn input_tiler_src() -> String {
+    r#"
+int[*] input_tiler(int[*] in_frame, int[.] in_pattern,
+                   int[.] repetition, int[.] origin,
+                   int[.,.] fitting, int[.,.] paving)
+{
+    output = with {
+        (. <= rep <= .) {
+            tile = with {
+                (. <= pat <= .) {
+                    off = origin + MV( CAT( paving, fitting) , rep ++ pat);
+                    iv = off % shape(in_frame);
+                    elem = in_frame[iv];
+                } : elem;
+            } : genarray( in_pattern, 0);
+        } : tile;
+    } : genarray( repetition);
+    return( output);
+}
+"#
+    .to_string()
+}
+
+/// Figure 5: the task function — window sums over gathered tiles.
+pub fn task_src(name: &str, spec: &FilterSpec) -> String {
+    let mut body = String::new();
+    for (k, &w) in spec.windows.iter().enumerate() {
+        let terms: Vec<String> =
+            (0..spec.window_len).map(|p| format!("input[rep][{}]", w + p)).collect();
+        body.push_str(&format!("            tmp{k} = {};\n", terms.join(" + ")));
+        body.push_str(&format!(
+            "            tile[{k}] = tmp{k} / {d} - tmp{k} % {d};\n",
+            d = spec.divisor
+        ));
+    }
+    format!(
+        r#"
+int[*] {name}(int[*] input, int[.] out_pattern, int[.] repetition)
+{{
+    output = with {{
+        (. <= rep <= .) {{
+            tile = genarray( out_pattern, 0);
+{body}        }} : tile;
+    }} : genarray( repetition);
+    return( output);
+}}
+"#
+    )
+}
+
+/// Figure 6: the generic output tiler — a `for` nest over the repetition
+/// space and output pattern, scattering through the tiler formulae.
+pub fn generic_output_tiler_src() -> String {
+    r#"
+int[*] generic_output_tiler(int[*] out_frame, int[*] input,
+                            int[.] out_pattern, int[.] repetition,
+                            int[.] origin, int[.,.] fitting, int[.,.] paving)
+{
+    for( c=0; c< repetition[[0]]; c++) {
+        for( i=0; i< repetition[[1]]; i++) {
+            for( j=0; j< repetition[[2]]; j++) {
+                for( k=0; k< out_pattern[[0]]; k++) {
+                    off = origin + MV( CAT( paving, fitting), [c,i,j] ++ [k]);
+                    iv = off % shape(out_frame);
+                    out_frame[iv] = input[[c,i,j,k]];
+                }
+            }
+        }
+    }
+    return( out_frame);
+}
+"#
+    .to_string()
+}
+
+/// Figure 7: the non-generic output tiler — one WITH-loop generator per
+/// output-tile position, tile size baked into steps and indices.
+pub fn nongeneric_output_tiler_src(name: &str, spec: &FilterSpec, dim: usize) -> String {
+    let k = spec.outputs_per_tile() as i64;
+    let mut gens = String::new();
+    for pos in 0..k {
+        let mut lower = vec![0i64, 0, 0];
+        lower[dim] = pos;
+        let mut step = vec![1i64, 1, 1];
+        step[dim] = k;
+        let index = match dim {
+            1 => format!("[[c, i/{k}, j, {pos}]]"),
+            2 => format!("[[c, i, j/{k}, {pos}]]"),
+            _ => unreachable!("filters act on rows or columns"),
+        };
+        gens.push_str(&format!(
+            "        ({} <= [c,i,j] <= . step {}) : input{};\n",
+            vec_lit(&lower),
+            vec_lit(&step),
+            index
+        ));
+    }
+    format!(
+        r#"
+int[*] {name}(int[*] output, int[*] input)
+{{
+    output = with {{
+{gens}    }} : modarray( output);
+    return( output);
+}}
+"#
+    )
+}
+
+/// A `main` for the requested part/variant.
+fn main_src(s: &Scenario, variant: Variant, part: Part) -> String {
+    let c = s.channels;
+    let (r, cc) = (s.rows, s.cols);
+    let h_out = s.h_out_cols();
+    let v_out = s.v_out_rows();
+    let ht = h_tilers(s);
+    let vt = v_tilers(s);
+
+    let h_stage = |input: &str| -> String {
+        let mut out = format!(
+            "    hin = input_tiler({input}, [{}], {}, {}, {}, {});\n",
+            ht.in_pattern,
+            vec_lit(&ht.repetition),
+            vec_lit(&ht.in_origin),
+            mat_lit(&ht.in_fitting),
+            mat_lit(&ht.in_paving),
+        );
+        out.push_str(&format!(
+            "    htiles = htask(hin, [{}], {});\n",
+            ht.out_pattern,
+            vec_lit(&ht.repetition)
+        ));
+        match variant {
+            Variant::Generic => {
+                out.push_str(&format!("    hzero = genarray( [{c},{r},{h_out}], 0);\n"));
+                out.push_str(&format!(
+                    "    hf = generic_output_tiler(hzero, htiles, [{}], {}, {}, {}, {});\n",
+                    ht.out_pattern,
+                    vec_lit(&ht.repetition),
+                    vec_lit(&ht.out_origin),
+                    mat_lit(&ht.out_fitting),
+                    mat_lit(&ht.out_paving),
+                ));
+            }
+            Variant::NonGeneric => {
+                out.push_str(&format!(
+                    "    hzero = with {{ (. <= iv <= .) : 0; }} : genarray( [{c},{r},{h_out}]);\n"
+                ));
+                out.push_str("    hf = nongeneric_output_tiler_h(hzero, htiles);\n");
+            }
+        }
+        out
+    };
+    let v_stage = |input: &str| -> String {
+        let mut out = format!(
+            "    vin = input_tiler({input}, [{}], {}, {}, {}, {});\n",
+            vt.in_pattern,
+            vec_lit(&vt.repetition),
+            vec_lit(&vt.in_origin),
+            mat_lit(&vt.in_fitting),
+            mat_lit(&vt.in_paving),
+        );
+        out.push_str(&format!(
+            "    vtiles = vtask(vin, [{}], {});\n",
+            vt.out_pattern,
+            vec_lit(&vt.repetition)
+        ));
+        match variant {
+            Variant::Generic => {
+                out.push_str(&format!("    vzero = genarray( [{c},{v_out},{h_out}], 0);\n"));
+                out.push_str(&format!(
+                    "    vf = generic_output_tiler(vzero, vtiles, [{}], {}, {}, {}, {});\n",
+                    vt.out_pattern,
+                    vec_lit(&vt.repetition),
+                    vec_lit(&vt.out_origin),
+                    mat_lit(&vt.out_fitting),
+                    mat_lit(&vt.out_paving),
+                ));
+            }
+            Variant::NonGeneric => {
+                out.push_str(&format!(
+                    "    vzero = with {{ (. <= iv <= .) : 0; }} : genarray( [{c},{v_out},{h_out}]);\n"
+                ));
+                out.push_str("    vf = nongeneric_output_tiler_v(vzero, vtiles);\n");
+            }
+        }
+        out
+    };
+
+    match part {
+        Part::Horizontal => format!(
+            "int[*] main(int[{c},{r},{cc}] frame)\n{{\n{}    return( hf);\n}}\n",
+            h_stage("frame")
+        ),
+        Part::Vertical => format!(
+            "int[*] main(int[{c},{r},{h_out}] hframe)\n{{\n{}    return( vf);\n}}\n",
+            v_stage("hframe")
+        ),
+        Part::Full => format!(
+            "int[*] main(int[{c},{r},{cc}] frame)\n{{\n{}{}    return( vf);\n}}\n",
+            h_stage("frame"),
+            v_stage("hf")
+        ),
+    }
+}
+
+/// Assemble the complete program text for a variant/part.
+pub fn program_src(s: &Scenario, variant: Variant, part: Part) -> String {
+    let mut src = String::new();
+    src.push_str(&input_tiler_src());
+    if part != Part::Vertical {
+        src.push_str(&task_src("htask", &s.h));
+    }
+    if part != Part::Horizontal {
+        src.push_str(&task_src("vtask", &s.v));
+    }
+    match variant {
+        Variant::Generic => src.push_str(&generic_output_tiler_src()),
+        Variant::NonGeneric => {
+            if part != Part::Vertical {
+                src.push_str(&nongeneric_output_tiler_src("nongeneric_output_tiler_h", &s.h, 2));
+            }
+            if part != Part::Horizontal {
+                src.push_str(&nongeneric_output_tiler_src("nongeneric_output_tiler_v", &s.v, 1));
+            }
+        }
+    }
+    src.push_str(&main_src(s, variant, part));
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdarray::NdArray;
+    use sac_lang::parser::parse_program;
+    use sac_lang::value::Value;
+    use sac_lang::Interp;
+
+    #[test]
+    fn all_variants_parse_and_typecheck() {
+        let s = Scenario::tiny();
+        for variant in [Variant::Generic, Variant::NonGeneric] {
+            for part in [Part::Horizontal, Part::Vertical, Part::Full] {
+                let src = program_src(&s, variant, part);
+                let prog = parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+                sac_lang::types::check_program(&prog)
+                    .unwrap_or_else(|e| panic!("{e}\n{src}"));
+            }
+        }
+    }
+
+    #[test]
+    fn generic_and_nongeneric_agree_with_reference() {
+        let s = Scenario::micro();
+        let gen = crate::frames::FrameGenerator::new(s.channels, s.rows, s.cols, 11);
+        let frame = gen.frame_rank3(0);
+
+        // Reference result per channel.
+        let expect: Vec<NdArray<i64>> = crate::frames::FrameGenerator::unstack(&frame)
+            .iter()
+            .map(|ch| crate::filter::downscale_channel(ch, &s.h, &s.v))
+            .collect();
+        let expect = crate::frames::FrameGenerator::stack(&expect);
+
+        for variant in [Variant::Generic, Variant::NonGeneric] {
+            let src = program_src(&s, variant, Part::Full);
+            let prog = parse_program(&src).unwrap();
+            let mut interp = Interp::new(&prog);
+            let got = interp.call("main", vec![Value::Arr(frame.clone())]).unwrap();
+            assert_eq!(
+                got.as_array().unwrap(),
+                &expect,
+                "variant {variant:?} diverges from the reference filters"
+            );
+        }
+    }
+
+    #[test]
+    fn per_filter_mains_compose_to_full() {
+        let s = Scenario::micro();
+        let gen = crate::frames::FrameGenerator::new(s.channels, s.rows, s.cols, 3);
+        let frame = gen.frame_rank3(0);
+        let run = |part: Part, arg: &NdArray<i64>| -> NdArray<i64> {
+            let src = program_src(&s, Variant::NonGeneric, part);
+            let prog = parse_program(&src).unwrap();
+            let mut interp = Interp::new(&prog);
+            interp
+                .call("main", vec![Value::Arr(arg.clone())])
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .clone()
+        };
+        let hf = run(Part::Horizontal, &frame);
+        let vf = run(Part::Vertical, &hf);
+        let full = run(Part::Full, &frame);
+        assert_eq!(vf, full);
+    }
+
+    #[test]
+    fn figure_sources_contain_paper_constructs() {
+        let s = Scenario::hd1080();
+        let src = program_src(&s, Variant::NonGeneric, Part::Full);
+        // Figure 4's tiler formula.
+        assert!(src.contains("MV( CAT( paving, fitting) , rep ++ pat)"), "{src}");
+        // Figure 5's interpolation.
+        assert!(src.contains("tmp0 / 6 - tmp0 % 6"), "{src}");
+        // Figure 7's stepped generators.
+        assert!(src.contains("step [1,1,3]) : input[[c, i, j/3, 0]]"), "{src}");
+        // Rank-3 HD shapes.
+        assert!(src.contains("int[3,1080,1920] frame"), "{src}");
+
+        let gsrc = program_src(&s, Variant::Generic, Part::Full);
+        // Figure 6's scatter nest.
+        assert!(gsrc.contains("for( k=0; k< out_pattern[[0]]; k++)"), "{gsrc}");
+        assert!(gsrc.contains("out_frame[iv] = input[[c,i,j,k]]"), "{gsrc}");
+    }
+}
+
+#[cfg(test)]
+mod pretty_roundtrip_tests {
+    use super::*;
+    use sac_lang::parser::parse_program;
+    use sac_lang::pretty::print_program;
+    use sac_lang::value::Value;
+    use sac_lang::Interp;
+
+    /// The printer round-trips the real generated downscaler sources not just
+    /// structurally but semantically.
+    #[test]
+    fn printed_downscaler_is_semantics_preserving() {
+        let s = Scenario::micro();
+        let frame = crate::frames::FrameGenerator::new(s.channels, s.rows, s.cols, 4)
+            .frame_rank3(0);
+        for variant in [Variant::Generic, Variant::NonGeneric] {
+            let src = program_src(&s, variant, Part::Full);
+            let p1 = parse_program(&src).unwrap();
+            let printed = print_program(&p1);
+            let p2 = parse_program(&printed)
+                .unwrap_or_else(|e| panic!("{variant:?}: {e}\n{printed}"));
+            assert_eq!(p1, p2, "{variant:?} AST changed through print/parse");
+
+            let mut i1 = Interp::new(&p1);
+            let mut i2 = Interp::new(&p2);
+            let v1 = i1.call("main", vec![Value::Arr(frame.clone())]).unwrap();
+            let v2 = i2.call("main", vec![Value::Arr(frame.clone())]).unwrap();
+            assert_eq!(v1, v2, "{variant:?} results diverge");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Lexicographic index iteration.
+
+use crate::Shape;
+
+/// Iterates every index of a [`Shape`] in row-major (lexicographic) order.
+///
+/// The iterator yields `Vec<usize>` index vectors; for hot loops prefer
+/// [`IndexIter::for_each_index`], which reuses a single buffer and avoids
+/// per-step allocation.
+///
+/// ```
+/// use mdarray::{IndexIter, Shape};
+/// let ixs: Vec<_> = IndexIter::new(&Shape::new(vec![2, 2])).collect();
+/// assert_eq!(ixs, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+/// ```
+pub struct IndexIter {
+    dims: Vec<usize>,
+    current: Vec<usize>,
+    done: bool,
+}
+
+impl IndexIter {
+    /// Start iterating the given shape. Empty shapes yield no indices;
+    /// rank-0 shapes yield exactly one empty index.
+    pub fn new(shape: &Shape) -> Self {
+        IndexIter {
+            dims: shape.dims().to_vec(),
+            current: vec![0; shape.rank()],
+            done: shape.is_empty(),
+        }
+    }
+
+    /// Visit every index without allocating per step.
+    pub fn for_each_index(shape: &Shape, mut f: impl FnMut(&[usize])) {
+        if shape.is_empty() {
+            return;
+        }
+        let dims = shape.dims();
+        let mut ix = vec![0usize; dims.len()];
+        loop {
+            f(&ix);
+            // Odometer increment from the last dimension.
+            let mut d = dims.len();
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                ix[d] += 1;
+                if ix[d] < dims[d] {
+                    break;
+                }
+                ix[d] = 0;
+            }
+        }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let out = self.current.clone();
+        let mut d = self.dims.len();
+        loop {
+            if d == 0 {
+                self.done = true;
+                break;
+            }
+            d -= 1;
+            self.current[d] += 1;
+            if self.current[d] < self.dims[d] {
+                break;
+            }
+            self.current[d] = 0;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterates_in_row_major_order() {
+        let s = Shape::new(vec![2, 3]);
+        let got: Vec<_> = IndexIter::new(&s).collect();
+        let want: Vec<Vec<usize>> = vec![
+            vec![0, 0],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 0],
+            vec![1, 1],
+            vec![1, 2],
+        ];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scalar_yields_single_empty_index() {
+        let got: Vec<_> = IndexIter::new(&Shape::scalar()).collect();
+        assert_eq!(got, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn empty_shape_yields_nothing() {
+        assert_eq!(IndexIter::new(&Shape::new(vec![0, 5])).count(), 0);
+    }
+
+    #[test]
+    fn for_each_matches_iterator() {
+        let s = Shape::new(vec![3, 2, 4]);
+        let mut collected = Vec::new();
+        IndexIter::for_each_index(&s, |ix| collected.push(ix.to_vec()));
+        let via_iter: Vec<_> = IndexIter::new(&s).collect();
+        assert_eq!(collected, via_iter);
+        assert_eq!(collected.len(), s.len());
+    }
+
+    #[test]
+    fn agrees_with_offsets() {
+        let s = Shape::new(vec![4, 5]);
+        for (off, ix) in IndexIter::new(&s).enumerate() {
+            assert_eq!(s.offset_of(&ix).unwrap(), off);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Borrowed, zero-copy sub-array views.
+
+use crate::{MdError, NdArray, Shape};
+
+/// A borrowed rectangular window into an [`NdArray`].
+///
+/// The view selects, for each dimension, a half-open range `[start, start+len)`
+/// of the parent array. Reads go through the parent's buffer with no copying.
+///
+/// ```
+/// use mdarray::{ArrayView, NdArray};
+/// let a = NdArray::from_fn([4, 4], |ix| (ix[0] * 4 + ix[1]) as i64);
+/// let v = ArrayView::window(&a, &[1, 1], &[2, 2]).unwrap();
+/// assert_eq!(v.get(&[0, 0]).unwrap(), &5);
+/// assert_eq!(v.to_array().as_slice(), &[5, 6, 9, 10]);
+/// ```
+pub struct ArrayView<'a, T> {
+    parent: &'a NdArray<T>,
+    start: Vec<usize>,
+    shape: Shape,
+}
+
+impl<'a, T: Clone> ArrayView<'a, T> {
+    /// A window of extents `lens` anchored at `start` in `parent`.
+    pub fn window(
+        parent: &'a NdArray<T>,
+        start: &[usize],
+        lens: &[usize],
+    ) -> Result<Self, MdError> {
+        if start.len() != parent.rank() || lens.len() != parent.rank() {
+            return Err(MdError::RankMismatch { expected: parent.rank(), actual: start.len() });
+        }
+        for d in 0..start.len() {
+            if start[d] + lens[d] > parent.shape().dim(d) {
+                return Err(MdError::OutOfBounds {
+                    index: start.to_vec(),
+                    shape: parent.shape().dims().to_vec(),
+                });
+            }
+        }
+        Ok(ArrayView { parent, start: start.to_vec(), shape: Shape::new(lens.to_vec()) })
+    }
+
+    /// The view's shape (the window extents).
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Checked element access relative to the window origin.
+    pub fn get(&self, index: &[usize]) -> Result<&T, MdError> {
+        self.shape.offset_of(index)?; // bounds within the window
+        let abs: Vec<usize> = index.iter().zip(&self.start).map(|(i, s)| i + s).collect();
+        self.parent.get(&abs)
+    }
+
+    /// Materialise the window as an owned array.
+    pub fn to_array(&self) -> NdArray<T> {
+        NdArray::from_fn(self.shape.clone(), |ix| self.get(ix).unwrap().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_validates_bounds() {
+        let a = NdArray::from_fn([3, 3], |ix| ix[0] * 3 + ix[1]);
+        assert!(ArrayView::window(&a, &[2, 2], &[2, 1]).is_err());
+        assert!(ArrayView::window(&a, &[0], &[1]).is_err());
+        assert!(ArrayView::window(&a, &[2, 2], &[1, 1]).is_ok());
+    }
+
+    #[test]
+    fn reads_are_relative_to_origin() {
+        let a = NdArray::from_fn([4, 5], |ix| (ix[0] * 5 + ix[1]) as i32);
+        let v = ArrayView::window(&a, &[2, 1], &[2, 3]).unwrap();
+        assert_eq!(*v.get(&[0, 0]).unwrap(), 11);
+        assert_eq!(*v.get(&[1, 2]).unwrap(), 18);
+        assert!(v.get(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn to_array_copies_window() {
+        let a = NdArray::from_fn([2, 4], |ix| (ix[0] * 4 + ix[1]) as i64);
+        let v = ArrayView::window(&a, &[0, 2], &[2, 2]).unwrap();
+        let w = v.to_array();
+        assert_eq!(w.shape().dims(), &[2, 2]);
+        assert_eq!(w.as_slice(), &[2, 3, 6, 7]);
+    }
+}

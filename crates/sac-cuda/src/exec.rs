@@ -1,0 +1,388 @@
+//! Execution of compiled SaC→CUDA programs on the simulated device.
+
+use crate::codegen::{CudaProgram, PlanOp};
+use crate::CudaError;
+use mdarray::NdArray;
+use sac_lang::ast::Program;
+use sac_lang::eval::Interp;
+use sac_lang::value::Value;
+use sac_lang::wir::{HostBinding, Step};
+use simgpu::device::{BufferId, Device};
+use simgpu::kir::KernelArg;
+
+/// Cost model for work that stays on the host CPU (the generic output
+/// tiler). Charged as simulated time so Figure 9's generic-variant numbers
+/// include the host scatter the paper describes.
+#[derive(Debug, Clone, Copy)]
+pub struct HostCost {
+    /// Simulated nanoseconds per abstract interpreter operation.
+    pub ns_per_op: f64,
+}
+
+impl Default for HostCost {
+    fn default() -> Self {
+        // Calibrated alongside the sequential cost model (see the bench
+        // crate's `calibration` module): one abstract op of the scatter nest
+        // corresponds to a fraction of a compiled-C nanosecond.
+        HostCost { ns_per_op: 0.12 }
+    }
+}
+
+/// Counters from one program execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Kernel launches performed.
+    pub launches: usize,
+    /// Host-to-device transfers.
+    pub h2d: usize,
+    /// Device-to-host transfers.
+    pub d2h: usize,
+    /// Host steps interpreted.
+    pub host_steps: usize,
+    /// Abstract host ops consumed by host steps.
+    pub host_ops: u64,
+}
+
+/// Execution options beyond the defaults of [`run_on_device`].
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct ExecOptions {
+    /// Host-fallback cost model.
+    pub host_cost: HostCost,
+    /// When non-zero: arrays whose leading dimension equals this value are
+    /// transferred as one chunk per leading slice (per colour channel), the
+    /// way the paper's runtimes stream frames — Tables I/II count 900
+    /// transfers for 300 three-channel frames.
+    pub channel_chunks: usize,
+}
+
+
+/// Execute `prog` once on `device` with the given input arrays.
+///
+/// All timing is simulated and recorded in the device's profiler; the
+/// returned array is the program result (bit-exact with the interpreter).
+pub fn run_on_device(
+    prog: &CudaProgram,
+    device: &mut Device,
+    inputs: &[NdArray<i64>],
+    host_cost: HostCost,
+) -> Result<(NdArray<i64>, RunStats), CudaError> {
+    run_on_device_opts(
+        prog,
+        device,
+        inputs,
+        ExecOptions { host_cost, channel_chunks: 0 },
+    )
+}
+
+/// [`run_on_device`] with explicit [`ExecOptions`].
+pub fn run_on_device_opts(
+    prog: &CudaProgram,
+    device: &mut Device,
+    inputs: &[NdArray<i64>],
+    opts: ExecOptions,
+) -> Result<(NdArray<i64>, RunStats), CudaError> {
+    let host_cost = opts.host_cost;
+    let flat = &prog.flat;
+    if inputs.len() != flat.inputs.len() {
+        return Err(CudaError::Host(format!(
+            "expected {} inputs, got {}",
+            flat.inputs.len(),
+            inputs.len()
+        )));
+    }
+    let mut host: Vec<Option<NdArray<i64>>> = vec![None; flat.arrays.len()];
+    for (&id, arr) in flat.inputs.iter().zip(inputs) {
+        if arr.shape().dims() != flat.arrays[id].shape.as_slice() {
+            return Err(CudaError::Host(format!(
+                "input '{}' has wrong shape",
+                flat.arrays[id].name
+            )));
+        }
+        host[id] = Some(arr.clone());
+    }
+    let mut dev: Vec<Option<BufferId>> = vec![None; flat.arrays.len()];
+    let mut stats = RunStats::default();
+
+    for op in &prog.plan {
+        match op {
+            PlanOp::Upload { array } => {
+                let arr = host[*array].as_ref().ok_or_else(|| {
+                    CudaError::Host(format!("upload of uncomputed array {array}"))
+                })?;
+                let data = to_i32(arr.as_slice())?;
+                let buf = match dev[*array] {
+                    Some(b) => b,
+                    None => {
+                        let b = device.malloc(data.len())?;
+                        dev[*array] = Some(b);
+                        b
+                    }
+                };
+                let chunks = chunks_for(&flat.arrays[*array].shape, opts.channel_chunks);
+                device.host2device_chunked(&data, buf, chunks)?;
+                stats.h2d += chunks;
+            }
+            PlanOp::Alloc { array } => {
+                if dev[*array].is_none() {
+                    let len: usize = flat.arrays[*array].shape.iter().product();
+                    dev[*array] = Some(device.malloc(len)?);
+                }
+            }
+            PlanOp::SeedCopy { kernel } | PlanOp::Launch { kernel } => {
+                let ck = &prog.kernels[*kernel];
+                let args: Vec<KernelArg> = ck
+                    .buffers
+                    .iter()
+                    .map(|&a| {
+                        dev[a]
+                            .map(|b| KernelArg::Buffer(b.0))
+                            .ok_or_else(|| CudaError::Host(format!("array {a} not on device")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                device.launch(&ck.kernel, ck.config, &args)?;
+                stats.launches += 1;
+            }
+            PlanOp::Download { array } => {
+                let buf = dev[*array]
+                    .ok_or_else(|| CudaError::Host(format!("array {array} not on device")))?;
+                let chunks = chunks_for(&flat.arrays[*array].shape, opts.channel_chunks);
+                let data = device.device2host_chunked(buf, chunks)?;
+                let arr = NdArray::from_vec(
+                    flat.arrays[*array].shape.clone(),
+                    data.into_iter().map(i64::from).collect(),
+                )
+                .map_err(|e| CudaError::Host(e.to_string()))?;
+                host[*array] = Some(arr);
+                stats.d2h += chunks;
+            }
+            PlanOp::HostStep { step } => {
+                let Step::Host { target, fun, bindings, .. } = &flat.steps[*step] else {
+                    return Err(CudaError::Host("plan points at a non-host step".into()));
+                };
+                let wrapper = Program { funs: vec![fun.clone()] };
+                let mut interp = Interp::new(&wrapper);
+                let args: Result<Vec<Value>, CudaError> = bindings
+                    .iter()
+                    .map(|b| match b {
+                        HostBinding::Array(a) => host[*a]
+                            .as_ref()
+                            .map(|arr| Value::Arr(arr.clone()))
+                            .ok_or_else(|| {
+                                CudaError::Host(format!("host step input {a} missing"))
+                            }),
+                        HostBinding::Const(v) => Ok(v.clone()),
+                    })
+                    .collect();
+                let out = interp
+                    .call(&fun.name, args?)
+                    .map_err(|e| CudaError::Host(e.to_string()))?;
+                let out = out.as_array().map_err(|e| CudaError::Host(e.to_string()))?.clone();
+                device.charge_host(&fun.name, interp.ops as f64 * host_cost.ns_per_op / 1000.0);
+                stats.host_ops += interp.ops;
+                stats.host_steps += 1;
+                host[*target] = Some(out);
+            }
+        }
+    }
+
+    // Free device buffers (frames are processed one at a time; the paper's
+    // runtime also releases per-frame buffers).
+    for buf in dev.into_iter().flatten() {
+        device.free(buf)?;
+    }
+
+    let result = host[flat.result]
+        .take()
+        .ok_or_else(|| CudaError::Host("result never reached the host".into()))?;
+    Ok((result, stats))
+}
+
+/// Transfers split per leading slice when the leading dimension matches the
+/// configured channel count.
+fn chunks_for(shape: &[usize], channel_chunks: usize) -> usize {
+    if channel_chunks > 1 && shape.len() >= 2 && shape[0] == channel_chunks {
+        channel_chunks
+    } else {
+        1
+    }
+}
+
+fn to_i32(data: &[i64]) -> Result<Vec<i32>, CudaError> {
+    data.iter()
+        .map(|&v| i32::try_from(v).map_err(|_| CudaError::Overflow { value: v }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile_flat_program;
+    use sac_lang::opt::{optimize, ArgDesc, OptConfig};
+    use sac_lang::parser::parse_program;
+
+    /// End-to-end: SaC source -> optimiser -> CUDA backend -> simulator,
+    /// checked against the AST interpreter.
+    fn run_src(
+        src: &str,
+        inputs: &[NdArray<i64>],
+        cfg: &OptConfig,
+    ) -> (NdArray<i64>, RunStats, CudaProgram) {
+        let prog = parse_program(src).unwrap();
+        let args: Vec<ArgDesc> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| ArgDesc::Array {
+                name: format!("in{i}"),
+                shape: a.shape().dims().to_vec(),
+            })
+            .collect();
+        let (flat, _) = optimize(&prog, "main", &args, cfg).unwrap();
+        let cuda = compile_flat_program(&flat).unwrap();
+        let mut device = Device::gtx480();
+        let (out, stats) = run_on_device(&cuda, &mut device, inputs, HostCost::default()).unwrap();
+        assert!(device.now_us() > 0.0);
+        (out, stats, cuda)
+    }
+
+    fn interp_result(src: &str, inputs: &[NdArray<i64>]) -> NdArray<i64> {
+        let prog = parse_program(src).unwrap();
+        let mut i = Interp::new(&prog);
+        let args = inputs.iter().map(|a| Value::Arr(a.clone())).collect();
+        i.call("main", args).unwrap().as_array().unwrap().clone()
+    }
+
+    #[test]
+    fn gpu_matches_interpreter_for_with_loop() {
+        let src = r#"
+int[*] main(int[8,16] a)
+{
+    out = with {
+        ([0,0] <= iv < [8,16] step [1,2]) : a[iv] * 2;
+        ([0,1] <= iv < [8,16] step [1,2]) : a[iv] + 1000;
+    } : genarray( [8,16], 0);
+    return( out);
+}
+"#;
+        let a = NdArray::from_fn([8usize, 16], |ix| (ix[0] * 16 + ix[1]) as i64);
+        let (out, stats, prog) = run_src(src, std::slice::from_ref(&a), &OptConfig::default());
+        assert_eq!(out, interp_result(src, &[a]));
+        assert_eq!(stats.launches, 2);
+        assert_eq!(stats.h2d, 1);
+        assert_eq!(stats.d2h, 1);
+        assert_eq!(prog.host_steps_per_run(), 0);
+    }
+
+    #[test]
+    fn host_fallback_roundtrips_through_device() {
+        // GPU step, then a host for-loop, matching the generic output tiler
+        // flow: H2D, kernel, D2H (forced), host scatter.
+        let src = r#"
+int[*] main(int[16] a)
+{
+    doubled = with { (. <= iv <= .) : a[iv] * 2; } : genarray( [16], 0);
+    out = with { (. <= iv <= .) : 0; } : genarray( [16]);
+    for( i=0; i< 16; i++) {
+        out[[i]] = doubled[[i]] + 1;
+    }
+    return( out);
+}
+"#;
+        let a = NdArray::from_fn([16usize], |ix| ix[0] as i64);
+        let (out, stats, _) = run_src(src, std::slice::from_ref(&a), &OptConfig::default());
+        assert_eq!(out, interp_result(src, &[a]));
+        assert_eq!(stats.host_steps, 1);
+        // The intermediate AND the zero seed came back for the host step.
+        assert!(stats.d2h >= 2);
+        assert!(stats.host_ops > 0);
+    }
+
+    #[test]
+    fn folded_pipeline_runs_fewer_kernels() {
+        let src = r#"
+int[*] gather(int[4,16] f)
+{
+    out = with {
+        (. <= rep <= .) {
+            tile = with {
+                (. <= pat <= .) : f[[rep[0], (rep[1] * 4 + pat[0]) % 16]];
+            } : genarray( [6], 0);
+        } : tile;
+    } : genarray( [4,4]);
+    return( out);
+}
+int[*] main(int[4,16] frame)
+{
+    inter = gather(frame);
+    out = with {
+        (. <= rep <= .) : inter[[rep[0], rep[1], 0]] + inter[[rep[0], rep[1], 1]];
+    } : genarray( [4,4]);
+    return( out);
+}
+"#;
+        let frame = NdArray::from_fn([4usize, 16], |ix| (ix[0] * 16 + ix[1]) as i64);
+        let expect = interp_result(src, std::slice::from_ref(&frame));
+
+        let (out_folded, stats_folded, _) = run_src(src, std::slice::from_ref(&frame), &OptConfig::default());
+        let (out_raw, stats_raw, _) = run_src(
+            src,
+            &[frame],
+            &OptConfig { with_loop_folding: false, resolve_modulo: false },
+        );
+        assert_eq!(out_folded, expect);
+        assert_eq!(out_raw, expect);
+        assert!(stats_folded.launches < stats_raw.launches);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let src = r#"
+int[*] main(int[2] a)
+{
+    out = with { (. <= iv <= .) : a[iv]; } : genarray( [2], 0);
+    return( out);
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let (flat, _) = optimize(
+            &prog,
+            "main",
+            &[ArgDesc::Array { name: "a".into(), shape: vec![2] }],
+            &OptConfig::default(),
+        )
+        .unwrap();
+        let cuda = compile_flat_program(&flat).unwrap();
+        let mut device = Device::gtx480();
+        let too_big = NdArray::from_vec([2usize], vec![1, i64::from(i32::MAX) + 1]).unwrap();
+        let err = run_on_device(&cuda, &mut device, &[too_big], HostCost::default());
+        assert!(matches!(err, Err(CudaError::Overflow { .. })));
+    }
+
+    #[test]
+    fn profiler_records_kernels_and_transfers() {
+        let src = r#"
+int[*] main(int[32] a)
+{
+    out = with { (. <= iv <= .) : a[iv] * a[iv]; } : genarray( [32], 0);
+    return( out);
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let (flat, _) = optimize(
+            &prog,
+            "main",
+            &[ArgDesc::Array { name: "a".into(), shape: vec![32] }],
+            &OptConfig::default(),
+        )
+        .unwrap();
+        let cuda = compile_flat_program(&flat).unwrap();
+        let mut device = Device::gtx480();
+        let a = NdArray::from_fn([32usize], |ix| ix[0] as i64);
+        run_on_device(&cuda, &mut device, &[a], HostCost::default()).unwrap();
+        let names: Vec<String> =
+            device.profiler.records().map(|r| r.name.clone()).collect();
+        assert!(names.iter().any(|n| n == "memcpyHtoDasync"), "{names:?}");
+        assert!(names.iter().any(|n| n == "memcpyDtoHasync"), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("_k0")), "{names:?}");
+    }
+}

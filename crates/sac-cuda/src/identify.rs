@@ -1,0 +1,124 @@
+//! CUDA-WITH-loop identification.
+//!
+//! The paper: "Inherent limitations of the CUDA architecture and the
+//! programming model […] render certain WITH-loops un-parallelisable. The
+//! CUDA backend therefore only parallelises the outermost WITH-loops
+//! containing no function invocations."
+//!
+//! In the flat WIR those criteria are structural: every [`Step::With`] is an
+//! outermost, invocation-free, data-parallel loop (nesting was scalarised and
+//! calls were inlined by the optimiser); every [`Step::Host`] is exactly a
+//! construct that failed those criteria. This module classifies steps and
+//! reports why, which the reproduction harness prints alongside Figure 9.
+
+use sac_lang::wir::{FlatProgram, Step};
+
+/// Classification of one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepClass {
+    /// Eligible: becomes `generators` CUDA kernels.
+    CudaWithLoop {
+        /// Number of kernels this step will produce (one per generator).
+        generators: usize,
+        /// Total threads across those kernels.
+        threads: u64,
+    },
+    /// Stays on the host.
+    Host {
+        /// The lowering-time reason.
+        reason: String,
+    },
+}
+
+/// Classify every step of a flat program, in execution order.
+pub fn classify(p: &FlatProgram) -> Vec<(String, StepClass)> {
+    p.steps
+        .iter()
+        .map(|s| match s {
+            Step::With { target, with } => (
+                p.arrays[*target].name.clone(),
+                StepClass::CudaWithLoop {
+                    generators: with.generators.len(),
+                    threads: with.generators.iter().map(|g| g.points()).sum(),
+                },
+            ),
+            Step::Host { target, reason, .. } => {
+                (p.arrays[*target].name.clone(), StepClass::Host { reason: reason.clone() })
+            }
+        })
+        .collect()
+}
+
+/// Total kernel launches one execution of the program will perform.
+pub fn kernel_count(p: &FlatProgram) -> usize {
+    p.generator_count()
+}
+
+/// Does the program run entirely on the GPU (no host fallbacks)?
+pub fn fully_offloaded(p: &FlatProgram) -> bool {
+    p.steps.iter().all(|s| matches!(s, Step::With { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_lang::wir::{FlatGen, FlatWith, HostBinding, SymExpr};
+
+    fn sample() -> FlatProgram {
+        let mut p = FlatProgram::default();
+        let a = p.declare("a", vec![8]);
+        let b = p.declare("b", vec![8]);
+        let c = p.declare("c", vec![8]);
+        p.inputs.push(a);
+        p.result = c;
+        p.steps.push(Step::With {
+            target: b,
+            with: FlatWith {
+                shape: vec![8],
+                default: 0,
+                modarray_src: None,
+                generators: vec![
+                    FlatGen::dense(&[8], SymExpr::Const(1)),
+                    FlatGen {
+                        lower: vec![0],
+                        upper: vec![4],
+                        step: vec![1],
+                        width: vec![1],
+                        body: SymExpr::Const(2),
+                    },
+                ],
+            },
+        });
+        p.steps.push(Step::Host {
+            target: c,
+            fun: sac_lang::ast::FunDef {
+                name: "h".into(),
+                ret: sac_lang::ast::TypeAnn::ArrAnyRank,
+                params: vec![],
+                body: vec![],
+            },
+            bindings: vec![HostBinding::Array(b)],
+            reason: "for-loop nest".into(),
+        });
+        p
+    }
+
+    #[test]
+    fn classifies_with_and_host_steps() {
+        let p = sample();
+        let classes = classify(&p);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(
+            classes[0].1,
+            StepClass::CudaWithLoop { generators: 2, threads: 12 }
+        );
+        assert!(matches!(classes[1].1, StepClass::Host { .. }));
+    }
+
+    #[test]
+    fn kernel_count_is_generator_count() {
+        let p = sample();
+        assert_eq!(kernel_count(&p), 2);
+        assert!(!fully_offloaded(&p));
+    }
+}

@@ -1,0 +1,267 @@
+//! Abstract syntax for the SaC subset.
+
+/// Shape-class type annotations (`int`, `int[.]`, `int[.,.]`, `int[*]`,
+/// `int[1080,1920]`). SaC's shape classes: AKS (known shape), AKD (known
+/// rank/dimensionality), AUD (unknown rank).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeAnn {
+    /// Scalar `int`.
+    Int,
+    /// `int[*]` — any rank (AUD).
+    ArrAnyRank,
+    /// `int[.]`, `int[.,.]`, … — known rank, unknown shape (AKD).
+    ArrRank(usize),
+    /// `int[1080,1920]` — fully known shape (AKS).
+    ArrShape(Vec<usize>),
+}
+
+/// Binary operators. `%` is Euclidean modulo (dialect note in the crate docs);
+/// `++` concatenates vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    /// `+` (elementwise on arrays, broadcasting scalars).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/` (truncating toward zero, as in C).
+    Div,
+    /// `%` (Euclidean: result in `[0, |rhs|)` for positive rhs).
+    Mod,
+    /// `++` vector concatenation.
+    Concat,
+    /// `<` (scalar, 0/1).
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Var(String),
+    /// Vector literal `[a, b, c]` (or matrix literal `[[..],[..]]`).
+    VecLit(Vec<Expr>),
+    /// Binary operation.
+    Bin(BinKind, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Function or builtin call (`MV`, `CAT`, `shape`, `dim`, user functions).
+    Call(String, Vec<Expr>),
+    /// Array selection `a[e]`. `e` may be a scalar (select along the first
+    /// axis) or an index vector; a full-rank vector selects an element, a
+    /// shorter one a sub-array. `a[[i,j]]` parses to this with a vector
+    /// literal index.
+    Select(Box<Expr>, Box<Expr>),
+    /// A WITH-loop.
+    With(Box<WithLoop>),
+    /// Statement block with a result value. Not part of the surface syntax —
+    /// produced by the function inliner.
+    Block(Vec<Stmt>, Box<Expr>),
+}
+
+/// Left-hand sides of assignments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// `x = …`.
+    Var(String),
+    /// `x[e] = …` (element or sub-array update; SaC's `modarray` sugar).
+    Index(String, Expr),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Assignment.
+    Assign(LValue, Expr),
+    /// `for (v = init; v < limit; v++) { body }` — the only loop form the
+    /// paper's code uses (the generic output tiler's scatter nest).
+    For {
+        /// Loop variable.
+        var: String,
+        /// Initial value.
+        init: Expr,
+        /// Exclusive upper bound.
+        limit: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return (e);`
+    Return(Expr),
+}
+
+/// The index variable of a generator: `iv` or destructured `[i, j]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenVar {
+    /// A single name bound to the full index vector.
+    Name(String),
+    /// Component names, each bound to a scalar.
+    Components(Vec<String>),
+}
+
+impl GenVar {
+    /// Rank implied by a component binding, if destructured.
+    pub fn rank(&self) -> Option<usize> {
+        match self {
+            GenVar::Name(_) => None,
+            GenVar::Components(cs) => Some(cs.len()),
+        }
+    }
+}
+
+/// One generator of a WITH-loop: an index range plus the expression evaluated
+/// at each index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generator {
+    /// Lower bound (inclusive); `None` is the `.` "whole range" marker.
+    pub lower: Option<Expr>,
+    /// Upper bound; `None` is `.`.
+    pub upper: Option<Expr>,
+    /// Whether the written upper bound was `<=` (inclusive).
+    pub upper_inclusive: bool,
+    /// Optional `step` filter.
+    pub step: Option<Expr>,
+    /// Optional `width` filter (requires `step`).
+    pub width: Option<Expr>,
+    /// The bound index variable(s).
+    pub var: GenVar,
+    /// Local bindings evaluated per index.
+    pub body: Vec<Stmt>,
+    /// The cell value.
+    pub yield_expr: Expr,
+}
+
+/// The operation part of a WITH-loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WithOp {
+    /// `genarray(shape)` / `genarray(shape, default)`: build a new array.
+    Genarray {
+        /// The frame shape of the result.
+        shape: Expr,
+        /// Default cell value for uncovered indices (0 when omitted).
+        default: Option<Expr>,
+    },
+    /// `modarray(a)`: copy `a`, overwrite covered cells.
+    Modarray(Expr),
+    /// `fold(fun, neutral)`: reduce every generator cell with a binary
+    /// builtin (`+`, `*`, `min`, `max`), starting from the neutral element —
+    /// SaC's third WITH-loop operation. Not used by the paper's figures, so
+    /// the CUDA backend declines it (host fallback), but the language level
+    /// supports it.
+    Fold {
+        /// The combining builtin: `"+"`, `"*"`, `"min"` or `"max"`.
+        fun: String,
+        /// The neutral element expression.
+        neutral: Expr,
+    },
+}
+
+/// A WITH-loop: one or more generators and an operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithLoop {
+    /// The generators, in source order. Later generators win overlaps.
+    pub generators: Vec<Generator>,
+    /// `genarray` / `modarray`.
+    pub op: WithOp,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunDef {
+    /// Function name.
+    pub name: String,
+    /// Return type annotation.
+    pub ret: TypeAnn,
+    /// Parameters: annotation + name.
+    pub params: Vec<(TypeAnn, String)>,
+    /// Body statements; must end in (or reach) a `return`.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program: a set of functions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Functions in declaration order.
+    pub funs: Vec<FunDef>,
+}
+
+impl Program {
+    /// Find a function by name.
+    pub fn fun(&self, name: &str) -> Option<&FunDef> {
+        self.funs.iter().find(|f| f.name == name)
+    }
+}
+
+impl std::fmt::Display for TypeAnn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeAnn::Int => write!(f, "int"),
+            TypeAnn::ArrAnyRank => write!(f, "int[*]"),
+            TypeAnn::ArrRank(r) => {
+                write!(f, "int[")?;
+                for i in 0..*r {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, ".")?;
+                }
+                write!(f, "]")
+            }
+            TypeAnn::ArrShape(dims) => {
+                write!(f, "int[")?;
+                for (i, d) in dims.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{d}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_annotations_display_like_sac() {
+        assert_eq!(TypeAnn::Int.to_string(), "int");
+        assert_eq!(TypeAnn::ArrAnyRank.to_string(), "int[*]");
+        assert_eq!(TypeAnn::ArrRank(2).to_string(), "int[.,.]");
+        assert_eq!(TypeAnn::ArrShape(vec![1080, 1920]).to_string(), "int[1080,1920]");
+    }
+
+    #[test]
+    fn genvar_rank() {
+        assert_eq!(GenVar::Name("iv".into()).rank(), None);
+        assert_eq!(GenVar::Components(vec!["i".into(), "j".into()]).rank(), Some(2));
+    }
+
+    #[test]
+    fn program_lookup() {
+        let p = Program {
+            funs: vec![FunDef {
+                name: "main".into(),
+                ret: TypeAnn::Int,
+                params: vec![],
+                body: vec![Stmt::Return(Expr::Int(0))],
+            }],
+        };
+        assert!(p.fun("main").is_some());
+        assert!(p.fun("nope").is_none());
+    }
+}

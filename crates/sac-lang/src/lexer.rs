@@ -1,0 +1,259 @@
+//! Hand-written lexer for the SaC subset.
+
+use crate::token::{Tok, Token};
+use crate::SacError;
+
+/// Tokenise SaC source. Supports `//` line comments and `/* */` block
+/// comments (non-nesting), decimal integer literals, and the operator set of
+//  the paper's figures.
+pub fn lex(src: &str) -> Result<Vec<Token>, SacError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    macro_rules! push {
+        ($k:expr) => {
+            toks.push(Token { kind: $k, line })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(SacError::Lex { line, msg: "unterminated comment".into() });
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v = text.parse::<i64>().map_err(|_| SacError::Lex {
+                    line,
+                    msg: format!("integer literal '{text}' out of range"),
+                })?;
+                push!(Tok::Int(v));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "with" => Tok::With,
+                    "genarray" => Tok::Genarray,
+                    "modarray" => Tok::Modarray,
+                    "fold" => Tok::Fold,
+                    "step" => Tok::Step,
+                    "width" => Tok::Width,
+                    "return" => Tok::Return,
+                    "for" => Tok::For,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                push!(kind);
+            }
+            '(' => {
+                push!(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::RParen);
+                i += 1;
+            }
+            '{' => {
+                push!(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace);
+                i += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma);
+                i += 1;
+            }
+            ';' => {
+                push!(Tok::Semi);
+                i += 1;
+            }
+            ':' => {
+                push!(Tok::Colon);
+                i += 1;
+            }
+            '+' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'+' {
+                    push!(Tok::PlusPlus);
+                    i += 2;
+                } else {
+                    push!(Tok::Plus);
+                    i += 1;
+                }
+            }
+            '-' => {
+                push!(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                push!(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                push!(Tok::Slash);
+                i += 1;
+            }
+            '%' => {
+                push!(Tok::Percent);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Le);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::Ge);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::EqEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Assign);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push!(Tok::NotEq);
+                    i += 2;
+                } else {
+                    return Err(SacError::Lex { line, msg: "unexpected '!'".into() });
+                }
+            }
+            '.' => {
+                push!(Tok::Dot);
+                i += 1;
+            }
+            other => {
+                return Err(SacError::Lex { line, msg: format!("unexpected character '{other}'") })
+            }
+        }
+    }
+    toks.push(Token { kind: Tok::Eof, line });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        let k = kinds("with genarray modarray step width frame");
+        assert_eq!(
+            k,
+            vec![
+                Tok::With,
+                Tok::Genarray,
+                Tok::Modarray,
+                Tok::Step,
+                Tok::Width,
+                Tok::Ident("frame".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let k = kinds("a ++ b + c <= d < e == f != g");
+        assert!(k.contains(&Tok::PlusPlus));
+        assert!(k.contains(&Tok::Le));
+        assert!(k.contains(&Tok::Lt));
+        assert!(k.contains(&Tok::EqEq));
+        assert!(k.contains(&Tok::NotEq));
+    }
+
+    #[test]
+    fn skips_comments_and_counts_lines() {
+        let toks = lex("// comment\nx /* multi\nline */ y").unwrap();
+        assert_eq!(toks[0].kind, Tok::Ident("x".into()));
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[1].kind, Tok::Ident("y".into()));
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(matches!(lex("/* oops"), Err(SacError::Lex { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(matches!(lex("a $ b"), Err(SacError::Lex { .. })));
+    }
+
+    #[test]
+    fn lexes_integers() {
+        assert_eq!(kinds("1080 1920")[..2], [Tok::Int(1080), Tok::Int(1920)]);
+    }
+
+    #[test]
+    fn dots_in_generators() {
+        let k = kinds("( . <= iv <= . )");
+        assert_eq!(k[1], Tok::Dot);
+        assert_eq!(k[5], Tok::Dot);
+    }
+}

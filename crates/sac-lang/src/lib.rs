@@ -1,0 +1,124 @@
+#![warn(missing_docs)]
+
+//! # sac-lang — a Single Assignment C (SaC) front end and optimiser
+//!
+//! SaC is a functional, data-parallel array language with C-like syntax. This
+//! crate implements the subset the paper exercises (its Figures 4–8):
+//!
+//! * C-like functions over `int` and multidimensional `int` arrays with
+//!   shape-class types `int`, `int[.]`, `int[.,.]`, `int[*]`, `int[1080,1920]`,
+//! * the **WITH-loop** construct with multiple generators
+//!   (`(lb <= iv < ub step s width w)`), `genarray`/`modarray`/`fold`
+//!   operations, nested WITH-loops and vector index variables,
+//! * vector arithmetic (`+`, `%`, `++` concatenation), `shape`, and the
+//!   paper's `MV` (matrix–vector product) and `CAT` (matrix concatenation)
+//!   helpers,
+//! * C-style `for` loops (used by the paper's *generic output tiler* — and,
+//!   exactly as in the paper, opaque to the parallelising optimiser),
+//! * `return` statements.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! source ──lexer/parser──► AST ──typecheck──► AST
+//!   ──inline ∘ constant-fold──► AST
+//!   ──lower (scalarise nested WITH-loops, vectors → symbolic scalars)──► FlatProgram
+//!   ──WITH-loop folding (fold + generator splitting)──► FlatProgram
+//!   ──► sac-cuda backend (one kernel per generator)  |  flat evaluator (SAC-Seq)
+//! ```
+//!
+//! The AST interpreter ([`eval`]) is the semantic reference; every optimisation
+//! is validated against it in tests. The flat evaluator ([`wir`]) executes
+//! lowered programs quickly and counts operations for the sequential cost
+//! model.
+//!
+//! ## Dialect notes (divergences from full SaC, documented per DESIGN.md)
+//!
+//! * `%` is Euclidean (result has the sign of the divisor): the tiler formulae
+//!   wrap negative offsets modulo array shapes, and the paper's
+//!   `iv = off % shape(in_frame)` relies on wrap semantics.
+//! * `genarray(shp)` without a default uses 0 as the default cell value.
+//! * Only `int` element types; no overloading, no modules, no type inference
+//!   beyond shapes.
+
+//! ## Example
+//!
+//! ```
+//! use sac_lang::opt::{optimize, ArgDesc, OptConfig};
+//! use sac_lang::value::Value;
+//! use mdarray::NdArray;
+//!
+//! let src = r#"
+//! int[*] main(int[8] a)
+//! {
+//!     out = with { (. <= iv <= .) : a[iv] * 2 + 1; } : genarray( shape(a), 0);
+//!     return( out);
+//! }
+//! "#;
+//! let prog = sac_lang::parse_program(src).unwrap();
+//!
+//! // Interpret directly…
+//! let a = NdArray::from_fn([8usize], |ix| ix[0] as i64);
+//! let mut interp = sac_lang::Interp::new(&prog);
+//! let v = interp.call("main", vec![Value::Arr(a.clone())]).unwrap();
+//!
+//! // …or optimise to the flat form and evaluate that.
+//! let args = [ArgDesc::Array { name: "a".into(), shape: vec![8] }];
+//! let (flat, _) = optimize(&prog, "main", &args, &OptConfig::default()).unwrap();
+//! let w = flat.run(&[a], &mut 0).unwrap();
+//! assert_eq!(v, Value::Arr(w));
+//! ```
+
+pub mod ast;
+pub mod builtins;
+pub mod eval;
+pub mod lexer;
+pub mod opt;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+pub mod types;
+pub mod value;
+pub mod wir;
+
+pub use ast::{Expr, FunDef, Generator, Program, Stmt, WithLoop, WithOp};
+pub use eval::Interp;
+pub use parser::parse_program;
+pub use value::Value;
+pub use wir::{FlatGen, FlatProgram, FlatWith, SymExpr};
+
+/// Errors from any stage of the SaC pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum SacError {
+    /// Lexical error with 1-based line number.
+    Lex { line: usize, msg: String },
+    /// Parse error with 1-based line number.
+    Parse { line: usize, msg: String },
+    /// Static checking error.
+    Type { msg: String },
+    /// Runtime error in the interpreter.
+    Eval { msg: String },
+    /// A construct could not be lowered to the flat data-parallel form.
+    ///
+    /// This is not fatal to a program — it is the mechanism by which e.g. the
+    /// generic output tiler's `for` nest "stays on the host" — but lowering of
+    /// that function stops here.
+    NotLowerable { construct: String, msg: String },
+}
+
+impl std::fmt::Display for SacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SacError::Lex { line, msg } => write!(f, "lex error (line {line}): {msg}"),
+            SacError::Parse { line, msg } => write!(f, "parse error (line {line}): {msg}"),
+            SacError::Type { msg } => write!(f, "type error: {msg}"),
+            SacError::Eval { msg } => write!(f, "evaluation error: {msg}"),
+            SacError::NotLowerable { construct, msg } => {
+                write!(f, "cannot lower {construct}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SacError {}

@@ -1,0 +1,343 @@
+//! Constant folding over scalars, vectors and matrices.
+//!
+//! After inlining, the downscaler's tiler parameters (`origin`, `fitting`,
+//! `paving`, pattern and repetition shapes) are literal vectors/matrices bound
+//! to locals. This pass propagates such literals and folds the arithmetic the
+//! tiler formulae perform on them (`CAT(paving, fitting)` becomes a matrix
+//! literal; `shape(...)` of known-shape expressions becomes a vector literal),
+//! so that lowering sees concrete bounds everywhere the paper's compiler
+//! would.
+
+use crate::ast::*;
+use crate::builtins::{call_builtin, is_builtin};
+use crate::value::Value;
+use mdarray::NdArray;
+use std::collections::HashMap;
+
+/// Fold constants within a single (typically inlined) function.
+pub fn fold_function(f: &FunDef) -> FunDef {
+    let mut env: HashMap<String, Value> = HashMap::new();
+    let body = fold_stmts(&f.body, &mut env);
+    FunDef { name: f.name.clone(), ret: f.ret.clone(), params: f.params.clone(), body }
+}
+
+fn fold_stmts(stmts: &[Stmt], env: &mut HashMap<String, Value>) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::Assign(LValue::Var(n), e) => {
+                let fe = fold_expr(e, env);
+                match expr_to_value(&fe) {
+                    Some(v) if representable(&v) => {
+                        env.insert(n.clone(), v);
+                    }
+                    _ => {
+                        env.remove(n);
+                    }
+                }
+                out.push(Stmt::Assign(LValue::Var(n.clone()), fe));
+            }
+            Stmt::Assign(LValue::Index(n, ix), e) => {
+                // The variable is mutated: forget any constant binding.
+                env.remove(n);
+                out.push(Stmt::Assign(
+                    LValue::Index(n.clone(), fold_expr(ix, env)),
+                    fold_expr(e, env),
+                ));
+            }
+            Stmt::For { var, init, limit, body } => {
+                let init = fold_expr(init, env);
+                let limit = fold_expr(limit, env);
+                // The loop variable and anything assigned inside vary.
+                let mut inner = env.clone();
+                inner.remove(var);
+                forget_assigned(body, &mut inner);
+                let body = fold_stmts(body, &mut inner);
+                forget_assigned(&body, env);
+                out.push(Stmt::For { var: var.clone(), init, limit, body });
+            }
+            Stmt::Return(e) => out.push(Stmt::Return(fold_expr(e, env))),
+        }
+    }
+    out
+}
+
+fn forget_assigned(stmts: &[Stmt], env: &mut HashMap<String, Value>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(LValue::Var(n), _) | Stmt::Assign(LValue::Index(n, _), _) => {
+                env.remove(n);
+            }
+            Stmt::For { var, body, .. } => {
+                env.remove(var);
+                forget_assigned(body, env);
+            }
+            Stmt::Return(_) => {}
+        }
+    }
+}
+
+fn fold_expr(e: &Expr, env: &HashMap<String, Value>) -> Expr {
+    match e {
+        Expr::Int(_) => e.clone(),
+        Expr::Var(n) => match env.get(n) {
+            Some(v) => value_to_expr(v),
+            None => e.clone(),
+        },
+        Expr::VecLit(es) => Expr::VecLit(es.iter().map(|x| fold_expr(x, env)).collect()),
+        Expr::Neg(x) => {
+            let fx = fold_expr(x, env);
+            if let Some(Value::Int(v)) = expr_to_value(&fx) {
+                Expr::Int(-v)
+            } else {
+                Expr::Neg(Box::new(fx))
+            }
+        }
+        Expr::Bin(op, l, r) => {
+            let fl = fold_expr(l, env);
+            let fr = fold_expr(r, env);
+            if let (Some(lv), Some(rv)) = (expr_to_value(&fl), expr_to_value(&fr)) {
+                // Reuse the interpreter's binop via a tiny program-free eval.
+                if let Ok(v) = crate::eval::fold_binop(*op, &lv, &rv) {
+                    return value_to_expr(&v);
+                }
+            }
+            Expr::Bin(*op, Box::new(fl), Box::new(fr))
+        }
+        Expr::Call(name, args) => {
+            let fargs: Vec<Expr> = args.iter().map(|a| fold_expr(a, env)).collect();
+            if is_builtin(name) {
+                let vals: Option<Vec<Value>> = fargs.iter().map(expr_to_value).collect();
+                if let Some(vals) = vals {
+                    if let Ok(v) = call_builtin(name, &vals) {
+                        if representable(&v) {
+                            return value_to_expr(&v);
+                        }
+                    }
+                }
+            }
+            Expr::Call(name.clone(), fargs)
+        }
+        Expr::Select(a, ix) => {
+            let fa = fold_expr(a, env);
+            let fix = fold_expr(ix, env);
+            if let (Some(Value::Arr(arr)), Some(iv)) = (expr_to_value(&fa), expr_to_value(&fix)) {
+                let index = match &iv {
+                    Value::Int(i) => Some(vec![*i]),
+                    Value::Arr(_) => iv.as_ivec().ok(),
+                };
+                if let Some(index) = index {
+                    if let Ok(v) = crate::value::select_vec(&arr, &index) {
+                        if representable(&v) {
+                            return value_to_expr(&v);
+                        }
+                    }
+                }
+            }
+            Expr::Select(Box::new(fa), Box::new(fix))
+        }
+        Expr::With(w) => {
+            let generators = w
+                .generators
+                .iter()
+                .map(|g| {
+                    // Generator variables shadow any constant of the same name.
+                    let mut inner = env.clone();
+                    match &g.var {
+                        GenVar::Name(n) => {
+                            inner.remove(n);
+                        }
+                        GenVar::Components(ns) => {
+                            for n in ns {
+                                inner.remove(n);
+                            }
+                        }
+                    }
+                    forget_assigned(&g.body, &mut inner);
+                    Generator {
+                        lower: g.lower.as_ref().map(|x| fold_expr(x, env)),
+                        upper: g.upper.as_ref().map(|x| fold_expr(x, env)),
+                        upper_inclusive: g.upper_inclusive,
+                        step: g.step.as_ref().map(|x| fold_expr(x, env)),
+                        width: g.width.as_ref().map(|x| fold_expr(x, env)),
+                        var: g.var.clone(),
+                        body: fold_stmts(&g.body, &mut inner.clone()),
+                        yield_expr: {
+                            let mut benv = inner.clone();
+                            let body = fold_stmts(&g.body, &mut benv);
+                            let _ = body;
+                            fold_expr(&g.yield_expr, &benv)
+                        },
+                    }
+                })
+                .collect();
+            let op = match &w.op {
+                WithOp::Genarray { shape, default } => WithOp::Genarray {
+                    shape: fold_expr(shape, env),
+                    default: default.as_ref().map(|d| fold_expr(d, env)),
+                },
+                WithOp::Modarray(src) => WithOp::Modarray(fold_expr(src, env)),
+                WithOp::Fold { fun, neutral } => WithOp::Fold {
+                    fun: fun.clone(),
+                    neutral: fold_expr(neutral, env),
+                },
+            };
+            Expr::With(Box::new(WithLoop { generators, op }))
+        }
+        Expr::Block(stmts, r) => {
+            let mut inner = env.clone();
+            let stmts = fold_stmts(stmts, &mut inner);
+            let r = fold_expr(r, &inner);
+            Expr::Block(stmts, Box::new(r))
+        }
+    }
+}
+
+/// Can this value be written back as a literal expression? (Scalars,
+/// vectors and matrices; higher ranks have no literal syntax.)
+pub fn representable(v: &Value) -> bool {
+    v.rank() <= 2
+}
+
+/// Literal expression → value, when fully constant.
+pub fn expr_to_value(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::Int(v) => Some(Value::Int(*v)),
+        Expr::Neg(x) => match expr_to_value(x)? {
+            Value::Int(v) => Some(Value::Int(-v)),
+            _ => None,
+        },
+        Expr::VecLit(es) => {
+            let vals: Option<Vec<Value>> = es.iter().map(expr_to_value).collect();
+            let vals = vals?;
+            if vals.iter().all(|v| matches!(v, Value::Int(_))) {
+                Some(Value::from_ivec(vals.iter().map(|v| v.as_int().unwrap()).collect()))
+            } else {
+                // Matrix literal.
+                let rows: Option<Vec<Vec<i64>>> = vals.iter().map(|v| v.as_ivec().ok()).collect();
+                let rows = rows?;
+                let cols = rows.first()?.len();
+                if rows.iter().any(|r| r.len() != cols) {
+                    return None;
+                }
+                let data: Vec<i64> = rows.into_iter().flatten().collect();
+                Some(Value::Arr(NdArray::from_vec([vals.len(), cols], data).ok()?))
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Value → literal expression (scalars, vectors, matrices).
+pub fn value_to_expr(v: &Value) -> Expr {
+    match v {
+        Value::Int(x) => {
+            if *x < 0 {
+                Expr::Neg(Box::new(Expr::Int(-x)))
+            } else {
+                Expr::Int(*x)
+            }
+        }
+        Value::Arr(a) if a.rank() == 1 => Expr::VecLit(
+            a.as_slice().iter().map(|&x| value_to_expr(&Value::Int(x))).collect(),
+        ),
+        Value::Arr(a) if a.rank() == 2 => {
+            let cols = a.shape().dim(1);
+            Expr::VecLit(
+                (0..a.shape().dim(0))
+                    .map(|r| {
+                        Expr::VecLit(
+                            (0..cols)
+                                .map(|c| value_to_expr(&Value::Int(*a.get(&[r, c]).unwrap())))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+        // Higher ranks cannot be written as literals; keep a placeholder
+        // variable that will never fold (callers avoid this case).
+        Value::Arr(_) => Expr::Var("__nonliteral".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn fold_src(src: &str) -> FunDef {
+        let p = parse_program(src).unwrap();
+        fold_function(&p.funs[0])
+    }
+
+    #[test]
+    fn folds_scalar_arithmetic() {
+        let f = fold_src("int f() { x = 2 + 3 * 4; return( x); }");
+        assert_eq!(f.body[0], Stmt::Assign(LValue::Var("x".into()), Expr::Int(14)));
+        assert!(matches!(&f.body[1], Stmt::Return(Expr::Int(14))));
+    }
+
+    #[test]
+    fn folds_vector_and_matrix_ops() {
+        let f = fold_src(
+            "int[.] f() { p = [[1,0],[0,8]]; ft = [[0],[1]]; m = CAT(p, ft); o = MV(m, [2,3,5]); return( o); }",
+        );
+        // o = P.(2,3) + F.(5) = (2, 24+5) = (2, 29)
+        match &f.body[3] {
+            Stmt::Assign(_, Expr::VecLit(es)) => {
+                assert_eq!(es[0], Expr::Int(2));
+                assert_eq!(es[1], Expr::Int(29));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_selection_of_literals() {
+        let f = fold_src("int f() { v = [10, 20, 30]; return( v[[1]]); }");
+        assert!(matches!(&f.body[1], Stmt::Return(Expr::Int(20))));
+    }
+
+    #[test]
+    fn does_not_fold_unknowns() {
+        let f = fold_src("int f(int x) { y = x + 1; return( y); }");
+        assert!(matches!(&f.body[0], Stmt::Assign(_, Expr::Bin(BinKind::Add, _, _))));
+    }
+
+    #[test]
+    fn loop_variables_are_not_constants() {
+        let f = fold_src("int f() { s = 0; for( i=0; i< 3; i++) { s = s + i; } return( s); }");
+        // `s` must not be folded to 0 in the loop body or the return.
+        match &f.body[2] {
+            Stmt::Return(Expr::Var(n)) => assert_eq!(n, "s"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generator_bounds_fold() {
+        let f = fold_src(
+            "int[*] f() { r = [2, 2]; o = with { ([0,0] <= iv < r) : 1; } : genarray( r, 0); return( o); }",
+        );
+        match &f.body[1] {
+            Stmt::Assign(_, Expr::With(w)) => {
+                assert!(matches!(w.generators[0].upper, Some(Expr::VecLit(_))));
+                match &w.op {
+                    WithOp::Genarray { shape, .. } => {
+                        assert!(matches!(shape, Expr::VecLit(_)))
+                    }
+                    _ => panic!(),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_values_roundtrip() {
+        let f = fold_src("int f() { x = 0 - 3; return( x % 10); }");
+        // Euclidean: -3 % 10 = 7.
+        assert!(matches!(&f.body[1], Stmt::Return(Expr::Int(7))));
+    }
+}

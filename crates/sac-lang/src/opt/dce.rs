@@ -1,0 +1,128 @@
+//! Dead-step elimination on flat programs.
+//!
+//! After folding, producer steps whose arrays are no longer read (and are not
+//! the program result) are removed. Standard backward liveness over the step
+//! list; host steps are pure (the language is side-effect free), so they are
+//! removable like any other step.
+
+use crate::wir::{FlatProgram, HostBinding, Step};
+use std::collections::HashSet;
+
+/// Remove steps whose targets are never consumed. Returns how many steps
+/// were dropped.
+pub fn eliminate_dead_steps(p: &mut FlatProgram) -> usize {
+    let mut live: HashSet<usize> = HashSet::new();
+    live.insert(p.result);
+    let mut keep = vec![false; p.steps.len()];
+    for (i, step) in p.steps.iter().enumerate().rev() {
+        let target = match step {
+            Step::With { target, .. } | Step::Host { target, .. } => *target,
+        };
+        if !live.contains(&target) {
+            continue;
+        }
+        keep[i] = true;
+        // The step's reads become live.
+        match step {
+            Step::With { with, .. } => {
+                if let Some(src) = with.modarray_src {
+                    live.insert(src);
+                }
+                let mut loads = Vec::new();
+                for g in &with.generators {
+                    g.body.loads(&mut loads);
+                }
+                live.extend(loads);
+            }
+            Step::Host { bindings, .. } => {
+                for b in bindings {
+                    if let HostBinding::Array(id) = b {
+                        live.insert(*id);
+                    }
+                }
+            }
+        }
+        // A later step writing the same array id shadows earlier ones; since
+        // our SSA-style lowering gives every step a fresh target this does
+        // not arise, so `target` simply stays live for earlier producers.
+    }
+    let before = p.steps.len();
+    let mut i = 0;
+    p.steps.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+    before - p.steps.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wir::{FlatGen, FlatWith, SymExpr};
+
+    fn with_step(target: usize, reads: Option<usize>) -> Step {
+        let body = match reads {
+            Some(a) => SymExpr::Load { array: a, index: vec![SymExpr::Idx(0)] },
+            None => SymExpr::Const(1),
+        };
+        Step::With {
+            target,
+            with: FlatWith {
+                shape: vec![4],
+                default: 0,
+                modarray_src: None,
+                generators: vec![FlatGen::dense(&[4], body)],
+            },
+        }
+    }
+
+    #[test]
+    fn removes_unused_steps() {
+        let mut p = FlatProgram::default();
+        let a = p.declare("a", vec![4]);
+        let dead = p.declare("dead", vec![4]);
+        let out = p.declare("out", vec![4]);
+        p.inputs.push(a);
+        p.result = out;
+        p.steps.push(with_step(dead, Some(a)));
+        p.steps.push(with_step(out, Some(a)));
+        let dropped = eliminate_dead_steps(&mut p);
+        assert_eq!(dropped, 1);
+        assert_eq!(p.steps.len(), 1);
+    }
+
+    #[test]
+    fn keeps_transitive_dependencies() {
+        let mut p = FlatProgram::default();
+        let a = p.declare("a", vec![4]);
+        let mid = p.declare("mid", vec![4]);
+        let out = p.declare("out", vec![4]);
+        p.inputs.push(a);
+        p.result = out;
+        p.steps.push(with_step(mid, Some(a)));
+        p.steps.push(with_step(out, Some(mid)));
+        assert_eq!(eliminate_dead_steps(&mut p), 0);
+        assert_eq!(p.steps.len(), 2);
+    }
+
+    #[test]
+    fn keeps_modarray_sources() {
+        let mut p = FlatProgram::default();
+        let seed = p.declare("seed", vec![4]);
+        let out = p.declare("out", vec![4]);
+        p.result = out;
+        p.steps.push(with_step(seed, None));
+        p.steps.push(Step::With {
+            target: out,
+            with: FlatWith {
+                shape: vec![4],
+                default: 0,
+                modarray_src: Some(seed),
+                generators: vec![],
+            },
+        });
+        assert_eq!(eliminate_dead_steps(&mut p), 0);
+        assert_eq!(p.steps.len(), 2);
+    }
+}

@@ -1,0 +1,409 @@
+//! Function inlining.
+//!
+//! Calls to user functions are replaced by [`Expr::Block`]s that bind the
+//! (renamed) parameters and splice in the (renamed) body. Inlining is a
+//! prerequisite for WITH-loop folding across the paper's three-function
+//! pipeline (`input_tiler` → `task` → output tiler) and for the CUDA
+//! backend's rule that eligible WITH-loops contain no function invocations.
+//!
+//! A call is inlined only when the callee's body is a straight-line statement
+//! list whose final statement is its only `return`. Calls that do not qualify
+//! are left in place (and will surface later as not-lowerable, which is the
+//! honest failure mode).
+
+use crate::ast::*;
+use crate::builtins::is_builtin;
+use std::collections::HashSet;
+
+/// Maximum inlining depth (guards against recursion).
+const MAX_DEPTH: usize = 32;
+
+/// Inline all user-function calls reachable from `entry`, returning a copy of
+/// the entry function with calls expanded.
+pub fn inline_entry(prog: &Program, entry: &FunDef) -> FunDef {
+    let mut counter = 0usize;
+    let mut f = entry.clone();
+    f.body = inline_stmts(prog, &f.body, &mut counter, 0);
+    f
+}
+
+fn inline_stmts(prog: &Program, stmts: &[Stmt], counter: &mut usize, depth: usize) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Assign(lv, e) => Stmt::Assign(lv.clone(), inline_expr(prog, e, counter, depth)),
+            Stmt::For { var, init, limit, body } => Stmt::For {
+                var: var.clone(),
+                init: inline_expr(prog, init, counter, depth),
+                limit: inline_expr(prog, limit, counter, depth),
+                body: inline_stmts(prog, body, counter, depth),
+            },
+            Stmt::Return(e) => Stmt::Return(inline_expr(prog, e, counter, depth)),
+        })
+        .collect()
+}
+
+fn inline_expr(prog: &Program, e: &Expr, counter: &mut usize, depth: usize) -> Expr {
+    match e {
+        Expr::Int(_) | Expr::Var(_) => e.clone(),
+        Expr::VecLit(es) => {
+            Expr::VecLit(es.iter().map(|x| inline_expr(prog, x, counter, depth)).collect())
+        }
+        Expr::Neg(x) => Expr::Neg(Box::new(inline_expr(prog, x, counter, depth))),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(inline_expr(prog, l, counter, depth)),
+            Box::new(inline_expr(prog, r, counter, depth)),
+        ),
+        Expr::Select(a, ix) => Expr::Select(
+            Box::new(inline_expr(prog, a, counter, depth)),
+            Box::new(inline_expr(prog, ix, counter, depth)),
+        ),
+        Expr::With(w) => {
+            let generators = w
+                .generators
+                .iter()
+                .map(|g| Generator {
+                    lower: g.lower.as_ref().map(|x| inline_expr(prog, x, counter, depth)),
+                    upper: g.upper.as_ref().map(|x| inline_expr(prog, x, counter, depth)),
+                    upper_inclusive: g.upper_inclusive,
+                    step: g.step.as_ref().map(|x| inline_expr(prog, x, counter, depth)),
+                    width: g.width.as_ref().map(|x| inline_expr(prog, x, counter, depth)),
+                    var: g.var.clone(),
+                    body: inline_stmts(prog, &g.body, counter, depth),
+                    yield_expr: inline_expr(prog, &g.yield_expr, counter, depth),
+                })
+                .collect();
+            let op = match &w.op {
+                WithOp::Genarray { shape, default } => WithOp::Genarray {
+                    shape: inline_expr(prog, shape, counter, depth),
+                    default: default.as_ref().map(|d| inline_expr(prog, d, counter, depth)),
+                },
+                WithOp::Modarray(src) => WithOp::Modarray(inline_expr(prog, src, counter, depth)),
+                WithOp::Fold { fun, neutral } => WithOp::Fold {
+                    fun: fun.clone(),
+                    neutral: inline_expr(prog, neutral, counter, depth),
+                },
+            };
+            Expr::With(Box::new(WithLoop { generators, op }))
+        }
+        Expr::Block(stmts, result) => Expr::Block(
+            inline_stmts(prog, stmts, counter, depth),
+            Box::new(inline_expr(prog, result, counter, depth)),
+        ),
+        Expr::Call(name, args) => {
+            let args: Vec<Expr> =
+                args.iter().map(|a| inline_expr(prog, a, counter, depth)).collect();
+            if is_builtin(name) || depth >= MAX_DEPTH {
+                return Expr::Call(name.clone(), args);
+            }
+            let Some(callee) = prog.fun(name) else {
+                return Expr::Call(name.clone(), args);
+            };
+            let Some((body_stmts, ret_expr)) = splittable_body(&callee.body) else {
+                return Expr::Call(name.clone(), args);
+            };
+
+            // Rename callee locals to fresh names.
+            *counter += 1;
+            let tag = *counter;
+            let mut locals: HashSet<String> =
+                callee.params.iter().map(|(_, n)| n.clone()).collect();
+            collect_locals(&callee.body, &mut locals);
+            let rn = |n: &str| format!("__inl{tag}_{n}");
+
+            let mut stmts: Vec<Stmt> = Vec::with_capacity(callee.params.len() + body_stmts.len());
+            for ((_, pname), arg) in callee.params.iter().zip(args) {
+                stmts.push(Stmt::Assign(LValue::Var(rn(pname)), arg));
+            }
+            for s in body_stmts {
+                stmts.push(rename_stmt(s, &locals, &rn));
+            }
+            let result = rename_expr(ret_expr, &locals, &rn);
+            // Recursively inline within the spliced body.
+            let stmts = inline_stmts(prog, &stmts, counter, depth + 1);
+            let result = inline_expr(prog, &result, counter, depth + 1);
+            Expr::Block(stmts, Box::new(result))
+        }
+    }
+}
+
+/// A body qualifies when its final statement is its only `return`.
+fn splittable_body(body: &[Stmt]) -> Option<(&[Stmt], &Expr)> {
+    let (last, init) = body.split_last()?;
+    let Stmt::Return(e) = last else { return None };
+    if init.iter().any(contains_return) {
+        return None;
+    }
+    Some((init, e))
+}
+
+fn contains_return(s: &Stmt) -> bool {
+    match s {
+        Stmt::Return(_) => true,
+        Stmt::For { body, .. } => body.iter().any(contains_return),
+        Stmt::Assign(..) => false,
+    }
+}
+
+/// Collect every name assigned or bound anywhere in `stmts`.
+fn collect_locals(stmts: &[Stmt], out: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(LValue::Var(n), e) | Stmt::Assign(LValue::Index(n, _), e) => {
+                out.insert(n.clone());
+                collect_locals_expr(e, out);
+            }
+            Stmt::For { var, body, init, limit } => {
+                out.insert(var.clone());
+                collect_locals_expr(init, out);
+                collect_locals_expr(limit, out);
+                collect_locals(body, out);
+            }
+            Stmt::Return(e) => collect_locals_expr(e, out),
+        }
+    }
+}
+
+fn collect_locals_expr(e: &Expr, out: &mut HashSet<String>) {
+    match e {
+        Expr::With(w) => {
+            for g in &w.generators {
+                match &g.var {
+                    GenVar::Name(n) => {
+                        out.insert(n.clone());
+                    }
+                    GenVar::Components(ns) => out.extend(ns.iter().cloned()),
+                }
+                collect_locals(&g.body, out);
+                collect_locals_expr(&g.yield_expr, out);
+            }
+        }
+        Expr::Block(stmts, r) => {
+            collect_locals(stmts, out);
+            collect_locals_expr(r, out);
+        }
+        Expr::Bin(_, l, r) | Expr::Select(l, r) => {
+            collect_locals_expr(l, out);
+            collect_locals_expr(r, out);
+        }
+        Expr::Neg(x) => collect_locals_expr(x, out),
+        Expr::VecLit(es) => es.iter().for_each(|x| collect_locals_expr(x, out)),
+        Expr::Call(_, args) => args.iter().for_each(|x| collect_locals_expr(x, out)),
+        Expr::Int(_) | Expr::Var(_) => {}
+    }
+}
+
+fn rename_stmt(s: &Stmt, locals: &HashSet<String>, rn: &impl Fn(&str) -> String) -> Stmt {
+    let fix = |n: &String| if locals.contains(n) { rn(n) } else { n.clone() };
+    match s {
+        Stmt::Assign(LValue::Var(n), e) => {
+            Stmt::Assign(LValue::Var(fix(n)), rename_expr(e, locals, rn))
+        }
+        Stmt::Assign(LValue::Index(n, ix), e) => Stmt::Assign(
+            LValue::Index(fix(n), rename_expr(ix, locals, rn)),
+            rename_expr(e, locals, rn),
+        ),
+        Stmt::For { var, init, limit, body } => Stmt::For {
+            var: fix(var),
+            init: rename_expr(init, locals, rn),
+            limit: rename_expr(limit, locals, rn),
+            body: body.iter().map(|s| rename_stmt(s, locals, rn)).collect(),
+        },
+        Stmt::Return(e) => Stmt::Return(rename_expr(e, locals, rn)),
+    }
+}
+
+fn rename_expr(e: &Expr, locals: &HashSet<String>, rn: &impl Fn(&str) -> String) -> Expr {
+    match e {
+        Expr::Int(_) => e.clone(),
+        Expr::Var(n) => {
+            if locals.contains(n) {
+                Expr::Var(rn(n))
+            } else {
+                e.clone()
+            }
+        }
+        Expr::VecLit(es) => {
+            Expr::VecLit(es.iter().map(|x| rename_expr(x, locals, rn)).collect())
+        }
+        Expr::Neg(x) => Expr::Neg(Box::new(rename_expr(x, locals, rn))),
+        Expr::Bin(op, l, r) => Expr::Bin(
+            *op,
+            Box::new(rename_expr(l, locals, rn)),
+            Box::new(rename_expr(r, locals, rn)),
+        ),
+        Expr::Call(name, args) => Expr::Call(
+            name.clone(),
+            args.iter().map(|x| rename_expr(x, locals, rn)).collect(),
+        ),
+        Expr::Select(a, ix) => Expr::Select(
+            Box::new(rename_expr(a, locals, rn)),
+            Box::new(rename_expr(ix, locals, rn)),
+        ),
+        Expr::With(w) => {
+            let generators = w
+                .generators
+                .iter()
+                .map(|g| Generator {
+                    lower: g.lower.as_ref().map(|x| rename_expr(x, locals, rn)),
+                    upper: g.upper.as_ref().map(|x| rename_expr(x, locals, rn)),
+                    upper_inclusive: g.upper_inclusive,
+                    step: g.step.as_ref().map(|x| rename_expr(x, locals, rn)),
+                    width: g.width.as_ref().map(|x| rename_expr(x, locals, rn)),
+                    var: match &g.var {
+                        GenVar::Name(n) => GenVar::Name(if locals.contains(n) {
+                            rn(n)
+                        } else {
+                            n.clone()
+                        }),
+                        GenVar::Components(ns) => GenVar::Components(
+                            ns.iter()
+                                .map(|n| if locals.contains(n) { rn(n) } else { n.clone() })
+                                .collect(),
+                        ),
+                    },
+                    body: g.body.iter().map(|s| rename_stmt(s, locals, rn)).collect(),
+                    yield_expr: rename_expr(&g.yield_expr, locals, rn),
+                })
+                .collect();
+            let op = match &w.op {
+                WithOp::Genarray { shape, default } => WithOp::Genarray {
+                    shape: rename_expr(shape, locals, rn),
+                    default: default.as_ref().map(|d| rename_expr(d, locals, rn)),
+                },
+                WithOp::Modarray(src) => WithOp::Modarray(rename_expr(src, locals, rn)),
+                WithOp::Fold { fun, neutral } => WithOp::Fold {
+                    fun: fun.clone(),
+                    neutral: rename_expr(neutral, locals, rn),
+                },
+            };
+            Expr::With(Box::new(WithLoop { generators, op }))
+        }
+        Expr::Block(stmts, r) => Expr::Block(
+            stmts.iter().map(|s| rename_stmt(s, locals, rn)).collect(),
+            Box::new(rename_expr(r, locals, rn)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Interp;
+    use crate::parser::parse_program;
+    use crate::value::Value;
+
+    fn has_user_call(prog: &Program, f: &FunDef) -> bool {
+        fn walk_e(prog: &Program, e: &Expr) -> bool {
+            match e {
+                Expr::Call(n, args) => {
+                    prog.fun(n).is_some() || args.iter().any(|a| walk_e(prog, a))
+                }
+                Expr::Bin(_, l, r) | Expr::Select(l, r) => walk_e(prog, l) || walk_e(prog, r),
+                Expr::Neg(x) => walk_e(prog, x),
+                Expr::VecLit(es) => es.iter().any(|x| walk_e(prog, x)),
+                Expr::With(w) => w.generators.iter().any(|g| {
+                    g.body.iter().any(|s| walk_s(prog, s)) || walk_e(prog, &g.yield_expr)
+                }),
+                Expr::Block(stmts, r) => {
+                    stmts.iter().any(|s| walk_s(prog, s)) || walk_e(prog, r)
+                }
+                _ => false,
+            }
+        }
+        fn walk_s(prog: &Program, s: &Stmt) -> bool {
+            match s {
+                Stmt::Assign(_, e) | Stmt::Return(e) => walk_e(prog, e),
+                Stmt::For { init, limit, body, .. } => {
+                    walk_e(prog, init)
+                        || walk_e(prog, limit)
+                        || body.iter().any(|s| walk_s(prog, s))
+                }
+            }
+        }
+        f.body.iter().any(|s| walk_s(prog, s))
+    }
+
+    #[test]
+    fn inlines_simple_call_preserving_semantics() {
+        let src = r#"
+int add3(int x) { y = x + 3; return( y); }
+int main(int a) { b = add3(a) * add3(a + 1); return( b); }
+"#;
+        let prog = parse_program(src).unwrap();
+        let entry = prog.fun("main").unwrap();
+        let inlined = inline_entry(&prog, entry);
+        assert!(!has_user_call(&prog, &inlined), "calls remain: {inlined:?}");
+
+        // Semantics preserved.
+        let wrapped = Program { funs: vec![inlined] };
+        let mut i1 = Interp::new(&prog);
+        let mut i2 = Interp::new(&wrapped);
+        let v1 = i1.call("main", vec![Value::Int(7)]).unwrap();
+        let v2 = i2.call("main", vec![Value::Int(7)]).unwrap();
+        assert_eq!(v1, v2);
+        assert_eq!(v1, Value::Int(10 * 11));
+    }
+
+    #[test]
+    fn renames_avoid_capture() {
+        // Callee local `y` must not clobber caller `y`.
+        let src = r#"
+int f(int x) { y = x * 10; return( y); }
+int main() { y = 1; z = f(2); return( y + z); }
+"#;
+        let prog = parse_program(src).unwrap();
+        let inlined = inline_entry(&prog, prog.fun("main").unwrap());
+        let wrapped = Program { funs: vec![inlined] };
+        let mut i = Interp::new(&wrapped);
+        assert_eq!(i.call("main", vec![]).unwrap(), Value::Int(21));
+    }
+
+    #[test]
+    fn nested_calls_inline_transitively() {
+        let src = r#"
+int g(int x) { return( x + 1); }
+int f(int x) { return( g(x) * 2); }
+int main(int a) { return( f(a)); }
+"#;
+        let prog = parse_program(src).unwrap();
+        let inlined = inline_entry(&prog, prog.fun("main").unwrap());
+        assert!(!has_user_call(&prog, &inlined));
+        let wrapped = Program { funs: vec![inlined] };
+        let mut i = Interp::new(&wrapped);
+        assert_eq!(i.call("main", vec![Value::Int(5)]).unwrap(), Value::Int(12));
+    }
+
+    #[test]
+    fn early_return_bodies_are_not_inlined() {
+        let src = r#"
+int f(int x) { for( i=0; i< x; i++) { return( i); } return( 0); }
+int main(int a) { return( f(a)); }
+"#;
+        let prog = parse_program(src).unwrap();
+        let inlined = inline_entry(&prog, prog.fun("main").unwrap());
+        // The call must remain (and still evaluate correctly).
+        assert!(has_user_call(&prog, &inlined));
+    }
+
+    #[test]
+    fn inlines_inside_with_loops() {
+        let src = r#"
+int double(int x) { return( x * 2); }
+int[*] main(int[4] a)
+{
+    out = with { (. <= iv <= .) : double(a[iv]); } : genarray( shape(a), 0);
+    return( out);
+}
+"#;
+        let prog = parse_program(src).unwrap();
+        let inlined = inline_entry(&prog, prog.fun("main").unwrap());
+        assert!(!has_user_call(&prog, &inlined));
+        let wrapped = Program { funs: vec![inlined] };
+        let mut i = Interp::new(&wrapped);
+        let a = Value::Arr(mdarray::NdArray::from_vec([4usize], vec![1, 2, 3, 4]).unwrap());
+        let v = i.call("main", vec![a]).unwrap();
+        assert_eq!(v.as_array().unwrap().as_slice(), &[2, 4, 6, 8]);
+    }
+}

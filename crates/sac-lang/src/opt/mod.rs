@@ -1,0 +1,33 @@
+//! The SaC high-level optimiser.
+//!
+//! The pipeline mirrors the real sac2c phases the paper relies on:
+//!
+//! 1. [`inline`] — function inlining, exposing WITH-loops across call
+//!    boundaries (the CUDA backend "only parallelises the outermost
+//!    WITH-loops containing no function invocations"),
+//! 2. [`constfold`] — constant folding over scalars, vectors and matrices,
+//! 3. [`lower`] — lowering to the flat WIR: WITH-loop scalarisation (nested
+//!    loops and tile-building idioms become flat scalar-celled loops),
+//!    vector/matrix arithmetic on known values becomes symbolic scalar
+//!    arithmetic. Unlowerable constructs (the generic tiler's `for` nest)
+//!    become host steps,
+//! 4. [`wlf`] — **WITH-loop folding**: consecutive single-use WITH-loops are
+//!    fused by substituting producer bodies into consumers, splitting
+//!    generators where producer regions or wrap-around modulo addressing
+//!    demand it,
+//! 5. [`split`] — the interval/congruence analyses and generator-splitting
+//!    machinery shared by folding and modulo resolution,
+//! 6. [`dce`] — removal of steps whose arrays are never consumed,
+//! 7. [`pipeline`] — the driver tying it together.
+
+pub mod constfold;
+pub mod dce;
+pub mod inline;
+pub mod lower;
+pub mod pipeline;
+pub mod split;
+pub mod sym;
+pub mod wlf;
+
+pub use lower::{lower_function, ArgDesc};
+pub use pipeline::{optimize, OptConfig, OptReport};

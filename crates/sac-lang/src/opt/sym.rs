@@ -1,0 +1,406 @@
+//! Interval and congruence analysis of symbolic index expressions.
+//!
+//! Generator splitting (both the WLF producer-region matching and the
+//! wrap-around modulo resolution) needs to answer, for a [`SymExpr`] over a
+//! generator's index variables:
+//!
+//! * what is the expression's value range over the generator's lattice?
+//!   ([`interval`])
+//! * what congruence class does the value provably inhabit? ([`congruence`])
+//!
+//! Both analyses are conservative: when they cannot prove anything they say
+//! so (`None` interval / modulus-1 congruence), and callers must either split
+//! the generator or keep the general (still correct) code path.
+
+use crate::ast::BinKind;
+use crate::wir::{FlatGen, SymExpr};
+
+/// An inclusive value range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Minimum value.
+    pub lo: i64,
+    /// Maximum value.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// A single point.
+    pub fn point(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Is this range entirely inside `[lo, hi]`?
+    pub fn within(&self, lo: i64, hi: i64) -> bool {
+        self.lo >= lo && self.hi <= hi
+    }
+
+    /// Is this range entirely outside `[lo, hi]`?
+    pub fn disjoint(&self, lo: i64, hi: i64) -> bool {
+        self.hi < lo || self.lo > hi
+    }
+}
+
+/// A congruence fact: the value is `≡ residue (mod modulus)`.
+///
+/// * `modulus == 0` means the value is exactly `residue` (a constant),
+/// * `modulus == 1` means nothing is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cong {
+    /// The modulus (0 = constant, 1 = unknown).
+    pub modulus: i64,
+    /// The residue (normalised into `[0, modulus)` when `modulus > 1`).
+    pub residue: i64,
+}
+
+impl Cong {
+    /// Nothing known.
+    pub fn top() -> Cong {
+        Cong { modulus: 1, residue: 0 }
+    }
+
+    /// Exactly `v`.
+    pub fn constant(v: i64) -> Cong {
+        Cong { modulus: 0, residue: v }
+    }
+
+    fn norm(modulus: i64, residue: i64) -> Cong {
+        match modulus {
+            0 => Cong { modulus: 0, residue },
+            1 => Cong::top(),
+            m => Cong { modulus: m, residue: residue.rem_euclid(m) },
+        }
+    }
+
+    /// Does this fact prove `value ≡ r (mod s)`? (`s ≥ 1`)
+    pub fn implies(&self, s: i64, r: i64) -> bool {
+        if s == 1 {
+            return true;
+        }
+        match self.modulus {
+            0 => self.residue.rem_euclid(s) == r.rem_euclid(s),
+            m if m % s == 0 => self.residue.rem_euclid(s) == r.rem_euclid(s),
+            _ => false,
+        }
+    }
+
+    /// Does this fact refute `value ≡ r (mod s)`?
+    pub fn refutes(&self, s: i64, r: i64) -> bool {
+        if s == 1 {
+            return false;
+        }
+        match self.modulus {
+            0 => self.residue.rem_euclid(s) != r.rem_euclid(s),
+            m if m % s == 0 => self.residue.rem_euclid(s) != r.rem_euclid(s),
+            _ => false,
+        }
+    }
+}
+
+/// Range of index component `d` over the generator's lattice.
+fn idx_interval(g: &FlatGen, d: usize) -> Option<Interval> {
+    let (l, u, s, w) = (g.lower[d], g.upper[d], g.step[d], g.width[d]);
+    if l >= u {
+        return None; // empty
+    }
+    let last_block = l + ((u - 1 - l) / s) * s;
+    let hi = (last_block + w - 1).min(u - 1);
+    Some(Interval { lo: l, hi })
+}
+
+/// Congruence of index component `d`.
+fn idx_cong(g: &FlatGen, d: usize) -> Cong {
+    let (l, u, s, w) = (g.lower[d], g.upper[d], g.step[d], g.width[d]);
+    if l + 1 == u {
+        return Cong::constant(l);
+    }
+    if w == 1 && s > 1 {
+        Cong::norm(s, l)
+    } else {
+        Cong::top()
+    }
+}
+
+/// Value range of `e` over `g`'s lattice; `None` when unknown (loads, empty
+/// lattices, division by non-positive constants, …).
+pub fn interval(e: &SymExpr, g: &FlatGen) -> Option<Interval> {
+    match e {
+        SymExpr::Const(v) => Some(Interval::point(*v)),
+        SymExpr::Idx(d) => idx_interval(g, *d),
+        SymExpr::Load { .. } => None,
+        SymExpr::Bin(op, l, r) => {
+            let a = interval(l, g)?;
+            match op {
+                BinKind::Add => {
+                    let b = interval(r, g)?;
+                    Some(Interval { lo: a.lo + b.lo, hi: a.hi + b.hi })
+                }
+                BinKind::Sub => {
+                    let b = interval(r, g)?;
+                    Some(Interval { lo: a.lo - b.hi, hi: a.hi - b.lo })
+                }
+                BinKind::Mul => {
+                    let b = interval(r, g)?;
+                    let corners =
+                        [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+                    Some(Interval {
+                        lo: *corners.iter().min().unwrap(),
+                        hi: *corners.iter().max().unwrap(),
+                    })
+                }
+                BinKind::Div => {
+                    // Truncating division is monotone for positive divisors.
+                    let b = interval(r, g)?;
+                    if b.lo != b.hi || b.lo <= 0 {
+                        return None;
+                    }
+                    let d = b.lo;
+                    Some(Interval { lo: a.lo.wrapping_div(d), hi: a.hi.wrapping_div(d) })
+                }
+                BinKind::Mod => {
+                    let b = interval(r, g)?;
+                    if b.lo != b.hi || b.lo <= 0 {
+                        return None;
+                    }
+                    let n = b.lo;
+                    let k_lo = a.lo.div_euclid(n);
+                    let k_hi = a.hi.div_euclid(n);
+                    if k_lo == k_hi {
+                        Some(Interval { lo: a.lo - k_lo * n, hi: a.hi - k_lo * n })
+                    } else {
+                        Some(Interval { lo: 0, hi: n - 1 })
+                    }
+                }
+                // Comparisons yield 0/1.
+                BinKind::Lt
+                | BinKind::Le
+                | BinKind::Gt
+                | BinKind::Ge
+                | BinKind::Eq
+                | BinKind::Ne => Some(Interval { lo: 0, hi: 1 }),
+                BinKind::Concat => None,
+            }
+        }
+    }
+}
+
+/// Congruence fact about `e` over `g`'s lattice.
+pub fn congruence(e: &SymExpr, g: &FlatGen) -> Cong {
+    match e {
+        SymExpr::Const(v) => Cong::constant(*v),
+        SymExpr::Idx(d) => {
+            // A single-point interval is an exact constant.
+            match idx_interval(g, *d) {
+                Some(iv) if iv.lo == iv.hi => Cong::constant(iv.lo),
+                _ => idx_cong(g, *d),
+            }
+        }
+        SymExpr::Load { .. } => Cong::top(),
+        SymExpr::Bin(op, l, r) => {
+            let a = congruence(l, g);
+            let b = congruence(r, g);
+            match op {
+                BinKind::Add => combine_additive(a, b, 1),
+                BinKind::Sub => combine_additive(a, b, -1),
+                BinKind::Mul => match (a.modulus, b.modulus) {
+                    (0, 0) => Cong::constant(a.residue * b.residue),
+                    (0, m) => scale(b, a.residue, m),
+                    (m, 0) => scale(a, b.residue, m),
+                    _ => Cong::top(),
+                },
+                BinKind::Div => {
+                    // Exact division: d | modulus and d | residue.
+                    if b.modulus == 0 && b.residue > 0 {
+                        let d = b.residue;
+                        match a.modulus {
+                            0 if a.residue % d == 0 => Cong::constant(a.residue / d),
+                            m if m > 1 && m % d == 0 && a.residue % d == 0 => {
+                                Cong::norm(m / d, a.residue / d)
+                            }
+                            _ => Cong::top(),
+                        }
+                    } else {
+                        Cong::top()
+                    }
+                }
+                BinKind::Mod => {
+                    if b.modulus == 0 && b.residue > 0 {
+                        let n = b.residue;
+                        match a.modulus {
+                            0 => Cong::constant(a.residue.rem_euclid(n)),
+                            m if m > 1 && m % n == 0 => Cong::constant(a.residue.rem_euclid(n)),
+                            _ => {
+                                // Fall back to interval reasoning: within one
+                                // window the value keeps its congruence shape.
+                                Cong::top()
+                            }
+                        }
+                    } else {
+                        Cong::top()
+                    }
+                }
+                _ => Cong::top(),
+            }
+        }
+    }
+}
+
+fn combine_additive(a: Cong, b: Cong, sign: i64) -> Cong {
+    match (a.modulus, b.modulus) {
+        (0, 0) => Cong::constant(a.residue + sign * b.residue),
+        (0, m) if m > 1 => Cong::norm(m, a.residue + sign * b.residue),
+        (m, 0) if m > 1 => Cong::norm(m, a.residue + sign * b.residue),
+        (m1, m2) if m1 > 1 && m2 > 1 => {
+            let g = gcd(m1, m2);
+            Cong::norm(g, a.residue + sign * b.residue)
+        }
+        _ => Cong::top(),
+    }
+}
+
+/// `value = k * e` where `e ≡ r (mod m)`. Valid for every `m ≥ 1`: even a
+/// fully unknown `e` (m = 1, r = 0) yields `k·e ≡ 0 (mod |k|)`.
+fn scale(c: Cong, k: i64, m: i64) -> Cong {
+    if k == 0 {
+        return Cong::constant(0);
+    }
+    debug_assert!(m > 0);
+    Cong::norm(m * k.abs(), c.residue * k)
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use BinKind::*;
+
+    fn gen(lower: Vec<i64>, upper: Vec<i64>, step: Vec<i64>) -> FlatGen {
+        let width = vec![1; lower.len()];
+        FlatGen { lower, upper, step, width, body: SymExpr::Const(0) }
+    }
+
+    #[test]
+    fn idx_interval_respects_step() {
+        // j in [1, 8) step 3: {1, 4, 7} -> [1, 7].
+        let g = gen(vec![1], vec![8], vec![3]);
+        assert_eq!(interval(&SymExpr::Idx(0), &g), Some(Interval { lo: 1, hi: 7 }));
+        // j in [1, 7) step 3: {1, 4} -> [1, 4].
+        let g = gen(vec![1], vec![7], vec![3]);
+        assert_eq!(interval(&SymExpr::Idx(0), &g), Some(Interval { lo: 1, hi: 4 }));
+    }
+
+    #[test]
+    fn affine_interval() {
+        // 8*t + 5 for t in [0, 240): [5, 1917].
+        let g = gen(vec![0], vec![240], vec![1]);
+        let e = SymExpr::bin(
+            Add,
+            SymExpr::bin(Mul, SymExpr::Const(8), SymExpr::Idx(0)),
+            SymExpr::Const(5),
+        );
+        assert_eq!(interval(&e, &g), Some(Interval { lo: 5, hi: 1917 }));
+    }
+
+    #[test]
+    fn mod_interval_resolves_within_window() {
+        let g = gen(vec![0], vec![240], vec![1]);
+        // (8t + 5) % 1920 stays below 1920 -> same as 8t+5.
+        let e = SymExpr::bin(
+            Mod,
+            SymExpr::bin(
+                Add,
+                SymExpr::bin(Mul, SymExpr::Const(8), SymExpr::Idx(0)),
+                SymExpr::Const(5),
+            ),
+            SymExpr::Const(1920),
+        );
+        assert_eq!(interval(&e, &g), Some(Interval { lo: 5, hi: 1917 }));
+        // (8t + 10) % 1920 crosses the boundary -> [0, 1919].
+        let e = SymExpr::bin(
+            Mod,
+            SymExpr::bin(
+                Add,
+                SymExpr::bin(Mul, SymExpr::Const(8), SymExpr::Idx(0)),
+                SymExpr::Const(10),
+            ),
+            SymExpr::Const(1920),
+        );
+        assert_eq!(interval(&e, &g), Some(Interval { lo: 0, hi: 1919 }));
+    }
+
+    #[test]
+    fn congruence_of_stepped_index() {
+        // j in [1, 720) step 3 -> j ≡ 1 (mod 3).
+        let g = gen(vec![1], vec![720], vec![3]);
+        let c = congruence(&SymExpr::Idx(0), &g);
+        assert_eq!(c, Cong { modulus: 3, residue: 1 });
+        assert!(c.implies(3, 1));
+        assert!(c.refutes(3, 0));
+        assert!(!c.implies(9, 1)); // only mod 3 is known
+    }
+
+    #[test]
+    fn congruence_through_affine_ops() {
+        let g = gen(vec![1], vec![720], vec![3]);
+        // (j - 1) ≡ 0 (mod 3)
+        let e = SymExpr::bin(Sub, SymExpr::Idx(0), SymExpr::Const(1));
+        let c = congruence(&e, &g);
+        assert!(c.implies(3, 0));
+        // (j - 1) / 3 is exact; congruence degrades gracefully to top-of-mod-1.
+        let e = SymExpr::bin(Div, e, SymExpr::Const(3));
+        let c = congruence(&e, &g);
+        assert_eq!(c.modulus, 1);
+        // 3*j ≡ 3 (mod 9).
+        let e = SymExpr::bin(Mul, SymExpr::Const(3), SymExpr::Idx(0));
+        let c = congruence(&e, &g);
+        assert!(c.implies(9, 3));
+    }
+
+    #[test]
+    fn exact_division_interval() {
+        // (j - 1)/3 for j in {1,4,...,718}: [0, 239].
+        let g = gen(vec![1], vec![720], vec![3]);
+        let e = SymExpr::bin(
+            Div,
+            SymExpr::bin(Sub, SymExpr::Idx(0), SymExpr::Const(1)),
+            SymExpr::Const(3),
+        );
+        assert_eq!(interval(&e, &g), Some(Interval { lo: 0, hi: 239 }));
+    }
+
+    #[test]
+    fn constants_propagate() {
+        let g = gen(vec![0], vec![1], vec![1]);
+        // Single-point dims are constants.
+        let c = congruence(&SymExpr::Idx(0), &g);
+        assert_eq!(c, Cong::constant(0));
+        assert!(c.implies(3, 0));
+        assert!(c.refutes(3, 2));
+    }
+
+    #[test]
+    fn loads_are_unknown() {
+        let g = gen(vec![0], vec![4], vec![1]);
+        let e = SymExpr::Load { array: 0, index: vec![SymExpr::Idx(0)] };
+        assert_eq!(interval(&e, &g), None);
+        assert_eq!(congruence(&e, &g), Cong::top());
+    }
+
+    #[test]
+    fn mod_congruence_when_modulus_divides() {
+        // j ≡ 2 (mod 6) -> j % 3 == 2 exactly.
+        let g = gen(vec![2], vec![100], vec![6]);
+        let e = SymExpr::bin(Mod, SymExpr::Idx(0), SymExpr::Const(3));
+        let c = congruence(&e, &g);
+        assert_eq!(c, Cong::constant(2));
+    }
+}

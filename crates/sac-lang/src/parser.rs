@@ -1,0 +1,708 @@
+//! Recursive-descent parser for the SaC subset.
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::token::{Tok, Token};
+use crate::SacError;
+
+/// Parse a whole program (a sequence of function definitions).
+pub fn parse_program(src: &str) -> Result<Program, SacError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut funs = Vec::new();
+    while p.peek() != &Tok::Eof {
+        funs.push(p.fundef()?);
+    }
+    Ok(Program { funs })
+}
+
+/// Parse a single expression (handy for tests and the REPL-style examples).
+pub fn parse_expr(src: &str) -> Result<Expr, SacError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    p.expect(Tok::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, SacError> {
+        Err(SacError::Parse { line: self.line(), msg: msg.into() })
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), SacError> {
+        if self.peek() == &t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected '{t}', found '{}'", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SacError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found '{other}'")),
+        }
+    }
+
+    // ---- declarations -------------------------------------------------
+
+    fn type_ann(&mut self) -> Result<TypeAnn, SacError> {
+        let base = self.ident()?;
+        if base != "int" {
+            return self.err(format!("unknown base type '{base}' (only 'int' is supported)"));
+        }
+        if self.peek() != &Tok::LBracket {
+            return Ok(TypeAnn::Int);
+        }
+        self.bump(); // [
+        let ann = match self.peek().clone() {
+            Tok::Star => {
+                self.bump();
+                TypeAnn::ArrAnyRank
+            }
+            Tok::Dot => {
+                let mut rank = 0usize;
+                loop {
+                    self.expect(Tok::Dot)?;
+                    rank += 1;
+                    if self.peek() == &Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TypeAnn::ArrRank(rank)
+            }
+            Tok::Int(_) => {
+                let mut dims = Vec::new();
+                loop {
+                    match self.bump() {
+                        Tok::Int(v) if v >= 0 => dims.push(v as usize),
+                        other => return self.err(format!("bad shape dimension '{other}'")),
+                    }
+                    if self.peek() == &Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TypeAnn::ArrShape(dims)
+            }
+            other => return self.err(format!("bad type shape '{other}'")),
+        };
+        self.expect(Tok::RBracket)?;
+        Ok(ann)
+    }
+
+    fn fundef(&mut self) -> Result<FunDef, SacError> {
+        let ret = self.type_ann()?;
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                let ann = self.type_ann()?;
+                let pname = self.ident()?;
+                params.push((ann, pname));
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let body = self.block()?;
+        Ok(FunDef { name, ret, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, SacError> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, SacError> {
+        match self.peek().clone() {
+            Tok::Return => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::Return(e))
+            }
+            Tok::For => self.for_stmt(),
+            Tok::Ident(name) => {
+                self.bump();
+                match self.peek().clone() {
+                    Tok::Assign => {
+                        self.bump();
+                        let e = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::Assign(LValue::Var(name), e))
+                    }
+                    Tok::LBracket => {
+                        self.bump();
+                        let ix = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        // `x[[i]] = e` parses the inner [..] as a vector literal,
+                        // so a second closing bracket may follow.
+                        self.expect(Tok::Assign)?;
+                        let e = self.expr()?;
+                        self.expect(Tok::Semi)?;
+                        Ok(Stmt::Assign(LValue::Index(name, ix), e))
+                    }
+                    other => self.err(format!("expected '=' or '[' after '{name}', found '{other}'")),
+                }
+            }
+            other => self.err(format!("expected statement, found '{other}'")),
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, SacError> {
+        self.expect(Tok::For)?;
+        self.expect(Tok::LParen)?;
+        let var = self.ident()?;
+        self.expect(Tok::Assign)?;
+        let init = self.expr()?;
+        self.expect(Tok::Semi)?;
+        let cond_var = self.ident()?;
+        if cond_var != var {
+            return self.err(format!("for condition must test '{var}', found '{cond_var}'"));
+        }
+        self.expect(Tok::Lt)?;
+        let limit = self.expr()?;
+        self.expect(Tok::Semi)?;
+        let upd_var = self.ident()?;
+        if upd_var != var {
+            return self.err(format!("for update must increment '{var}', found '{upd_var}'"));
+        }
+        self.expect(Tok::PlusPlus)?;
+        self.expect(Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::For { var, init, limit, body })
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, SacError> {
+        self.cmp()
+    }
+
+    fn cmp(&mut self) -> Result<Expr, SacError> {
+        let lhs = self.concat()?;
+        let op = match self.peek() {
+            Tok::Lt => BinKind::Lt,
+            Tok::Le => BinKind::Le,
+            Tok::Gt => BinKind::Gt,
+            Tok::Ge => BinKind::Ge,
+            Tok::EqEq => BinKind::Eq,
+            Tok::NotEq => BinKind::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.concat()?;
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn concat(&mut self) -> Result<Expr, SacError> {
+        let mut lhs = self.add()?;
+        while self.peek() == &Tok::PlusPlus {
+            self.bump();
+            let rhs = self.add()?;
+            lhs = Expr::Bin(BinKind::Concat, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add(&mut self) -> Result<Expr, SacError> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinKind::Add,
+                Tok::Minus => BinKind::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> Result<Expr, SacError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinKind::Mul,
+                Tok::Slash => BinKind::Div,
+                Tok::Percent => BinKind::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SacError> {
+        if self.peek() == &Tok::Minus {
+            self.bump();
+            let e = self.unary()?;
+            return Ok(Expr::Neg(Box::new(e)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, SacError> {
+        let mut e = self.primary()?;
+        while self.peek() == &Tok::LBracket {
+            self.bump();
+            let ix = self.expr()?;
+            self.expect(Tok::RBracket)?;
+            e = Expr::Select(Box::new(e), Box::new(ix));
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, SacError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.peek() == &Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut elems = Vec::new();
+                if self.peek() != &Tok::RBracket {
+                    loop {
+                        elems.push(self.expr()?);
+                        if self.peek() == &Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBracket)?;
+                Ok(Expr::VecLit(elems))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            // `genarray(shape, default)` in expression position is SaC's
+            // array-constructor function (the paper's Figure 5 uses it to
+            // allocate `tile`). The with-loop *operation* form is parsed
+            // separately in `with_op`.
+            Tok::Genarray => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let mut args = vec![self.expr()?];
+                while self.peek() == &Tok::Comma {
+                    self.bump();
+                    args.push(self.expr()?);
+                }
+                self.expect(Tok::RParen)?;
+                Ok(Expr::Call("genarray".into(), args))
+            }
+            Tok::With => self.with_loop(),
+            other => self.err(format!("expected expression, found '{other}'")),
+        }
+    }
+
+    // ---- WITH-loops ----------------------------------------------------
+
+    fn with_loop(&mut self) -> Result<Expr, SacError> {
+        self.expect(Tok::With)?;
+        self.expect(Tok::LBrace)?;
+        let mut generators = Vec::new();
+        while self.peek() == &Tok::LParen {
+            generators.push(self.generator()?);
+        }
+        if generators.is_empty() {
+            return self.err("with-loop needs at least one generator");
+        }
+        self.expect(Tok::RBrace)?;
+        self.expect(Tok::Colon)?;
+        let op = self.with_op()?;
+        Ok(Expr::With(Box::new(WithLoop { generators, op })))
+    }
+
+    fn bound(&mut self) -> Result<Option<Expr>, SacError> {
+        if self.peek() == &Tok::Dot {
+            // A lone `.`; distinguish from an expression that cannot start
+            // with `.` anyway.
+            self.bump();
+            Ok(None)
+        } else {
+            // Bounds parse below the comparison level: the `<=`/`<` after a
+            // bound belongs to the generator syntax, not to the expression.
+            Ok(Some(self.concat()?))
+        }
+    }
+
+    fn gen_var(&mut self) -> Result<GenVar, SacError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(GenVar::Name(name))
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut names = Vec::new();
+                loop {
+                    names.push(self.ident()?);
+                    if self.peek() == &Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBracket)?;
+                Ok(GenVar::Components(names))
+            }
+            other => self.err(format!("expected generator variable, found '{other}'")),
+        }
+    }
+
+    fn rel(&mut self) -> Result<bool, SacError> {
+        // Returns true when the relation is `<=` (inclusive).
+        match self.bump() {
+            Tok::Le => Ok(true),
+            Tok::Lt => Ok(false),
+            other => self.err(format!("expected '<' or '<=', found '{other}'")),
+        }
+    }
+
+    fn generator(&mut self) -> Result<Generator, SacError> {
+        self.expect(Tok::LParen)?;
+        let lower = self.bound()?;
+        let lo_incl = self.rel()?;
+        if !lo_incl {
+            return self.err("lower generator bound must use '<='");
+        }
+        let var = self.gen_var()?;
+        let upper_inclusive = self.rel()?;
+        let upper = self.bound()?;
+        let mut step = None;
+        let mut width = None;
+        if self.peek() == &Tok::Step {
+            self.bump();
+            step = Some(self.expr()?);
+            if self.peek() == &Tok::Width {
+                self.bump();
+                width = Some(self.expr()?);
+            }
+        }
+        self.expect(Tok::RParen)?;
+        let body = if self.peek() == &Tok::LBrace { self.block()? } else { Vec::new() };
+        self.expect(Tok::Colon)?;
+        let yield_expr = self.expr()?;
+        self.expect(Tok::Semi)?;
+        for s in &body {
+            if matches!(s, Stmt::Return(_)) {
+                return self.err("return not allowed inside a generator body");
+            }
+        }
+        Ok(Generator { lower, upper, upper_inclusive, step, width, var, body, yield_expr })
+    }
+
+    fn with_op(&mut self) -> Result<WithOp, SacError> {
+        match self.bump() {
+            Tok::Genarray => {
+                self.expect(Tok::LParen)?;
+                let shape = self.expr()?;
+                let default = if self.peek() == &Tok::Comma {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(Tok::RParen)?;
+                Ok(WithOp::Genarray { shape, default })
+            }
+            Tok::Modarray => {
+                self.expect(Tok::LParen)?;
+                let src = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(WithOp::Modarray(src))
+            }
+            Tok::Fold => {
+                self.expect(Tok::LParen)?;
+                let fun = match self.bump() {
+                    Tok::Plus => "+".to_string(),
+                    Tok::Star => "*".to_string(),
+                    Tok::Ident(n) if n == "min" || n == "max" => n,
+                    other => {
+                        return self.err(format!(
+                            "fold expects '+', '*', 'min' or 'max', found '{other}'"
+                        ))
+                    }
+                };
+                self.expect(Tok::Comma)?;
+                let neutral = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(WithOp::Fold { fun, neutral })
+            }
+            other => self.err(format!("expected genarray/modarray/fold, found '{other}'")),
+        }
+    }
+}
+
+// `peek2` is used by no production today but kept for the grammar's
+// documented lookahead budget (LL(2)).
+impl Parser {
+    #[allow(dead_code)]
+    fn lookahead_is(&self, t: &Tok) -> bool {
+        self.peek2() == t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_function() {
+        let p = parse_program("int f(int x) { y = x + 1; return( y); }").unwrap();
+        assert_eq!(p.funs.len(), 1);
+        let f = &p.funs[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params, vec![(TypeAnn::Int, "x".into())]);
+        assert_eq!(f.body.len(), 2);
+    }
+
+    #[test]
+    fn parses_type_annotations() {
+        let p = parse_program(
+            "int[*] g(int[.] a, int[.,.] b, int[4,8] c) { return( a); }",
+        )
+        .unwrap();
+        let f = &p.funs[0];
+        assert_eq!(f.ret, TypeAnn::ArrAnyRank);
+        assert_eq!(f.params[0].0, TypeAnn::ArrRank(1));
+        assert_eq!(f.params[1].0, TypeAnn::ArrRank(2));
+        assert_eq!(f.params[2].0, TypeAnn::ArrShape(vec![4, 8]));
+    }
+
+    #[test]
+    fn parses_paper_input_tiler() {
+        // Figure 4, verbatim modulo whitespace.
+        let src = r#"
+int[*] input_tiler(int[*] in_frame, int[.] in_pattern,
+                   int[.] repetition, int[.] origin,
+                   int[.,.] fitting, int[.,.] paving)
+{
+    output = with {
+        (. <= rep <= .) {
+            tile = with {
+                (. <= pat <= .) {
+                    off = origin + MV( CAT( paving, fitting) , rep++pat);
+                    iv = off % shape(in_frame);
+                    elem = in_frame[iv];
+                } : elem;
+            } : genarray( in_pattern, 0);
+        } : tile;
+    } : genarray( repetition);
+    return( output);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let f = &p.funs[0];
+        assert_eq!(f.name, "input_tiler");
+        assert_eq!(f.params.len(), 6);
+        // The outer assignment binds a with-loop.
+        match &f.body[0] {
+            Stmt::Assign(LValue::Var(n), Expr::With(w)) => {
+                assert_eq!(n, "output");
+                assert_eq!(w.generators.len(), 1);
+                let g = &w.generators[0];
+                assert!(g.lower.is_none() && g.upper.is_none());
+                assert!(g.upper_inclusive);
+                // Nested with in the body.
+                assert!(matches!(&g.body[0], Stmt::Assign(_, Expr::With(_))));
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_step_width_generators() {
+        let src = r#"
+int[1080,720] f(int[1080,1920] in_frame)
+{
+    output = with {
+        ( [0,0] <= iv < [1080,1] step [1,3] width [1,1] ) { r = in_frame[iv]; } : r;
+        ( [0,1] <= iv < [1080,720] step [1,3] ) : 0;
+    } : genarray( [1080, 720]);
+    return( output);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        match &p.funs[0].body[0] {
+            Stmt::Assign(_, Expr::With(w)) => {
+                assert_eq!(w.generators.len(), 2);
+                assert!(w.generators[0].step.is_some());
+                assert!(w.generators[0].width.is_some());
+                assert!(!w.generators[0].upper_inclusive);
+                assert!(w.generators[1].step.is_some());
+                assert!(w.generators[1].width.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nongeneric_output_tiler() {
+        // Figure 7 verbatim (with the missing paren fixed).
+        let src = r#"
+int[*] nongeneric_output_tiler(int[*] output, int[*] input)
+{
+    output = with {
+        ([0,0]<=[i,j]<=. step [1,3]):input[[i,j/3,0]];
+        ([0,1]<=[i,j]<=. step [1,3]):input[[i,j/3,1]];
+        ([0,2]<=[i,j]<=. step [1,3]):input[[i,j/3,2]];
+    } : modarray( output);
+    return( output);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        match &p.funs[0].body[0] {
+            Stmt::Assign(_, Expr::With(w)) => {
+                assert_eq!(w.generators.len(), 3);
+                assert!(matches!(w.op, WithOp::Modarray(_)));
+                let g = &w.generators[0];
+                assert_eq!(g.var, GenVar::Components(vec!["i".into(), "j".into()]));
+                assert!(g.upper.is_none());
+                // input[[i, j/3, 0]] = Select with a vector-literal index.
+                match &g.yield_expr {
+                    Expr::Select(_, ix) => assert!(matches!(**ix, Expr::VecLit(_))),
+                    other => panic!("unexpected yield {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop_nest() {
+        // Figure 6's scatter loop shape.
+        let src = r#"
+int[*] scatter(int[*] out_frame, int[*] input, int[.] repetition)
+{
+    for( i=0; i< repetition[[0]]; i++) {
+        for( j=0; j< repetition[[1]]; j++) {
+            out_frame[[i,j]] = input[[i,j]];
+        }
+    }
+    return( out_frame);
+}
+"#;
+        let p = parse_program(src).unwrap();
+        match &p.funs[0].body[0] {
+            Stmt::For { var, body, .. } => {
+                assert_eq!(var, "i");
+                assert!(matches!(&body[0], Stmt::For { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_for_variable() {
+        let src = "int f() { for( i=0; j<10; i++) { x = 0; } return( 0); }";
+        assert!(matches!(parse_program(src), Err(SacError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_return_in_generator_body() {
+        let src = "int f() { x = with { (.<=iv<=.) { return( 0); } : 1; } : genarray([2]); return( x); }";
+        assert!(matches!(parse_program(src), Err(SacError::Parse { .. })));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Bin(BinKind::Add, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Bin(BinKind::Mul, _, _)))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // ++ binds looser than +.
+        let e = parse_expr("a ++ b + c").unwrap();
+        assert!(matches!(e, Expr::Bin(BinKind::Concat, _, _)));
+    }
+
+    #[test]
+    fn indexed_assignment() {
+        let p = parse_program("int f(int[.] t) { t[0] = 5; return( t); }").unwrap();
+        assert!(matches!(&p.funs[0].body[0], Stmt::Assign(LValue::Index(n, _), _) if n == "t"));
+    }
+
+    #[test]
+    fn negative_literals_in_vectors() {
+        let e = parse_expr("[-3, 0]").unwrap();
+        match e {
+            Expr::VecLit(elems) => assert!(matches!(elems[0], Expr::Neg(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Token definitions for the SaC subset.
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token proper.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier (also used for type keywords' base like `int`).
+    Ident(String),
+    /// `with`
+    With,
+    /// `genarray`
+    Genarray,
+    /// `modarray`
+    Modarray,
+    /// `fold`
+    Fold,
+    /// `step`
+    Step,
+    /// `width`
+    Width,
+    /// `return`
+    Return,
+    /// `for`
+    For,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `++` (vector concatenation; also postfix increment in `for` headers)
+    PlusPlus,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `.` (the "whole range" bound inside generators)
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::With => write!(f, "with"),
+            Tok::Genarray => write!(f, "genarray"),
+            Tok::Modarray => write!(f, "modarray"),
+            Tok::Fold => write!(f, "fold"),
+            Tok::Step => write!(f, "step"),
+            Tok::Width => write!(f, "width"),
+            Tok::Return => write!(f, "return"),
+            Tok::For => write!(f, "for"),
+            Tok::If => write!(f, "if"),
+            Tok::Else => write!(f, "else"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Assign => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::PlusPlus => write!(f, "++"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::NotEq => write!(f, "!="),
+            Tok::Dot => write!(f, "."),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Shape-class checking.
+//!
+//! SaC's type system stratifies arrays into shape classes: AKS (shape known,
+//! e.g. `int[1080,1920]`), AKD (rank known, `int[.,.]`), AUD (`int[*]`).
+//! The subset here checks values against annotations dynamically at call and
+//! return boundaries ([`check_value`]) and performs a light static sanity pass
+//! over programs ([`check_program`]): definite assignment of variables, arity
+//! of user calls, and reachability of a `return`.
+
+use crate::ast::*;
+use crate::builtins::is_builtin;
+use crate::value::Value;
+use crate::SacError;
+use std::collections::HashSet;
+
+/// Check a runtime value against a type annotation.
+pub fn check_value(ann: &TypeAnn, v: &Value) -> Result<(), String> {
+    match (ann, v) {
+        (TypeAnn::Int, Value::Int(_)) => Ok(()),
+        (TypeAnn::Int, Value::Arr(a)) if a.rank() == 0 => Ok(()),
+        (TypeAnn::Int, Value::Arr(a)) => {
+            Err(format!("expected int, found array of shape {}", a.shape()))
+        }
+        (TypeAnn::ArrAnyRank, _) => Ok(()),
+        (TypeAnn::ArrRank(r), Value::Arr(a)) if a.rank() == *r => Ok(()),
+        (TypeAnn::ArrRank(r), other) => {
+            Err(format!("expected rank-{r} array, found rank-{}", other.rank()))
+        }
+        (TypeAnn::ArrShape(dims), Value::Arr(a)) if a.shape().dims() == dims.as_slice() => Ok(()),
+        (TypeAnn::ArrShape(dims), other) => Err(format!(
+            "expected array of shape {dims:?}, found shape {:?}",
+            other.shape_vec()
+        )),
+    }
+}
+
+/// Static sanity checks over a parsed program.
+pub fn check_program(prog: &Program) -> Result<(), SacError> {
+    let mut names = HashSet::new();
+    for f in &prog.funs {
+        if !names.insert(f.name.as_str()) {
+            return Err(SacError::Type { msg: format!("duplicate function '{}'", f.name) });
+        }
+        if is_builtin(&f.name) {
+            return Err(SacError::Type {
+                msg: format!("function '{}' shadows a builtin", f.name),
+            });
+        }
+    }
+    for f in &prog.funs {
+        let mut defined: HashSet<String> =
+            f.params.iter().map(|(_, n)| n.clone()).collect();
+        if !stmts_check(prog, &f.name, &f.body, &mut defined)? {
+            return Err(SacError::Type {
+                msg: format!("function '{}' may fall off the end without returning", f.name),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check statements; returns whether a `return` is guaranteed on this path.
+fn stmts_check(
+    prog: &Program,
+    fun: &str,
+    stmts: &[Stmt],
+    defined: &mut HashSet<String>,
+) -> Result<bool, SacError> {
+    let mut returned = false;
+    for s in stmts {
+        match s {
+            Stmt::Assign(lv, e) => {
+                expr_check(prog, fun, e, defined)?;
+                match lv {
+                    LValue::Var(n) => {
+                        defined.insert(n.clone());
+                    }
+                    LValue::Index(n, ix) => {
+                        if !defined.contains(n) {
+                            return Err(SacError::Type {
+                                msg: format!("'{fun}': indexed assignment to undefined '{n}'"),
+                            });
+                        }
+                        expr_check(prog, fun, ix, defined)?;
+                    }
+                }
+            }
+            Stmt::For { var, init, limit, body } => {
+                expr_check(prog, fun, init, defined)?;
+                let mut inner = defined.clone();
+                inner.insert(var.clone());
+                expr_check(prog, fun, limit, &mut inner)?;
+                stmts_check(prog, fun, body, &mut inner)?;
+                // Variables assigned in the loop remain visible after it
+                // (C scoping of the paper's code).
+                for n in inner {
+                    defined.insert(n);
+                }
+            }
+            Stmt::Return(e) => {
+                expr_check(prog, fun, e, defined)?;
+                returned = true;
+            }
+        }
+    }
+    Ok(returned)
+}
+
+fn expr_check(
+    prog: &Program,
+    fun: &str,
+    e: &Expr,
+    defined: &mut HashSet<String>,
+) -> Result<(), SacError> {
+    match e {
+        Expr::Int(_) => Ok(()),
+        Expr::Var(n) => {
+            if defined.contains(n) {
+                Ok(())
+            } else {
+                Err(SacError::Type { msg: format!("'{fun}': use of undefined variable '{n}'") })
+            }
+        }
+        Expr::VecLit(es) => {
+            for e in es {
+                expr_check(prog, fun, e, defined)?;
+            }
+            Ok(())
+        }
+        Expr::Neg(inner) => expr_check(prog, fun, inner, defined),
+        Expr::Bin(_, l, r) => {
+            expr_check(prog, fun, l, defined)?;
+            expr_check(prog, fun, r, defined)
+        }
+        Expr::Call(name, args) => {
+            for a in args {
+                expr_check(prog, fun, a, defined)?;
+            }
+            if is_builtin(name) {
+                return Ok(());
+            }
+            match prog.fun(name) {
+                Some(f) if f.params.len() == args.len() => Ok(()),
+                Some(f) => Err(SacError::Type {
+                    msg: format!(
+                        "'{fun}': call of '{name}' with {} arguments (expects {})",
+                        args.len(),
+                        f.params.len()
+                    ),
+                }),
+                None => Err(SacError::Type { msg: format!("'{fun}': unknown function '{name}'") }),
+            }
+        }
+        Expr::Select(a, ix) => {
+            expr_check(prog, fun, a, defined)?;
+            expr_check(prog, fun, ix, defined)
+        }
+        Expr::With(w) => {
+            for gen in &w.generators {
+                for b in [&gen.lower, &gen.upper, &gen.step, &gen.width].into_iter().flatten() {
+                    expr_check(prog, fun, b, defined)?;
+                }
+                let mut inner = defined.clone();
+                match &gen.var {
+                    GenVar::Name(n) => {
+                        inner.insert(n.clone());
+                    }
+                    GenVar::Components(ns) => {
+                        for n in ns {
+                            inner.insert(n.clone());
+                        }
+                    }
+                }
+                stmts_check(prog, fun, &gen.body, &mut inner)?;
+                expr_check(prog, fun, &gen.yield_expr, &mut inner)?;
+            }
+            match &w.op {
+                WithOp::Genarray { shape, default } => {
+                    expr_check(prog, fun, shape, defined)?;
+                    if let Some(d) = default {
+                        expr_check(prog, fun, d, defined)?;
+                    }
+                    Ok(())
+                }
+                WithOp::Modarray(src) => expr_check(prog, fun, src, defined),
+                WithOp::Fold { neutral, .. } => expr_check(prog, fun, neutral, defined),
+            }
+        }
+        Expr::Block(stmts, result) => {
+            let mut inner = defined.clone();
+            stmts_check(prog, fun, stmts, &mut inner)?;
+            expr_check(prog, fun, result, &mut inner)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use mdarray::NdArray;
+
+    #[test]
+    fn value_checks() {
+        let a = Value::Arr(NdArray::filled([2usize, 3], 0i64));
+        assert!(check_value(&TypeAnn::Int, &Value::Int(1)).is_ok());
+        assert!(check_value(&TypeAnn::Int, &a).is_err());
+        assert!(check_value(&TypeAnn::ArrAnyRank, &a).is_ok());
+        assert!(check_value(&TypeAnn::ArrAnyRank, &Value::Int(1)).is_ok());
+        assert!(check_value(&TypeAnn::ArrRank(2), &a).is_ok());
+        assert!(check_value(&TypeAnn::ArrRank(1), &a).is_err());
+        assert!(check_value(&TypeAnn::ArrShape(vec![2, 3]), &a).is_ok());
+        assert!(check_value(&TypeAnn::ArrShape(vec![3, 2]), &a).is_err());
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        let p = parse_program(
+            "int g(int x) { return( x); } int f(int x) { y = g(x); return( y + 1); }",
+        )
+        .unwrap();
+        check_program(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_undefined_variable() {
+        let p = parse_program("int f() { return( y); }").unwrap();
+        assert!(matches!(check_program(&p), Err(SacError::Type { .. })));
+    }
+
+    #[test]
+    fn rejects_missing_return() {
+        let p = parse_program("int f(int x) { y = x; }").unwrap();
+        assert!(matches!(check_program(&p), Err(SacError::Type { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let p = parse_program("int g(int x) { return( x); } int f() { return( g(1, 2)); }")
+            .unwrap();
+        assert!(matches!(check_program(&p), Err(SacError::Type { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_and_builtin_shadowing() {
+        let p = parse_program("int f() { return( 1); } int f() { return( 2); }").unwrap();
+        assert!(check_program(&p).is_err());
+        let p = parse_program("int shape(int x) { return( x); }").unwrap();
+        assert!(check_program(&p).is_err());
+    }
+
+    #[test]
+    fn generator_variables_are_in_scope() {
+        let p = parse_program(
+            "int[*] f() { o = with { ([0,0] <= [i,j] < [2,2]) : i + j; } : genarray( [2,2], 0); return( o); }",
+        )
+        .unwrap();
+        check_program(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_indexed_assign_to_undefined() {
+        let p = parse_program("int f() { t[0] = 1; return( 0); }").unwrap();
+        assert!(check_program(&p).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Runtime values of the SaC interpreter.
+
+use crate::SacError;
+use mdarray::NdArray;
+
+/// A SaC value: a scalar `int` or a multidimensional `int` array.
+///
+/// (Full SaC treats scalars as rank-0 arrays; we keep them separate for speed
+/// and convert where needed — `shape(5)` is `[]` either way.)
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Scalar integer.
+    Int(i64),
+    /// Array of rank ≥ 0.
+    Arr(NdArray<i64>),
+}
+
+impl Value {
+    /// The value's shape vector (empty for scalars).
+    pub fn shape_vec(&self) -> Vec<usize> {
+        match self {
+            Value::Int(_) => Vec::new(),
+            Value::Arr(a) => a.shape().dims().to_vec(),
+        }
+    }
+
+    /// Rank (0 for scalars).
+    pub fn rank(&self) -> usize {
+        match self {
+            Value::Int(_) => 0,
+            Value::Arr(a) => a.rank(),
+        }
+    }
+
+    /// Unwrap a scalar, treating rank-0 arrays as scalars too.
+    pub fn as_int(&self) -> Result<i64, SacError> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Arr(a) if a.rank() == 0 => Ok(a.as_slice()[0]),
+            Value::Arr(a) => Err(SacError::Eval {
+                msg: format!("expected a scalar, found array of shape {}", a.shape()),
+            }),
+        }
+    }
+
+    /// Unwrap a rank-1 integer vector (an index vector).
+    pub fn as_ivec(&self) -> Result<Vec<i64>, SacError> {
+        match self {
+            Value::Arr(a) if a.rank() == 1 => Ok(a.as_slice().to_vec()),
+            other => Err(SacError::Eval {
+                msg: format!("expected an index vector, found rank-{} value", other.rank()),
+            }),
+        }
+    }
+
+    /// Unwrap a rank-1 vector of non-negative extents (a shape vector).
+    pub fn as_shape(&self) -> Result<Vec<usize>, SacError> {
+        let v = self.as_ivec()?;
+        v.iter()
+            .map(|&x| {
+                usize::try_from(x).map_err(|_| SacError::Eval {
+                    msg: format!("negative extent {x} in shape vector"),
+                })
+            })
+            .collect()
+    }
+
+    /// Build a rank-1 vector value.
+    pub fn from_ivec(v: Vec<i64>) -> Value {
+        let n = v.len();
+        Value::Arr(NdArray::from_vec([n], v).expect("length matches"))
+    }
+
+    /// Borrow the underlying array, if any.
+    pub fn as_array(&self) -> Result<&NdArray<i64>, SacError> {
+        match self {
+            Value::Arr(a) => Ok(a),
+            Value::Int(_) => Err(SacError::Eval { msg: "expected an array, found scalar".into() }),
+        }
+    }
+}
+
+/// Euclidean modulo: the result has the divisor's sign magnitude semantics the
+/// tiler formulae need (`-1 % 1920 == 1919`).
+pub fn euclid_mod(a: i64, b: i64) -> Result<i64, SacError> {
+    if b == 0 {
+        return Err(SacError::Eval { msg: "modulo by zero".into() });
+    }
+    Ok(a.rem_euclid(b))
+}
+
+/// C-style truncating division, with a zero check.
+pub fn trunc_div(a: i64, b: i64) -> Result<i64, SacError> {
+    if b == 0 {
+        return Err(SacError::Eval { msg: "division by zero".into() });
+    }
+    Ok(a.wrapping_div(b))
+}
+
+/// Apply a scalar binary function elementwise with scalar↔array broadcasting.
+pub fn broadcast2(
+    lhs: &Value,
+    rhs: &Value,
+    mut f: impl FnMut(i64, i64) -> Result<i64, SacError>,
+) -> Result<Value, SacError> {
+    match (lhs, rhs) {
+        (Value::Int(a), Value::Int(b)) => Ok(Value::Int(f(*a, *b)?)),
+        (Value::Arr(a), Value::Int(b)) => {
+            let mut out = Vec::with_capacity(a.len());
+            for &x in a.as_slice() {
+                out.push(f(x, *b)?);
+            }
+            Ok(Value::Arr(NdArray::from_vec(a.shape().clone(), out).expect("same length")))
+        }
+        (Value::Int(a), Value::Arr(b)) => {
+            let mut out = Vec::with_capacity(b.len());
+            for &x in b.as_slice() {
+                out.push(f(*a, x)?);
+            }
+            Ok(Value::Arr(NdArray::from_vec(b.shape().clone(), out).expect("same length")))
+        }
+        (Value::Arr(a), Value::Arr(b)) => {
+            if a.shape() != b.shape() {
+                return Err(SacError::Eval {
+                    msg: format!("shape mismatch in elementwise op: {} vs {}", a.shape(), b.shape()),
+                });
+            }
+            let mut out = Vec::with_capacity(a.len());
+            for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+                out.push(f(x, y)?);
+            }
+            Ok(Value::Arr(NdArray::from_vec(a.shape().clone(), out).expect("same length")))
+        }
+    }
+}
+
+/// Select `a[index]` where `index` is a (possibly partial) index vector:
+/// full rank yields the element, shorter prefixes yield sub-arrays.
+/// Components wrap are *not* applied here — SaC selection is bounds-checked.
+pub fn select_vec(a: &NdArray<i64>, index: &[i64]) -> Result<Value, SacError> {
+    if index.len() > a.rank() {
+        return Err(SacError::Eval {
+            msg: format!("index rank {} exceeds array rank {}", index.len(), a.rank()),
+        });
+    }
+    let mut ix = Vec::with_capacity(index.len());
+    for (d, &x) in index.iter().enumerate() {
+        let extent = a.shape().dim(d);
+        if x < 0 || x as usize >= extent {
+            return Err(SacError::Eval {
+                msg: format!("index {x} out of bounds for extent {extent} (dim {d})"),
+            });
+        }
+        ix.push(x as usize);
+    }
+    if index.len() == a.rank() {
+        Ok(Value::Int(*a.get(&ix).expect("checked above")))
+    } else {
+        let sub = a.subarray(&ix).map_err(|e| SacError::Eval { msg: e.to_string() })?;
+        Ok(Value::Arr(sub))
+    }
+}
+
+/// Write `value` into `a` at a (possibly partial) index vector; scalar writes
+/// hit one element, array writes replace the addressed sub-array.
+pub fn assign_vec(a: &mut NdArray<i64>, index: &[i64], value: &Value) -> Result<(), SacError> {
+    let mut ix = Vec::with_capacity(index.len());
+    for (d, &x) in index.iter().enumerate() {
+        if d >= a.rank() {
+            return Err(SacError::Eval { msg: "index rank exceeds array rank".into() });
+        }
+        let extent = a.shape().dim(d);
+        if x < 0 || x as usize >= extent {
+            return Err(SacError::Eval {
+                msg: format!("index {x} out of bounds for extent {extent} (dim {d})"),
+            });
+        }
+        ix.push(x as usize);
+    }
+    let cell_rank = a.rank() - index.len();
+    match value {
+        Value::Int(v) if cell_rank == 0 => {
+            a.set(&ix, *v).map_err(|e| SacError::Eval { msg: e.to_string() })
+        }
+        Value::Arr(cell) if cell.rank() == cell_rank => {
+            let cell_dims: Vec<usize> = a.shape().dims()[index.len()..].to_vec();
+            if cell.shape().dims() != cell_dims.as_slice() {
+                return Err(SacError::Eval {
+                    msg: format!(
+                        "sub-array assignment shape mismatch: {} vs [{}]",
+                        cell.shape(),
+                        cell_dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(",")
+                    ),
+                });
+            }
+            // Contiguous block write at the prefix offset.
+            let mut full = ix.clone();
+            full.extend(std::iter::repeat_n(0, cell_rank));
+            let start = a
+                .shape()
+                .offset_of(&full)
+                .map_err(|e| SacError::Eval { msg: e.to_string() })?;
+            let len = cell.len();
+            a.as_mut_slice()[start..start + len].copy_from_slice(cell.as_slice());
+            Ok(())
+        }
+        _ => Err(SacError::Eval {
+            msg: format!(
+                "assignment rank mismatch: writing rank-{} value into rank-{} cell",
+                value.rank(),
+                cell_rank
+            ),
+        }),
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Arr(a) if a.rank() == 1 => {
+                write!(f, "[")?;
+                for (i, v) in a.as_slice().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Arr(a) => write!(f, "<array {}>", a.shape()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclid_mod_wraps_negatives() {
+        assert_eq!(euclid_mod(-1, 1920).unwrap(), 1919);
+        assert_eq!(euclid_mod(1921, 1920).unwrap(), 1);
+        assert_eq!(euclid_mod(5, 3).unwrap(), 2);
+        assert!(euclid_mod(1, 0).is_err());
+    }
+
+    #[test]
+    fn broadcasting_rules() {
+        let v = Value::from_ivec(vec![1, 2, 3]);
+        let r = broadcast2(&v, &Value::Int(10), |a, b| Ok(a * b)).unwrap();
+        assert_eq!(r.as_ivec().unwrap(), vec![10, 20, 30]);
+        let r = broadcast2(&Value::Int(1), &v, |a, b| Ok(a + b)).unwrap();
+        assert_eq!(r.as_ivec().unwrap(), vec![2, 3, 4]);
+        let w = Value::from_ivec(vec![4, 5]);
+        assert!(broadcast2(&v, &w, |a, b| Ok(a + b)).is_err());
+    }
+
+    #[test]
+    fn select_partial_and_full() {
+        let a = NdArray::from_fn([2usize, 3], |ix| (ix[0] * 3 + ix[1]) as i64);
+        assert_eq!(select_vec(&a, &[1, 2]).unwrap(), Value::Int(5));
+        match select_vec(&a, &[1]).unwrap() {
+            Value::Arr(sub) => assert_eq!(sub.as_slice(), &[3, 4, 5]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(select_vec(&a, &[2, 0]).is_err());
+        assert!(select_vec(&a, &[0, -1]).is_err());
+        assert!(select_vec(&a, &[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn assign_scalar_and_subarray() {
+        let mut a = NdArray::filled([2usize, 3], 0i64);
+        assign_vec(&mut a, &[1, 2], &Value::Int(9)).unwrap();
+        assert_eq!(*a.get(&[1, 2]).unwrap(), 9);
+        let row = NdArray::from_vec([3usize], vec![7, 8, 9]).unwrap();
+        assign_vec(&mut a, &[0], &Value::Arr(row)).unwrap();
+        assert_eq!(a.as_slice()[..3], [7, 8, 9]);
+        // Wrong cell shape.
+        let bad = NdArray::from_vec([2usize], vec![1, 2]).unwrap();
+        assert!(assign_vec(&mut a, &[0], &Value::Arr(bad)).is_err());
+    }
+
+    #[test]
+    fn as_shape_rejects_negative() {
+        assert!(Value::from_ivec(vec![2, -1]).as_shape().is_err());
+        assert_eq!(Value::from_ivec(vec![2, 3]).as_shape().unwrap(), vec![2, 3]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Analytic cost model for simulated GPU time.
+//!
+//! The simulator executes kernels functionally and *charges* time with this
+//! model. The constants are not microarchitectural truths — they are
+//! device-wide effective costs calibrated so that the paper's own measurements
+//! on a GTX480 are reproduced in shape (see `EXPERIMENTS.md` for measured vs
+//! paper values). The model deliberately keeps only the terms the paper's
+//! analysis turns on:
+//!
+//! * **launch overhead** per kernel — "each kernel launch incurs context
+//!   overheads; the more kernels a program executes, the higher this cost",
+//! * **DRAM vs L1 pricing** — the first access to an address within a launch
+//!   pays [`Calibration::dram_access_ns`]; repeated accesses pay
+//!   [`Calibration::l1_access_ns`]. The cache is not persistent across
+//!   launches, so "separating computations of the same data array into
+//!   different kernels hinders effective data reuse",
+//! * **compute throughput** — dynamic instructions at
+//!   [`Calibration::instr_ns`] apiece (device-wide amortised),
+//! * **PCIe transfers** — latency plus bytes over effective bandwidth,
+//!   asymmetric between host→device and device→host as measured in the paper
+//!   (Tables I/II imply ≈5.4 GB/s H2D and ≈6.3 GB/s D2H effective).
+
+use crate::exec::LaunchStats;
+
+/// Transfer direction for [`Calibration::transfer_time_us`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Host memory → device memory (`cudaMemcpyHostToDevice`).
+    HostToDevice,
+    /// Device memory → host memory (`cudaMemcpyDeviceToHost`).
+    DeviceToHost,
+}
+
+/// Calibrated cost constants for a simulated device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Fixed overhead charged per kernel launch (µs).
+    pub kernel_launch_us: f64,
+    /// Fixed latency per host→device transfer (µs).
+    pub h2d_latency_us: f64,
+    /// Effective host→device bandwidth (bytes per µs; 5364 ≈ 5.36 GB/s).
+    pub h2d_bytes_per_us: f64,
+    /// Fixed latency per device→host transfer (µs).
+    pub d2h_latency_us: f64,
+    /// Effective device→host bandwidth (bytes per µs).
+    pub d2h_bytes_per_us: f64,
+    /// Device-wide amortised cost per dynamic instruction (ns).
+    pub instr_ns: f64,
+    /// Cost per *distinct-address* global memory access in a launch (ns).
+    pub dram_access_ns: f64,
+    /// Cost per repeated-address access within a launch — an L1 hit (ns).
+    pub l1_access_ns: f64,
+}
+
+impl Calibration {
+    /// Constants calibrated against the paper's GTX480 measurements.
+    ///
+    /// Derivation of the transfer numbers from Table I: 900 H2D transfers of a
+    /// 1080×1920 `int` channel plane (8.29 MB) took 1.391 s ⇒ ≈5.4 GB/s;
+    /// 900 D2H transfers of a 480×720 plane (1.38 MB) took 0.197 s ⇒
+    /// ≈6.3 GB/s. Kernel constants were fit to the per-kernel times implied by
+    /// Tables I and II (see DESIGN.md §5, "Cost-model calibration", and EXPERIMENTS.md).
+    pub fn gtx480() -> Self {
+        Calibration {
+            kernel_launch_us: 12.0,
+            h2d_latency_us: 15.0,
+            h2d_bytes_per_us: 5364.0,
+            d2h_latency_us: 15.0,
+            d2h_bytes_per_us: 6316.0,
+            instr_ns: 0.014,
+            dram_access_ns: 0.105,
+            l1_access_ns: 0.03,
+        }
+    }
+
+    /// A free device: zero-cost everything. Useful in tests that only check
+    /// functional results.
+    pub fn zero() -> Self {
+        Calibration {
+            kernel_launch_us: 0.0,
+            h2d_latency_us: 0.0,
+            h2d_bytes_per_us: f64::INFINITY,
+            d2h_latency_us: 0.0,
+            d2h_bytes_per_us: f64::INFINITY,
+            instr_ns: 0.0,
+            dram_access_ns: 0.0,
+            l1_access_ns: 0.0,
+        }
+    }
+
+    /// Simulated duration of a PCIe transfer of `bytes` bytes (µs).
+    pub fn transfer_time_us(&self, bytes: usize, dir: Direction) -> f64 {
+        let (lat, bw) = match dir {
+            Direction::HostToDevice => (self.h2d_latency_us, self.h2d_bytes_per_us),
+            Direction::DeviceToHost => (self.d2h_latency_us, self.d2h_bytes_per_us),
+        };
+        lat + bytes as f64 / bw
+    }
+
+    /// Simulated duration of a kernel launch with the given dynamic counts (µs).
+    ///
+    /// `t = launch + instr·instr_ns + distinct·dram_ns + hits·l1_ns`.
+    pub fn kernel_time_us(&self, stats: &LaunchStats) -> f64 {
+        let compute_ns = stats.instructions as f64 * self.instr_ns;
+        let dram_ns = stats.distinct_accesses as f64 * self.dram_access_ns;
+        let l1_ns = stats.l1_hits as f64 * self.l1_access_ns;
+        self.kernel_launch_us + (compute_ns + dram_ns + l1_ns) / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(instr: u64, distinct: u64, hits: u64) -> LaunchStats {
+        LaunchStats {
+            threads: 0,
+            instructions: instr,
+            loads: 0,
+            stores: 0,
+            distinct_accesses: distinct,
+            l1_hits: hits,
+        }
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_and_bandwidth() {
+        let c = Calibration::gtx480();
+        let t = c.transfer_time_us(8_294_400, Direction::HostToDevice);
+        // 15 µs latency + 8.29 MB at 5364 B/µs ≈ 1561 µs.
+        assert!((t - (15.0 + 8_294_400.0 / 5364.0)).abs() < 1e-9);
+        // D2H is faster per byte in the paper's measurements.
+        let h = c.transfer_time_us(1_000_000, Direction::HostToDevice);
+        let d = c.transfer_time_us(1_000_000, Direction::DeviceToHost);
+        assert!(d < h);
+    }
+
+    #[test]
+    fn kernel_time_has_fixed_launch_floor() {
+        let c = Calibration::gtx480();
+        assert!((c.kernel_time_us(&stats(0, 0, 0)) - c.kernel_launch_us).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_costs_more_than_l1() {
+        let c = Calibration::gtx480();
+        let all_dram = c.kernel_time_us(&stats(0, 1000, 0));
+        let all_l1 = c.kernel_time_us(&stats(0, 0, 1000));
+        assert!(all_dram > all_l1);
+    }
+
+    #[test]
+    fn zero_calibration_charges_nothing() {
+        let c = Calibration::zero();
+        assert_eq!(c.transfer_time_us(123456, Direction::DeviceToHost), 0.0);
+        assert_eq!(c.kernel_time_us(&stats(1000, 1000, 1000)), 0.0);
+    }
+
+    #[test]
+    fn more_kernels_cost_more_for_same_work() {
+        // The paper's launch-overhead observation: splitting the same dynamic
+        // work across k launches adds (k-1) launch overheads.
+        let c = Calibration::gtx480();
+        let fused = c.kernel_time_us(&stats(9000, 900, 0));
+        let split: f64 = (0..3).map(|_| c.kernel_time_us(&stats(3000, 300, 0))).sum();
+        assert!(split > fused);
+        assert!((split - fused - 2.0 * c.kernel_launch_us).abs() < 1e-9);
+    }
+}

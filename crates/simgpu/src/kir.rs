@@ -1,0 +1,582 @@
+//! Kernel IR: the executable artefact both backends emit.
+//!
+//! A [`Kernel`] is a straight-line/structured program over an unbounded file of
+//! virtual integer registers, executed once per thread of a launch grid. The
+//! IR deliberately mirrors what the paper's CUDA and OpenCL backends generate:
+//! index arithmetic from thread/block identifiers, bounded `for` loops (the
+//! pattern-filling loop of Figure 11), guards, and global-memory loads/stores.
+//!
+//! The same structure drives three consumers:
+//!
+//! 1. the simulator's interpreter ([`crate::exec`]) — functional execution,
+//! 2. the cost model ([`crate::cost`]) — dynamic instruction and memory counts,
+//! 3. source emission — pretty-printing as CUDA C or OpenCL C
+//!    ([`Kernel::emit_source`]).
+
+/// A virtual register index.
+pub type Reg = u16;
+
+/// Kernel parameter declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Param {
+    /// A global-memory buffer argument.
+    Buffer {
+        /// Name used in emitted source.
+        name: String,
+        /// Whether the kernel may store through this parameter.
+        writable: bool,
+    },
+    /// An integer scalar argument.
+    Scalar {
+        /// Name used in emitted source.
+        name: String,
+    },
+}
+
+impl Param {
+    /// Parameter name (for emission and diagnostics).
+    pub fn name(&self) -> &str {
+        match self {
+            Param::Buffer { name, .. } | Param::Scalar { name } => name,
+        }
+    }
+}
+
+/// Runtime argument bound to a parameter at launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelArg {
+    /// A device buffer (see [`crate::device::BufferId`]).
+    Buffer(usize),
+    /// An immediate integer.
+    Scalar(i64),
+}
+
+/// Built-in per-thread values (CUDA names; the OpenCL flavour maps them to
+/// `get_global_id` / `get_local_id` expressions when emitting source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Special {
+    /// `blockIdx.x * blockDim.x + threadIdx.x` — flattened global x id.
+    GlobalIdX,
+    /// `blockIdx.y * blockDim.y + threadIdx.y` — flattened global y id.
+    GlobalIdY,
+    /// `threadIdx.x`.
+    ThreadIdxX,
+    /// `threadIdx.y`.
+    ThreadIdxY,
+    /// `blockIdx.x`.
+    BlockIdxX,
+    /// `blockIdx.y`.
+    BlockIdxY,
+    /// `blockDim.x`.
+    BlockDimX,
+    /// `blockDim.y`.
+    BlockDimY,
+    /// `gridDim.x`.
+    GridDimX,
+    /// `gridDim.y`.
+    GridDimY,
+}
+
+/// Integer binary operations. Division and remainder truncate toward zero
+/// (C semantics); both backends emit explicit wrap sequences when they need
+/// Euclidean behaviour for tiler modulo addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Truncating division.
+    Div,
+    /// Truncating remainder.
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Less-than (1/0).
+    Lt,
+    /// Less-or-equal (1/0).
+    Le,
+    /// Equality (1/0).
+    Eq,
+    /// Inequality (1/0).
+    Ne,
+    /// Logical and of 0/1 values.
+    And,
+    /// Logical or of 0/1 values.
+    Or,
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // operand fields follow the per-variant doc comments
+pub enum Instr {
+    /// `dst = value`.
+    Const { dst: Reg, value: i64 },
+    /// `dst = <scalar parameter param>`.
+    LoadParam { dst: Reg, param: usize },
+    /// `dst = <special thread/block value>`.
+    Special { dst: Reg, kind: Special },
+    /// `dst = lhs <op> rhs`.
+    Bin { op: BinOp, dst: Reg, lhs: Reg, rhs: Reg },
+    /// `dst = src`.
+    Mov { dst: Reg, src: Reg },
+    /// `dst = buffer[param][index]` (global memory load).
+    Load { dst: Reg, param: usize, index: Reg },
+    /// `buffer[param][index] = src` (global memory store).
+    Store { param: usize, index: Reg, src: Reg },
+    /// Bounded counting loop: `for (var = start; var < end; var += step) body`.
+    /// `step` must evaluate to a positive value.
+    For { var: Reg, start: Reg, end: Reg, step: Reg, body: Vec<Instr> },
+    /// `if (cond != 0) then else els`.
+    If { cond: Reg, then: Vec<Instr>, els: Vec<Instr> },
+    /// Early thread exit (used for grid over-provisioning guards).
+    Return,
+}
+
+/// The surface language a kernel "was generated for". Purely presentational:
+/// execution is identical; only emitted source text differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelFlavor {
+    /// CUDA C (`__global__`, `threadIdx`, `cudaMalloc` world).
+    Cuda,
+    /// OpenCL C (`__kernel`, `get_global_id`, command-queue world).
+    OpenCl,
+}
+
+/// A compiled kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel (function) name; used by the profiler and emitted source.
+    pub name: String,
+    /// Parameter declarations, bound positionally at launch.
+    pub params: Vec<Param>,
+    /// The body executed by every thread.
+    pub body: Vec<Instr>,
+    /// Emission flavour.
+    pub flavor: KernelFlavor,
+}
+
+impl Kernel {
+    /// Highest register index used, plus one (the register file size needed).
+    pub fn register_count(&self) -> usize {
+        fn bump(max: &mut u16, r: Reg) {
+            if r + 1 > *max {
+                *max = r + 1;
+            }
+        }
+        fn walk(instrs: &[Instr], max: &mut u16) {
+            for i in instrs {
+                match i {
+                    Instr::Const { dst, .. }
+                    | Instr::LoadParam { dst, .. }
+                    | Instr::Special { dst, .. } => bump(max, *dst),
+                    Instr::Bin { dst, lhs, rhs, .. } => {
+                        bump(max, *dst);
+                        bump(max, *lhs);
+                        bump(max, *rhs);
+                    }
+                    Instr::Mov { dst, src } => {
+                        bump(max, *dst);
+                        bump(max, *src);
+                    }
+                    Instr::Load { dst, index, .. } => {
+                        bump(max, *dst);
+                        bump(max, *index);
+                    }
+                    Instr::Store { index, src, .. } => {
+                        bump(max, *index);
+                        bump(max, *src);
+                    }
+                    Instr::For { var, start, end, step, body } => {
+                        bump(max, *var);
+                        bump(max, *start);
+                        bump(max, *end);
+                        bump(max, *step);
+                        walk(body, max);
+                    }
+                    Instr::If { cond, then, els } => {
+                        bump(max, *cond);
+                        walk(then, max);
+                        walk(els, max);
+                    }
+                    Instr::Return => {}
+                }
+            }
+        }
+        let mut max = 0u16;
+        walk(&self.body, &mut max);
+        max as usize
+    }
+
+    /// Number of static instructions (loop bodies counted once).
+    pub fn static_len(&self) -> usize {
+        fn walk(instrs: &[Instr]) -> usize {
+            instrs
+                .iter()
+                .map(|i| match i {
+                    Instr::For { body, .. } => 1 + walk(body),
+                    Instr::If { then, els, .. } => 1 + walk(then) + walk(els),
+                    _ => 1,
+                })
+                .sum()
+        }
+        walk(&self.body)
+    }
+
+    /// Pretty-print the kernel as CUDA C or OpenCL C, depending on its flavour.
+    ///
+    /// The emitted text is for human inspection (it reproduces the paper's
+    /// Figure 11 artefact); the IR itself is what executes.
+    pub fn emit_source(&self) -> String {
+        crate::emit::emit_kernel(self)
+    }
+}
+
+/// A small builder for writing kernels by hand and in backends.
+///
+/// Registers are allocated monotonically; the builder tracks the instruction
+/// stream and nesting of structured constructs.
+///
+/// The builder performs local **value numbering** (common-subexpression
+/// elimination): identical constants, specials, pure binary operations and
+/// loads within one straight-line region reuse the register that already
+/// holds the value — exactly what any real CUDA/OpenCL compiler does, and
+/// without it the folded SaC bodies (which syntactically duplicate window
+/// sums in `t/6 - t%6`) would be charged twice for every load. The memo is
+/// conservatively cleared at every structured-control or register-mutation
+/// boundary (`mov`, `begin_for`, `begin_if`, …) and load entries are
+/// invalidated by stores to the same parameter.
+#[derive(Debug, Default)]
+pub struct KernelBuilder {
+    name: String,
+    params: Vec<Param>,
+    flavor: Option<KernelFlavor>,
+    next_reg: Reg,
+    /// Stack of open instruction sequences: base body plus any open loops/ifs.
+    frames: Vec<Vec<Instr>>,
+    /// What kind of frame each nested entry is (loop header info etc.).
+    pending: Vec<PendingBlock>,
+    memo_const: std::collections::HashMap<i64, Reg>,
+    memo_special: std::collections::HashMap<u8, Reg>,
+    memo_bin: std::collections::HashMap<(u8, Reg, Reg), Reg>,
+    memo_load: std::collections::HashMap<(usize, Reg), Reg>,
+}
+
+#[derive(Debug)]
+enum PendingBlock {
+    For { var: Reg, start: Reg, end: Reg, step: Reg },
+    IfThen { cond: Reg },
+    IfElse { cond: Reg, then: Vec<Instr> },
+}
+
+impl KernelBuilder {
+    /// Start a kernel with the given name and flavour.
+    pub fn new(name: impl Into<String>, flavor: KernelFlavor) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            flavor: Some(flavor),
+            frames: vec![Vec::new()],
+            ..Default::default()
+        }
+    }
+
+    /// Declare a buffer parameter; returns its parameter index.
+    pub fn buffer_param(&mut self, name: impl Into<String>, writable: bool) -> usize {
+        self.params.push(Param::Buffer { name: name.into(), writable });
+        self.params.len() - 1
+    }
+
+    /// Declare a scalar parameter; returns its parameter index.
+    pub fn scalar_param(&mut self, name: impl Into<String>) -> usize {
+        self.params.push(Param::Scalar { name: name.into() });
+        self.params.len() - 1
+    }
+
+    /// Allocate a fresh register.
+    pub fn reg(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg = self.next_reg.checked_add(1).expect("register file overflow");
+        r
+    }
+
+    fn push(&mut self, i: Instr) {
+        self.frames.last_mut().expect("builder has no open frame").push(i);
+    }
+
+    fn clear_memo(&mut self) {
+        self.memo_const.clear();
+        self.memo_special.clear();
+        self.memo_bin.clear();
+        self.memo_load.clear();
+    }
+
+    fn special_tag(kind: Special) -> u8 {
+        match kind {
+            Special::GlobalIdX => 0,
+            Special::GlobalIdY => 1,
+            Special::ThreadIdxX => 2,
+            Special::ThreadIdxY => 3,
+            Special::BlockIdxX => 4,
+            Special::BlockIdxY => 5,
+            Special::BlockDimX => 6,
+            Special::BlockDimY => 7,
+            Special::GridDimX => 8,
+            Special::GridDimY => 9,
+        }
+    }
+
+    fn bin_tag(op: BinOp) -> u8 {
+        match op {
+            BinOp::Add => 0,
+            BinOp::Sub => 1,
+            BinOp::Mul => 2,
+            BinOp::Div => 3,
+            BinOp::Rem => 4,
+            BinOp::Min => 5,
+            BinOp::Max => 6,
+            BinOp::Lt => 7,
+            BinOp::Le => 8,
+            BinOp::Eq => 9,
+            BinOp::Ne => 10,
+            BinOp::And => 11,
+            BinOp::Or => 12,
+        }
+    }
+
+    /// `dst = value`; returns `dst` (value-numbered).
+    pub fn constant(&mut self, value: i64) -> Reg {
+        if let Some(&r) = self.memo_const.get(&value) {
+            return r;
+        }
+        let dst = self.reg();
+        self.push(Instr::Const { dst, value });
+        self.memo_const.insert(value, dst);
+        dst
+    }
+
+    /// Load a scalar parameter into a fresh register.
+    pub fn param_value(&mut self, param: usize) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::LoadParam { dst, param });
+        dst
+    }
+
+    /// Materialise a special value into a register (value-numbered).
+    pub fn special(&mut self, kind: Special) -> Reg {
+        let tag = Self::special_tag(kind);
+        if let Some(&r) = self.memo_special.get(&tag) {
+            return r;
+        }
+        let dst = self.reg();
+        self.push(Instr::Special { dst, kind });
+        self.memo_special.insert(tag, dst);
+        dst
+    }
+
+    /// `dst = lhs <op> rhs` (value-numbered; commutative operands are
+    /// canonicalised so `a+b` and `b+a` share a register).
+    pub fn bin(&mut self, op: BinOp, lhs: Reg, rhs: Reg) -> Reg {
+        let commutative = matches!(
+            op,
+            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::Eq | BinOp::Ne
+        );
+        let (a, b) = if commutative && rhs < lhs { (rhs, lhs) } else { (lhs, rhs) };
+        let key = (Self::bin_tag(op), a, b);
+        if let Some(&r) = self.memo_bin.get(&key) {
+            return r;
+        }
+        let dst = self.reg();
+        self.push(Instr::Bin { op, dst, lhs, rhs });
+        self.memo_bin.insert(key, dst);
+        dst
+    }
+
+    /// Binary op against an immediate.
+    pub fn bin_imm(&mut self, op: BinOp, lhs: Reg, imm: i64) -> Reg {
+        let r = self.constant(imm);
+        self.bin(op, lhs, r)
+    }
+
+    /// Euclidean (always non-negative) modulo: `((a % n) + n) % n`.
+    pub fn wrap_mod(&mut self, a: Reg, n: Reg) -> Reg {
+        let r = self.bin(BinOp::Rem, a, n);
+        let s = self.bin(BinOp::Add, r, n);
+        self.bin(BinOp::Rem, s, n)
+    }
+
+    /// Global load into a register (value-numbered until a store to the
+    /// same parameter or a control boundary).
+    pub fn load(&mut self, param: usize, index: Reg) -> Reg {
+        if let Some(&r) = self.memo_load.get(&(param, index)) {
+            return r;
+        }
+        let dst = self.reg();
+        self.push(Instr::Load { dst, param, index });
+        self.memo_load.insert((param, index), dst);
+        dst
+    }
+
+    /// Global store. Invalidates load memoisation for the parameter.
+    pub fn store(&mut self, param: usize, index: Reg, src: Reg) {
+        self.memo_load.retain(|(p, _), _| *p != param);
+        self.push(Instr::Store { param, index, src });
+    }
+
+    /// Copy a register. Mutation defeats value numbering, so the memo is
+    /// cleared.
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        self.clear_memo();
+        self.push(Instr::Mov { dst, src });
+    }
+
+    /// Open `for (var = start; var < end; var += step)`; returns the loop var.
+    pub fn begin_for(&mut self, start: Reg, end: Reg, step: Reg) -> Reg {
+        self.clear_memo();
+        let var = self.reg();
+        self.pending.push(PendingBlock::For { var, start, end, step });
+        self.frames.push(Vec::new());
+        var
+    }
+
+    /// Close the innermost `for`.
+    pub fn end_for(&mut self) {
+        self.clear_memo();
+        let body = self.frames.pop().expect("end_for without begin_for");
+        match self.pending.pop() {
+            Some(PendingBlock::For { var, start, end, step }) => {
+                self.push(Instr::For { var, start, end, step, body });
+            }
+            other => panic!("end_for closed a non-for block: {other:?}"),
+        }
+    }
+
+    /// Open `if (cond)`.
+    pub fn begin_if(&mut self, cond: Reg) {
+        self.clear_memo();
+        self.pending.push(PendingBlock::IfThen { cond });
+        self.frames.push(Vec::new());
+    }
+
+    /// Switch to the `else` branch of the innermost `if`.
+    pub fn begin_else(&mut self) {
+        self.clear_memo();
+        let then = self.frames.pop().expect("begin_else without begin_if");
+        match self.pending.pop() {
+            Some(PendingBlock::IfThen { cond }) => {
+                self.pending.push(PendingBlock::IfElse { cond, then });
+                self.frames.push(Vec::new());
+            }
+            other => panic!("begin_else on a non-if block: {other:?}"),
+        }
+    }
+
+    /// Close the innermost `if`.
+    pub fn end_if(&mut self) {
+        self.clear_memo();
+        let last = self.frames.pop().expect("end_if without begin_if");
+        match self.pending.pop() {
+            Some(PendingBlock::IfThen { cond }) => {
+                self.push(Instr::If { cond, then: last, els: Vec::new() });
+            }
+            Some(PendingBlock::IfElse { cond, then }) => {
+                self.push(Instr::If { cond, then, els: last });
+            }
+            other => panic!("end_if closed a non-if block: {other:?}"),
+        }
+    }
+
+    /// Early thread exit.
+    pub fn ret(&mut self) {
+        self.push(Instr::Return);
+    }
+
+    /// Finish the kernel. Panics if structured blocks are still open.
+    pub fn finish(mut self) -> Kernel {
+        assert!(self.pending.is_empty(), "unclosed structured block in kernel builder");
+        assert_eq!(self.frames.len(), 1, "unbalanced builder frames");
+        Kernel {
+            name: std::mem::take(&mut self.name),
+            params: std::mem::take(&mut self.params),
+            body: self.frames.pop().unwrap(),
+            flavor: self.flavor.unwrap_or(KernelFlavor::Cuda),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("axpy", KernelFlavor::Cuda);
+        let x = b.buffer_param("x", false);
+        let y = b.buffer_param("y", true);
+        let n = b.scalar_param("n");
+        let gid = b.special(Special::GlobalIdX);
+        let nv = b.param_value(n);
+        let in_range = b.bin(BinOp::Lt, gid, nv);
+        b.begin_if(in_range);
+        let v = b.load(x, gid);
+        let two = b.constant(2);
+        let dv = b.bin(BinOp::Mul, v, two);
+        b.store(y, gid, dv);
+        b.end_if();
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_structured_body() {
+        let k = sample_kernel();
+        assert_eq!(k.params.len(), 3);
+        assert_eq!(k.body.len(), 4); // special, loadparam, lt, if
+        assert!(matches!(k.body[3], Instr::If { .. }));
+    }
+
+    #[test]
+    fn register_count_covers_nested_blocks() {
+        let k = sample_kernel();
+        // regs: gid, nv, in_range, v, two, dv = 6
+        assert_eq!(k.register_count(), 6);
+    }
+
+    #[test]
+    fn static_len_counts_nested_instructions() {
+        let k = sample_kernel();
+        // 3 at top + if + 4 inside = 8
+        assert_eq!(k.static_len(), 8);
+    }
+
+    #[test]
+    fn for_builder_roundtrip() {
+        let mut b = KernelBuilder::new("loop", KernelFlavor::OpenCl);
+        let buf = b.buffer_param("out", true);
+        let zero = b.constant(0);
+        let ten = b.constant(10);
+        let one = b.constant(1);
+        let i = b.begin_for(zero, ten, one);
+        b.store(buf, i, i);
+        b.end_for();
+        let k = b.finish();
+        assert!(matches!(&k.body[3], Instr::For { body, .. } if body.len() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed structured block")]
+    fn unclosed_block_panics() {
+        let mut b = KernelBuilder::new("bad", KernelFlavor::Cuda);
+        let c = b.constant(1);
+        b.begin_if(c);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn param_names() {
+        let k = sample_kernel();
+        let names: Vec<_> = k.params.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["x", "y", "n"]);
+    }
+}

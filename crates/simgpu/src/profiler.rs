@@ -1,0 +1,259 @@
+//! Per-operation profiling in the style of the paper's Tables I and II.
+//!
+//! Every device operation (kernel launch, H2D transfer, D2H transfer, host
+//! fallback step) is recorded under a name. [`Profiler::table`] renders a
+//! grouped report with the exact columns of the paper:
+//!
+//! ```text
+//! Operation            #calls   GPU time(usec)   GPU time(%)
+//! H. Filter (3 kernels)   300           844185         29.51
+//! ...
+//! Total                     -          2.86sec        100.00
+//! ```
+
+use std::collections::BTreeMap;
+
+/// What kind of operation a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpClass {
+    /// A kernel launch.
+    Kernel,
+    /// Host-to-device transfer (`memcpyHtoDasync` in the paper's tables).
+    H2D,
+    /// Device-to-host transfer (`memcpyDtoHasync`).
+    D2H,
+    /// Work that fell back to the host CPU (e.g. the generic output tiler).
+    Host,
+}
+
+/// Accumulated measurements for one named operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Operation name (kernel name or transfer label).
+    pub name: String,
+    /// Operation kind.
+    pub class: OpClass,
+    /// Number of invocations recorded.
+    pub calls: u64,
+    /// Total simulated time, µs.
+    pub total_us: f64,
+}
+
+/// A named aggregation over records, used to render table rows like
+/// "H. Filter (3 kernels)".
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Row label prefix; kernel count is appended automatically for kernels.
+    pub label: String,
+    /// Records are included when their name starts with any of these prefixes.
+    pub prefixes: Vec<String>,
+    /// Restrict matching to this class, if set.
+    pub class: Option<OpClass>,
+}
+
+impl Group {
+    /// Group kernels whose names start with `prefix`.
+    pub fn kernels(label: impl Into<String>, prefix: impl Into<String>) -> Self {
+        Group { label: label.into(), prefixes: vec![prefix.into()], class: Some(OpClass::Kernel) }
+    }
+
+    /// Group all operations of a class regardless of name.
+    pub fn class(label: impl Into<String>, class: OpClass) -> Self {
+        Group { label: label.into(), prefixes: vec![String::new()], class: Some(class) }
+    }
+}
+
+/// One rendered table row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRow {
+    /// Row label, e.g. `H. Filter (3 kernels)`.
+    pub label: String,
+    /// Calls per distinct operation in the group (the paper counts a group of
+    /// three per-channel kernels launched 300 times each as "300 calls").
+    pub calls: u64,
+    /// Total simulated time of the group, µs.
+    pub time_us: f64,
+    /// Percentage of the grand total.
+    pub percent: f64,
+}
+
+/// Collects operation records for one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    records: BTreeMap<String, Record>,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one invocation of `name` taking `us` simulated microseconds.
+    pub fn record(&mut self, name: &str, class: OpClass, us: f64) {
+        let r = self.records.entry(name.to_string()).or_insert_with(|| Record {
+            name: name.to_string(),
+            class,
+            calls: 0,
+            total_us: 0.0,
+        });
+        debug_assert_eq!(r.class, class, "operation '{name}' recorded under two classes");
+        r.calls += 1;
+        r.total_us += us;
+    }
+
+    /// All records, sorted by name.
+    pub fn records(&self) -> impl Iterator<Item = &Record> {
+        self.records.values()
+    }
+
+    /// Total simulated time across all records, µs.
+    pub fn total_us(&self) -> f64 {
+        self.records.values().map(|r| r.total_us).sum()
+    }
+
+    /// Total time of records matching a class, µs.
+    pub fn class_total_us(&self, class: OpClass) -> f64 {
+        self.records.values().filter(|r| r.class == class).map(|r| r.total_us).sum()
+    }
+
+    /// Forget everything.
+    pub fn reset(&mut self) {
+        self.records.clear();
+    }
+
+    /// Multiply every record's call count and time by `factor` — used to
+    /// extrapolate a single simulated frame to an N-frame run (per-frame cost
+    /// is content-independent under the cost model, so this is exact).
+    pub fn scale(&mut self, factor: u64) {
+        for r in self.records.values_mut() {
+            r.calls *= factor;
+            r.total_us *= factor as f64;
+        }
+    }
+
+    /// Aggregate records into the given groups.
+    ///
+    /// Each group row reports `calls` as *launches per distinct operation*
+    /// (matching the paper's convention) and its share of the profiler total.
+    pub fn rows(&self, groups: &[Group]) -> Vec<TableRow> {
+        let total = self.total_us();
+        groups
+            .iter()
+            .map(|g| {
+                let members: Vec<&Record> = self
+                    .records
+                    .values()
+                    .filter(|r| {
+                        g.class.is_none_or(|c| r.class == c)
+                            && g.prefixes.iter().any(|p| r.name.starts_with(p.as_str()))
+                    })
+                    .collect();
+                let time_us: f64 = members.iter().map(|r| r.total_us).sum();
+                let calls_total: u64 = members.iter().map(|r| r.calls).sum();
+                let distinct = members.len().max(1) as u64;
+                let label = if g.class == Some(OpClass::Kernel) && !members.is_empty() {
+                    format!("{} ({} kernels)", g.label, members.len())
+                } else {
+                    g.label.clone()
+                };
+                TableRow {
+                    label,
+                    calls: calls_total / distinct,
+                    time_us,
+                    percent: if total > 0.0 { time_us / total * 100.0 } else { 0.0 },
+                }
+            })
+            .collect()
+    }
+
+    /// Render the grouped report as a formatted table (paper Tables I/II).
+    pub fn table(&self, groups: &[Group]) -> String {
+        let rows = self.rows(groups);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>16} {:>12}\n",
+            "Operation", "#calls", "GPU time(usec)", "GPU time(%)"
+        ));
+        for r in &rows {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>16.0} {:>12.2}\n",
+                r.label, r.calls, r.time_us, r.percent
+            ));
+        }
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>15.2}s {:>12.2}\n",
+            "Total",
+            "-",
+            self.total_us() / 1e6,
+            100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Profiler {
+        let mut p = Profiler::new();
+        for _ in 0..300 {
+            p.record("hf_r", OpClass::Kernel, 900.0);
+            p.record("hf_g", OpClass::Kernel, 900.0);
+            p.record("hf_b", OpClass::Kernel, 1000.0);
+            for _ in 0..3 {
+                p.record("memcpyHtoDasync", OpClass::H2D, 1500.0);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let p = sample();
+        assert!((p.total_us() - 300.0 * (2800.0 + 4500.0)).abs() < 1e-6);
+        assert!((p.class_total_us(OpClass::H2D) - 900.0 * 1500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kernel_groups_report_per_kernel_calls_and_counts() {
+        let p = sample();
+        let rows = p.rows(&[
+            Group::kernels("H. Filter", "hf_"),
+            Group::class("memcpyHtoDasync", OpClass::H2D),
+        ]);
+        assert_eq!(rows[0].label, "H. Filter (3 kernels)");
+        assert_eq!(rows[0].calls, 300);
+        assert!((rows[0].time_us - 300.0 * 2800.0).abs() < 1e-6);
+        assert_eq!(rows[1].calls, 900);
+        let pct_sum = rows[0].percent + rows[1].percent;
+        assert!((pct_sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_paper_columns() {
+        let p = sample();
+        let t = p.table(&[Group::kernels("H. Filter", "hf_")]);
+        assert!(t.contains("Operation"), "{t}");
+        assert!(t.contains("GPU time(usec)"), "{t}");
+        assert!(t.contains("H. Filter (3 kernels)"), "{t}");
+        assert!(t.contains("Total"), "{t}");
+    }
+
+    #[test]
+    fn reset_clears_records() {
+        let mut p = sample();
+        p.reset();
+        assert_eq!(p.total_us(), 0.0);
+        assert_eq!(p.records().count(), 0);
+    }
+
+    #[test]
+    fn empty_profiler_renders_zero_total() {
+        let p = Profiler::new();
+        let rows = p.rows(&[Group::kernels("X", "x_")]);
+        assert_eq!(rows[0].time_us, 0.0);
+        assert_eq!(rows[0].percent, 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! A small host-side runtime facade over [`Device`].
+//!
+//! Backends and examples use this instead of juggling raw buffer ids: it
+//! bundles allocate+upload, download+free, and kernel launches with named
+//! buffers, mirroring the thin host runtimes that `sac2c`'s CUDA backend and
+//! GASPARD2's generated OpenCL host code link against.
+
+use crate::device::{BufferId, Device};
+use crate::exec::{LaunchConfig, LaunchStats};
+use crate::kir::{Kernel, KernelArg};
+use crate::SimError;
+
+/// Host-side GPU runtime: owns a [`Device`] and tracks live buffers.
+#[derive(Debug)]
+pub struct GpuRuntime {
+    device: Device,
+}
+
+impl GpuRuntime {
+    /// Wrap a device.
+    pub fn new(device: Device) -> Self {
+        GpuRuntime { device }
+    }
+
+    /// The paper's GTX480.
+    pub fn gtx480() -> Self {
+        GpuRuntime::new(Device::gtx480())
+    }
+
+    /// Borrow the device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Mutably borrow the device.
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
+    /// Allocate and upload in one step (`cudaMalloc` + `cudaMemcpyHtoD`).
+    pub fn upload(&mut self, data: &[i32]) -> Result<BufferId, SimError> {
+        let buf = self.device.malloc(data.len())?;
+        self.device.host2device(data, buf)?;
+        Ok(buf)
+    }
+
+    /// Allocate an uninitialised (zeroed) result buffer.
+    pub fn alloc(&mut self, len: usize) -> Result<BufferId, SimError> {
+        self.device.malloc(len)
+    }
+
+    /// Download a buffer's contents (`cudaMemcpyDtoH`).
+    pub fn download(&mut self, buf: BufferId) -> Result<Vec<i32>, SimError> {
+        self.device.device2host(buf)
+    }
+
+    /// Download then free.
+    pub fn download_free(&mut self, buf: BufferId) -> Result<Vec<i32>, SimError> {
+        let v = self.device.device2host(buf)?;
+        self.device.free(buf)?;
+        Ok(v)
+    }
+
+    /// Free a buffer.
+    pub fn free(&mut self, buf: BufferId) -> Result<(), SimError> {
+        self.device.free(buf)
+    }
+
+    /// Launch a kernel.
+    pub fn launch(
+        &mut self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+    ) -> Result<LaunchStats, SimError> {
+        self.device.launch(kernel, cfg, args)
+    }
+
+    /// Simulated time elapsed, µs.
+    pub fn elapsed_us(&self) -> f64 {
+        self.device.now_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kir::{BinOp, KernelBuilder, KernelFlavor, Special};
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let mut rt = GpuRuntime::gtx480();
+        let data: Vec<i32> = (0..256).map(|v| v * 3).collect();
+        let buf = rt.upload(&data).unwrap();
+        assert_eq!(rt.download_free(buf).unwrap(), data);
+        assert!(rt.elapsed_us() > 0.0);
+    }
+
+    #[test]
+    fn launch_through_runtime() {
+        let mut rt = GpuRuntime::gtx480();
+        let mut b = KernelBuilder::new("neg", KernelFlavor::OpenCl);
+        let xp = b.buffer_param("x", true);
+        let gid = b.special(Special::GlobalIdX);
+        let v = b.load(xp, gid);
+        let m1 = b.constant(-1);
+        let nv = b.bin(BinOp::Mul, v, m1);
+        b.store(xp, gid, nv);
+        let k = b.finish();
+
+        let buf = rt.upload(&[1, 2, 3, 4]).unwrap();
+        rt.launch(&k, LaunchConfig::cover_1d(4, 4), &[KernelArg::Buffer(buf.0)]).unwrap();
+        assert_eq!(rt.download_free(buf).unwrap(), vec![-1, -2, -3, -4]);
+    }
+}

@@ -1,0 +1,104 @@
+//! The full paper experiment in miniature: both compilation routes process
+//! the same video stream, and the profiles are printed side by side.
+//!
+//! ```sh
+//! cargo run --release --example downscaler_race [-- frames]
+//! ```
+//!
+//! Uses the CIF-sized scenario (288×352 → 128×132) so it runs in seconds;
+//! `cargo run --release -p bench --bin reproduce` does the full HD version.
+
+use gpu_abstractions::{downscaler, gaspard, mdarray, sac_cuda, simgpu};
+
+use downscaler::frames::{FrameGenerator, FrameSink};
+use downscaler::pipelines::{build_gaspard, build_sac, reference_downscale};
+use downscaler::sac_src::{Part, Variant};
+use downscaler::Scenario;
+use sac_cuda::exec::{run_on_device_opts, ExecOptions};
+use simgpu::device::Device;
+use simgpu::profiler::{Group, OpClass};
+
+fn main() {
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let mut s = Scenario::cif();
+    s.frames = frames;
+    println!(
+        "downscaling {} frames of {}x{} video to {}x{} on the simulated GTX480\n",
+        s.frames,
+        s.rows,
+        s.cols,
+        s.out_shape().0,
+        s.out_shape().1
+    );
+
+    // Compile both routes once (the paper's design/compile time).
+    let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default())
+        .expect("SaC route");
+    let gasp = build_gaspard(&s).expect("GASPARD2 route");
+    println!(
+        "SaC route:      {} kernels/frame after WITH-loop folding ({} folds, {} boundary splits)",
+        sac.cuda.launches_per_run(),
+        sac.report.fold.folds,
+        sac.report.generators_after_split - sac.report.generators_before_split
+    );
+    println!("GASPARD2 route: {} kernels/frame (one per channel task)\n", gasp.opencl.kernels.len());
+
+    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 42);
+    let mut sac_device = Device::gtx480();
+    let mut gasp_device = Device::gtx480();
+    let mut sac_sink = FrameSink::new();
+    let mut gasp_sink = FrameSink::new();
+    let opts = ExecOptions { channel_chunks: s.channels, ..Default::default() };
+
+    for f in 0..s.frames {
+        let channels = gen.frame_channels(f);
+        let stacked = FrameGenerator::stack(&channels);
+
+        let (sac_out, _) =
+            run_on_device_opts(&sac.cuda, &mut sac_device, std::slice::from_ref(&stacked), opts)
+                .expect("SaC run");
+        sac_sink.consume(&FrameGenerator::unstack(&sac_out));
+
+        let gasp_out =
+            gaspard::run_opencl(&gasp.opencl, &mut gasp_device, &channels).expect("Gaspard run");
+        gasp_sink.consume(&gasp_out);
+
+        // Every frame is also checked against the golden CPU filters.
+        let expect = reference_downscale(&s, &stacked);
+        assert_eq!(sac_out, expect, "SaC diverged on frame {f}");
+        assert_eq!(FrameGenerator::stack(&gasp_out), expect, "Gaspard diverged on frame {f}");
+    }
+    assert_eq!(sac_sink.digest, gasp_sink.digest);
+    println!(
+        "both routes produced identical video (digest {:#018x} over {} frames)\n",
+        sac_sink.digest, sac_sink.frames
+    );
+
+    let groups = [
+        Group::kernels("H. Filter", "hf_"),
+        Group::kernels("V. Filter", "vf_"),
+        Group::class("memcpyHtoDasync", OpClass::H2D),
+        Group::class("memcpyDtoHasync", OpClass::D2H),
+    ];
+    println!("--- SaC -> CUDA profile ---\n{}", sac_device.profiler.table(&groups));
+    println!("--- GASPARD2 -> OpenCL profile ---\n{}", gasp_device.profiler.table(&groups));
+    println!(
+        "simulated totals: SaC {:.1} ms vs Gaspard2 {:.1} ms per {} frames",
+        sac_device.now_us() / 1e3,
+        gasp_device.now_us() / 1e3,
+        s.frames
+    );
+
+    // A visual souvenir: the first output frame's red channel as PGM.
+    let first = gen.frame_channels(0);
+    let red = downscaler::filter::downscale_channel(&first[0], &s.h, &s.v);
+    let pgm = FrameSink::to_pgm(&red);
+    let path = std::env::temp_dir().join("downscaled_red.pgm");
+    if std::fs::write(&path, pgm).is_ok() {
+        println!("wrote {} ({}x{})", path.display(), red.shape().dim(1), red.shape().dim(0));
+    }
+    let _ = mdarray::ops::checksum(&red);
+}

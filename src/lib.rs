@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # gpu-abstractions — facade crate
+//!
+//! Reproduction of *"Harnessing the Power of GPUs without Losing Abstractions in
+//! SaC and ArrayOL: A Comparative Study"* (Guo et al., HIPS 2011).
+//!
+//! This crate re-exports the workspace's public API so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`mdarray`] — multidimensional array substrate,
+//! * [`arrayol`] — the ArrayOL specification language (tilers, task graphs),
+//! * [`sac_lang`] — the SaC front end and high-level optimiser (WITH-loop folding),
+//! * [`simgpu`] — the deterministic GPU simulator and profiler,
+//! * [`sac_cuda`] — the SaC → CUDA backend,
+//! * [`gaspard`] — the MDE/MARTE → OpenCL chain,
+//! * [`downscaler`] — the H.263 downscaler case study.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for the
+//! full system inventory.
+
+pub use arrayol;
+pub use downscaler;
+pub use gaspard;
+pub use mdarray;
+pub use sac_cuda;
+pub use sac_lang;
+pub use simgpu;

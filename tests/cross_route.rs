@@ -1,0 +1,146 @@
+//! Cross-crate integration: both compilation routes, the interpreter, the
+//! flat evaluator and the reference filters must agree bit-exactly on the
+//! same video frames — the property underlying the paper's entire comparison.
+
+use downscaler::frames::{FrameGenerator, FrameSink};
+use downscaler::pipelines::{build_gaspard, build_sac, reference_downscale};
+use downscaler::sac_src::{program_src, Part, Variant};
+use downscaler::Scenario;
+use sac_cuda::exec::{run_on_device_opts, ExecOptions};
+use sac_lang::value::Value;
+use sac_lang::Interp;
+use simgpu::device::Device;
+
+#[test]
+fn five_implementations_one_result() {
+    let s = Scenario::tiny();
+    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 77);
+    let planes = gen.frame_channels(0);
+    let frame = FrameGenerator::stack(&planes);
+
+    // 1. Golden CPU filters.
+    let expect = reference_downscale(&s, &frame);
+
+    // 2. The SaC AST interpreter on the non-generic source.
+    let src = program_src(&s, Variant::NonGeneric, Part::Full);
+    let prog = sac_lang::parse_program(&src).unwrap();
+    let mut interp = Interp::new(&prog);
+    let got = interp.call("main", vec![Value::Arr(frame.clone())]).unwrap();
+    assert_eq!(got.as_array().unwrap(), &expect, "AST interpreter");
+
+    // 3. The optimised flat program, evaluated sequentially.
+    let route = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default()).unwrap();
+    let flat_out = route.flat.run(std::slice::from_ref(&frame), &mut 0).unwrap();
+    assert_eq!(flat_out, expect, "flat evaluator after WLF");
+
+    // 4. The CUDA route on the simulated device.
+    let mut device = Device::gtx480();
+    let (cuda_out, _) = run_on_device_opts(
+        &route.cuda,
+        &mut device,
+        std::slice::from_ref(&frame),
+        ExecOptions { channel_chunks: s.channels, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(cuda_out, expect, "SaC -> CUDA route");
+
+    // 5. The GASPARD2 OpenCL route.
+    let gasp = build_gaspard(&s).unwrap();
+    let mut device2 = Device::gtx480();
+    let outs = gaspard::run_opencl(&gasp.opencl, &mut device2, &planes).unwrap();
+    assert_eq!(FrameGenerator::stack(&outs), expect, "GASPARD2 -> OpenCL route");
+}
+
+#[test]
+fn generic_variant_agrees_end_to_end() {
+    let s = Scenario::tiny();
+    let frame = FrameGenerator::new(s.channels, s.rows, s.cols, 5).frame_rank3(1);
+    let expect = reference_downscale(&s, &frame);
+
+    let route = build_sac(&s, Variant::Generic, Part::Full, &Default::default()).unwrap();
+    assert!(route.cuda.host_steps_per_run() > 0, "generic route must fall back to the host");
+    let mut device = Device::gtx480();
+    let (out, stats) = run_on_device_opts(
+        &route.cuda,
+        &mut device,
+        std::slice::from_ref(&frame),
+        ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out, expect);
+    assert!(stats.host_ops > 0);
+    // Also sequentially.
+    assert_eq!(route.flat.run(&[frame], &mut 0).unwrap(), expect);
+}
+
+#[test]
+fn multi_frame_stream_is_deterministic() {
+    let s = Scenario::tiny();
+    let route = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default()).unwrap();
+    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 9);
+
+    let run_stream = || {
+        let mut device = Device::gtx480();
+        let mut sink = FrameSink::new();
+        for f in 0..3 {
+            let frame = gen.frame_rank3(f);
+            let (out, _) = run_on_device_opts(
+                &route.cuda,
+                &mut device,
+                &[frame],
+                ExecOptions::default(),
+            )
+            .unwrap();
+            sink.consume(&FrameGenerator::unstack(&out));
+        }
+        (sink.digest, device.now_us())
+    };
+    let (d1, t1) = run_stream();
+    let (d2, t2) = run_stream();
+    assert_eq!(d1, d2, "results deterministic across runs");
+    assert_eq!(t1, t2, "simulated time deterministic across runs");
+}
+
+#[test]
+fn per_filter_and_full_pipelines_compose() {
+    let s = Scenario::tiny();
+    let frame = FrameGenerator::new(s.channels, s.rows, s.cols, 31).frame_rank3(0);
+
+    let h = build_sac(&s, Variant::NonGeneric, Part::Horizontal, &Default::default()).unwrap();
+    let v = build_sac(&s, Variant::NonGeneric, Part::Vertical, &Default::default()).unwrap();
+    let full = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default()).unwrap();
+
+    let mut d = Device::gtx480();
+    let opts = ExecOptions::default();
+    let (hf, _) = run_on_device_opts(&h.cuda, &mut d, std::slice::from_ref(&frame), opts).unwrap();
+    let (vf, _) = run_on_device_opts(&v.cuda, &mut d, &[hf], opts).unwrap();
+    let (direct, _) = run_on_device_opts(&full.cuda, &mut d, &[frame], opts).unwrap();
+    assert_eq!(vf, direct);
+}
+
+#[test]
+fn gaspard_and_sac_kernel_structure_differs_as_published() {
+    // The structural finding of §VIII.C: same maths, different kernel
+    // decomposition (3+3 model-driven vs 5+7 after folding).
+    let s = Scenario::tiny();
+    let gasp = build_gaspard(&s).unwrap();
+    assert_eq!(gasp.opencl.kernels.len(), 2 * s.channels);
+
+    let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default()).unwrap();
+    assert_eq!(sac.cuda.launches_per_run(), 12);
+    // Both routes transfer the same frame data.
+    let mut d1 = Device::gtx480();
+    let planes = FrameGenerator::new(s.channels, s.rows, s.cols, 1).frame_channels(0);
+    gaspard::run_opencl(&gasp.opencl, &mut d1, &planes).unwrap();
+    let mut d2 = Device::gtx480();
+    run_on_device_opts(
+        &sac.cuda,
+        &mut d2,
+        &[FrameGenerator::stack(&planes)],
+        ExecOptions { channel_chunks: s.channels, ..Default::default() },
+    )
+    .unwrap();
+    let h2d1 = d1.profiler.class_total_us(simgpu::profiler::OpClass::H2D);
+    let h2d2 = d2.profiler.class_total_us(simgpu::profiler::OpClass::H2D);
+    assert!((h2d1 - h2d2).abs() < 1e-6, "equal frame traffic: {h2d1} vs {h2d2}");
+}

@@ -1,0 +1,153 @@
+//! Failure injection: every layer must surface faults as typed errors, never
+//! panics or silent corruption.
+
+use downscaler::pipelines::{build_gaspard, build_sac};
+use downscaler::sac_src::{Part, Variant};
+use downscaler::{FrameGenerator, Scenario};
+use sac_cuda::exec::{run_on_device, HostCost};
+use sac_lang::wir::{FlatGen, FlatProgram, FlatWith, Step, SymExpr};
+use simgpu::device::{Device, DeviceConfig};
+use simgpu::Calibration;
+
+/// A device too small for the frames: the run must fail with OutOfMemory and
+/// leave no partial simulated-time record inconsistencies.
+#[test]
+fn device_oom_is_reported() {
+    let s = Scenario::tiny();
+    let route = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default()).unwrap();
+    let frame = FrameGenerator::new(s.channels, s.rows, s.cols, 1).frame_rank3(0);
+    // Frame alone needs 3*18*32*4 = 6912 bytes; give the device less.
+    let mut device = Device::new(DeviceConfig::toy(4096), Calibration::gtx480());
+    let err = run_on_device(&route.cuda, &mut device, std::slice::from_ref(&frame), HostCost::default());
+    match err {
+        Err(sac_cuda::CudaError::Sim(simgpu::SimError::OutOfMemory { .. })) => {}
+        other => panic!("expected OutOfMemory, got {other:?}"),
+    }
+}
+
+/// The same, for the OpenCL route.
+#[test]
+fn gaspard_oom_is_reported() {
+    let s = Scenario::tiny();
+    let route = build_gaspard(&s).unwrap();
+    let channels = FrameGenerator::new(s.channels, s.rows, s.cols, 1).frame_channels(0);
+    let mut device = Device::new(DeviceConfig::toy(1024), Calibration::gtx480());
+    let err = gaspard::run_opencl(&route.opencl, &mut device, &channels);
+    assert!(
+        matches!(err, Err(gaspard::GaspardError::Sim(simgpu::SimError::OutOfMemory { .. }))),
+        "{err:?}"
+    );
+}
+
+/// A hand-built flat program with an out-of-bounds load: the kernel must
+/// fault (as a real GPU would report an illegal access), not wrap or clamp.
+#[test]
+fn kernel_oob_load_faults() {
+    let mut p = FlatProgram::default();
+    let a = p.declare("a", vec![8]);
+    let out = p.declare("out", vec![8]);
+    p.inputs.push(a);
+    p.result = out;
+    p.steps.push(Step::With {
+        target: out,
+        with: FlatWith {
+            shape: vec![8],
+            default: 0,
+            modarray_src: None,
+            generators: vec![FlatGen::dense(
+                &[8],
+                // a[iv + 4]: indices 4..12 run past the end.
+                SymExpr::Load {
+                    array: a,
+                    index: vec![SymExpr::bin(
+                        sac_lang::ast::BinKind::Add,
+                        SymExpr::Idx(0),
+                        SymExpr::Const(4),
+                    )],
+                },
+            )],
+        },
+    });
+    // The flat evaluator catches it…
+    let frame = mdarray::NdArray::filled([8usize], 1i64);
+    assert!(p.run(std::slice::from_ref(&frame), &mut 0).is_err());
+    // …and so does the simulated device.
+    let cuda = sac_cuda::compile_flat_program(&p).unwrap();
+    let mut device = Device::gtx480();
+    let err = run_on_device(&cuda, &mut device, &[frame], HostCost::default());
+    assert!(
+        matches!(
+            err,
+            Err(sac_cuda::CudaError::Sim(simgpu::SimError::OutOfBounds { .. }))
+        ),
+        "{err:?}"
+    );
+}
+
+/// Malformed SaC programs are rejected with a line-numbered parse error or a
+/// typed check error — never accepted or panicked on.
+#[test]
+fn frontend_rejects_malformed_programs() {
+    for (src, expect) in [
+        ("int f( { }", "parse"),
+        ("int f() { return( x); }", "type"),
+        ("int f() { y = with { } : genarray( [2]); return( y); }", "parse"),
+        ("int f(int x) { y = x; }", "type"), // missing return
+    ] {
+        let result = sac_lang::parse_program(src)
+            .map_err(|e| e.to_string())
+            .and_then(|p| sac_lang::types::check_program(&p).map_err(|e| e.to_string()));
+        let err = result.expect_err(src);
+        assert!(err.contains(expect), "'{src}' gave: {err}");
+    }
+}
+
+/// Runtime faults in SaC programs (division by zero, out-of-range selection)
+/// surface as evaluation errors from every execution engine.
+#[test]
+fn runtime_faults_are_uniform() {
+    let src = r#"
+int[*] main(int[4] a)
+{
+    out = with { (. <= iv <= .) : a[iv] / (a[iv] - a[iv]); } : genarray( [4], 0);
+    return( out);
+}
+"#;
+    let prog = sac_lang::parse_program(src).unwrap();
+    let frame = mdarray::NdArray::filled([4usize], 3i64);
+
+    // Interpreter.
+    let mut interp = sac_lang::Interp::new(&prog);
+    assert!(interp
+        .call("main", vec![sac_lang::value::Value::Arr(frame.clone())])
+        .is_err());
+
+    // Flat evaluator and device.
+    let args = [sac_lang::opt::ArgDesc::Array { name: "a".into(), shape: vec![4] }];
+    let (flat, _) = sac_lang::opt::optimize(&prog, "main", &args, &Default::default()).unwrap();
+    assert!(flat.run(std::slice::from_ref(&frame), &mut 0).is_err());
+    let cuda = sac_cuda::compile_flat_program(&flat).unwrap();
+    let mut device = Device::gtx480();
+    let err = run_on_device(&cuda, &mut device, &[frame], HostCost::default());
+    assert!(
+        matches!(err, Err(sac_cuda::CudaError::Sim(simgpu::SimError::DivByZero { .. }))),
+        "{err:?}"
+    );
+}
+
+/// Deployment faults: a model whose filters are allocated to a nonexistent
+/// resource is rejected by the chain, not at code generation time.
+#[test]
+fn bad_allocation_rejected_at_deploy() {
+    let (model, _) = downscaler::model::downscaler_model(&Scenario::tiny());
+    let alloc = gaspard::Allocation::default()
+        .allocate("FrameGenerator", "i7_930")
+        .allocate("FrameConstructor", "i7_930")
+        .allocate("HFilterChannel", "tpu9000")
+        .allocate("VFilterChannel", "gtx480");
+    let err = gaspard::transform::deploy(model, gaspard::Platform::cpu_gpu(), alloc);
+    assert!(
+        matches!(err, Err(gaspard::GaspardError::UnknownElement { .. })),
+        "{err:?}"
+    );
+}

@@ -1,0 +1,190 @@
+//! Property-based tests over the core invariants.
+
+use arrayol::{IMat, Tiler};
+use mdarray::{NdArray, Shape};
+use proptest::prelude::*;
+use sac_lang::opt::{optimize, ArgDesc, OptConfig};
+use sac_lang::value::Value;
+use sac_lang::Interp;
+
+proptest! {
+    /// Euclidean modulo (the language's `%`) always lands in [0, n).
+    #[test]
+    fn euclid_mod_in_range(a in -10_000i64..10_000, n in 1i64..500) {
+        let v = sac_lang::value::euclid_mod(a, n).unwrap();
+        prop_assert!((0..n).contains(&v));
+        // Compatible with the mathematical definition.
+        prop_assert_eq!((a - v) % n, 0);
+    }
+
+    /// Non-overlapping block tilers: gather then scatter reproduces the
+    /// original array for any block size / repetition count.
+    #[test]
+    fn tiler_gather_scatter_roundtrip(
+        rows in 1usize..6,
+        tiles in 1usize..6,
+        block in 1usize..5,
+        seed in any::<u32>(),
+    ) {
+        let cols = tiles * block;
+        let tiler = Tiler::new(
+            vec![0, 0],
+            IMat::from_rows(&[&[0], &[1]]),
+            IMat::from_rows(&[&[1, 0], &[0, block as i64]]),
+        );
+        let rep = Shape::new(vec![rows, tiles]);
+        let pat = Shape::new(vec![block]);
+        let arr = NdArray::from_fn([rows, cols], |ix| {
+            ((ix[0] * 31 + ix[1] * 7 + seed as usize) % 251) as i64
+        });
+        tiler.check_exact_cover(arr.shape(), &rep, &pat).unwrap();
+        let tiles_arr = tiler.gather(&arr, &rep, &pat).unwrap();
+        let mut rebuilt = NdArray::filled([rows, cols], -1i64);
+        tiler.scatter(&tiles_arr, &mut rebuilt, &rep, &pat).unwrap();
+        prop_assert_eq!(rebuilt, arr);
+    }
+
+    /// Overlapping gathers read the elements the tiler formulae dictate,
+    /// wrapping toroidally, for arbitrary origins and steps.
+    #[test]
+    fn tiler_gather_matches_formula(
+        origin in -5i64..5,
+        step in 1i64..5,
+        pattern in 1usize..6,
+        tiles in 1usize..5,
+        cols in 6usize..20,
+    ) {
+        let tiler = Tiler::new(
+            vec![0, origin],
+            IMat::from_rows(&[&[0], &[1]]),
+            IMat::from_rows(&[&[1, 0], &[0, step]]),
+        );
+        let rep = Shape::new(vec![2, tiles]);
+        let pat = Shape::new(vec![pattern]);
+        let arr = NdArray::from_fn([2usize, cols], |ix| (ix[0] * cols + ix[1]) as i64);
+        let gathered = tiler.gather(&arr, &rep, &pat).unwrap();
+        for i in 0..2usize {
+            for t in 0..tiles {
+                for p in 0..pattern {
+                    let col = (origin + (t as i64) * step + p as i64)
+                        .rem_euclid(cols as i64) as usize;
+                    prop_assert_eq!(
+                        *gathered.get(&[i, t, p]).unwrap(),
+                        *arr.get(&[i, col]).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The optimiser (inline + constant fold + lower + WLF + splitting)
+    /// preserves the interpreter's semantics on randomized two-stage
+    /// stencil pipelines with wrap-around addressing.
+    #[test]
+    fn optimizer_preserves_semantics(
+        n_tiles in 2usize..6,
+        stepw in 2usize..5,
+        off1 in 0usize..3,
+        off2 in 0usize..3,
+        mul in 1i64..5,
+        seed in any::<u32>(),
+    ) {
+        let cols = n_tiles * stepw;
+        let src = format!(
+            r#"
+int[*] stage1(int[2,{cols}] f)
+{{
+    out = with {{
+        (. <= rep <= .) {{
+            tile = with {{
+                (. <= pat <= .) : f[[rep[0], (rep[1] * {stepw} + pat[0] + {off1}) % {cols}]];
+            }} : genarray( [{stepw}], 0);
+        }} : tile;
+    }} : genarray( [2,{n_tiles}]);
+    return( out);
+}}
+int[*] main(int[2,{cols}] f)
+{{
+    inter = stage1(f);
+    out = with {{
+        (. <= rep <= .) : inter[[rep[0], rep[1] % {n_tiles}, {off2}]] * {mul};
+    }} : genarray( [2,{n_tiles}]);
+    return( out);
+}}
+"#,
+            off2 = off2.min(stepw - 1),
+        );
+        let prog = sac_lang::parse_program(&src).unwrap();
+        let frame = NdArray::from_fn([2usize, cols], |ix| {
+            ((ix[0] * 131 + ix[1] * 17 + seed as usize) % 97) as i64
+        });
+
+        let mut interp = Interp::new(&prog);
+        let expect = interp.call("main", vec![Value::Arr(frame.clone())]).unwrap();
+
+        let args = [ArgDesc::Array { name: "f".into(), shape: vec![2, cols] }];
+        for cfg in [
+            OptConfig::default(),
+            OptConfig { with_loop_folding: false, resolve_modulo: false },
+            OptConfig { with_loop_folding: true, resolve_modulo: false },
+        ] {
+            let (flat, _) = optimize(&prog, "main", &args, &cfg).unwrap();
+            let got = flat.run(std::slice::from_ref(&frame), &mut 0).unwrap();
+            prop_assert_eq!(Value::Arr(got), expect.clone(), "config {:?}", cfg);
+        }
+    }
+
+    /// Kernel-IR compilation + simulated execution agree with the flat
+    /// evaluator on randomized single-loop programs (stride + wrap).
+    #[test]
+    fn simulated_gpu_matches_flat_eval(
+        rows in 1usize..5,
+        cols in 2usize..16,
+        stride in 1usize..4,
+        shift in 0i64..8,
+        bias in -50i64..50,
+    ) {
+        let src = format!(
+            r#"
+int[*] main(int[{rows},{cols}] a)
+{{
+    out = with {{
+        ([0,0] <= iv < [{rows},{cols}] step [1,{stride}]) {{
+            v = a[[iv[0], (iv[1] + {shift}) % {cols}]];
+        }} : v + {bias};
+    }} : genarray( [{rows},{cols}], 7);
+    return( out);
+}}
+"#
+        );
+        let prog = sac_lang::parse_program(&src).unwrap();
+        let args = [ArgDesc::Array { name: "a".into(), shape: vec![rows, cols] }];
+        let (flat, _) = optimize(&prog, "main", &args, &OptConfig::default()).unwrap();
+        let frame = NdArray::from_fn([rows, cols], |ix| (ix[0] * 100 + ix[1]) as i64);
+        let expect = flat.run(std::slice::from_ref(&frame), &mut 0).unwrap();
+
+        let cuda = sac_cuda::compile_flat_program(&flat).unwrap();
+        let mut device = simgpu::device::Device::gtx480();
+        let (got, _) = sac_cuda::exec::run_on_device(
+            &cuda,
+            &mut device,
+            &[frame],
+            sac_cuda::exec::HostCost::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// The frame generator stays within the 8-bit pixel range and is
+    /// deterministic in (seed, frame, channel).
+    #[test]
+    fn frame_generator_contract(seed in any::<u64>(), frame in 0usize..50) {
+        let g = downscaler::FrameGenerator::new(2, 18, 16, seed);
+        let a = g.frame_channels(frame);
+        let b = g.frame_channels(frame);
+        prop_assert_eq!(&a, &b);
+        for ch in &a {
+            prop_assert!(ch.as_slice().iter().all(|&v| (0..=255).contains(&v)));
+        }
+    }
+}
