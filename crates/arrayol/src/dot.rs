@@ -27,18 +27,13 @@ pub fn to_dot(g: &ApplicationGraph, title: &str) -> String {
             TaskBody::Elementary { kernel_name, .. } => kernel_name.clone(),
             TaskBody::Hierarchical(sub) => format!("hierarchy({} tasks)", sub.task_count()),
         };
-        let _ = writeln!(
-            out,
-            "  t{t} [label=\"{}\\nrep {}\\n{}\"];",
-            task.name, task.repetition, kind
-        );
+        let _ =
+            writeln!(out, "  t{t} [label=\"{}\\nrep {}\\n{}\"];", task.name, task.repetition, kind);
     }
 
     // Edges: producer task -> consumer task, labelled by the array.
     let producer_of = |array: crate::graph::ArrayId| -> Option<usize> {
-        g.tasks()
-            .iter()
-            .position(|t| t.outputs.iter().any(|p| p.array == array))
+        g.tasks().iter().position(|t| t.outputs.iter().any(|p| p.array == array))
     };
     for (t, task) in g.tasks().iter().enumerate() {
         for port in &task.inputs {
@@ -57,11 +52,7 @@ pub fn to_dot(g: &ApplicationGraph, title: &str) -> String {
         for port in &task.outputs {
             if g.external_outputs.contains(&port.array) {
                 let decl = &g.arrays()[port.array.0];
-                let _ = writeln!(
-                    out,
-                    "  t{t} -> Tout [label=\"{} {}\"];",
-                    decl.name, decl.shape
-                );
+                let _ = writeln!(out, "  t{t} -> Tout [label=\"{} {}\"];", decl.name, decl.shape);
             }
         }
     }

@@ -7,7 +7,7 @@
 //!
 //! Because ArrayOL repetitions are independent (output tilers are validated to
 //! be exact covers), the sweep can run in parallel. [`ExecOptions::parallel`]
-//! splits the repetition space across crossbeam scoped threads; workers compute
+//! splits the repetition space across std::thread scoped threads; workers compute
 //! `(repetition, patterns)` results and the coordinator scatters them, so no
 //! two threads ever write one buffer.
 
@@ -18,15 +18,13 @@ use mdarray::{IndexIter, NdArray};
 use std::collections::HashMap;
 
 /// Execution configuration.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecOptions {
     /// Run repetition sweeps across threads.
     pub parallel: bool,
     /// Worker count for parallel sweeps (0 = number of available cores).
     pub workers: usize,
 }
-
 
 impl ExecOptions {
     /// Sequential execution.
@@ -149,26 +147,24 @@ fn run_task(
         let workers = opts.effective_workers().min(reps.len());
         let chunk = reps.len().div_ceil(workers);
         type WorkerResult = Result<Vec<(usize, Vec<NdArray<i64>>)>, ArrayOlError>;
-        let results: Vec<WorkerResult> =
-            crossbeam::scope(|s| {
-                let handles: Vec<_> = reps
-                    .chunks(chunk)
-                    .enumerate()
-                    .map(|(w, slice)| {
-                        let compute_one = &compute_one;
-                        s.spawn(move |_| {
-                            let base = w * chunk;
-                            let mut local = Vec::with_capacity(slice.len());
-                            for (k, rep) in slice.iter().enumerate() {
-                                local.push((base + k, compute_one(rep)?));
-                            }
-                            Ok(local)
-                        })
+        let results: Vec<WorkerResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = reps
+                .chunks(chunk)
+                .enumerate()
+                .map(|(w, slice)| {
+                    let compute_one = &compute_one;
+                    s.spawn(move || {
+                        let base = w * chunk;
+                        let mut local = Vec::with_capacity(slice.len());
+                        for (k, rep) in slice.iter().enumerate() {
+                            local.push((base + k, compute_one(rep)?));
+                        }
+                        Ok(local)
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("crossbeam scope failed");
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
         for worker_result in results {
             for (lin, patterns) in worker_result? {
                 scatter_patterns(task, &reps[lin], &patterns, &mut out_arrays);
@@ -327,10 +323,7 @@ mod tests {
             repetition: Shape::new(vec![1]),
             inputs: vec![Port::new("in", a, [4usize], tiler.clone())],
             outputs: vec![Port::new("out", b, [4usize], tiler)],
-            body: TaskBody::Elementary {
-                kernel_name: "none".into(),
-                f: Arc::new(|_| vec![]),
-            },
+            body: TaskBody::Elementary { kernel_name: "none".into(), f: Arc::new(|_| vec![]) },
         });
         let mut inputs = HashMap::new();
         inputs.insert(a, NdArray::filled([4usize], 1i64));

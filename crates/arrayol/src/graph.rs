@@ -123,8 +123,7 @@ impl ApplicationGraph {
                 port.tiler.check_exact_cover(&arr.shape, &task.repetition, &port.pattern)?;
             }
             for port in &task.inputs {
-                if producers[port.array.0].is_none()
-                    && !self.external_inputs.contains(&port.array)
+                if producers[port.array.0].is_none() && !self.external_inputs.contains(&port.array)
                 {
                     return Err(ArrayOlError::NoProducer {
                         array: self.arrays[port.array.0].name.clone(),
@@ -156,15 +155,12 @@ impl ApplicationGraph {
                         indegree[t] += 1;
                         dependents[p].push(t);
                     } else {
-                        return Err(ArrayOlError::DependenceCycle {
-                            involving: task.name.clone(),
-                        });
+                        return Err(ArrayOlError::DependenceCycle { involving: task.name.clone() });
                     }
                 }
             }
         }
-        let mut ready: Vec<usize> =
-            (0..self.tasks.len()).filter(|&t| indegree[t] == 0).collect();
+        let mut ready: Vec<usize> = (0..self.tasks.len()).filter(|&t| indegree[t] == 0).collect();
         let mut order = Vec::with_capacity(self.tasks.len());
         while let Some(t) = ready.pop() {
             order.push(TaskId(t));

@@ -77,9 +77,7 @@ impl IMat {
     /// Matrix–vector product; panics if `v.len() != cols`.
     pub fn mv(&self, v: &[i64]) -> IVec {
         assert_eq!(v.len(), self.cols, "IMat::mv dimension mismatch");
-        (0..self.rows)
-            .map(|r| (0..self.cols).map(|c| self.at(r, c) * v[c]).sum())
-            .collect()
+        (0..self.rows).map(|r| (0..self.cols).map(|c| self.at(r, c) * v[c]).sum()).collect()
     }
 
     /// Horizontal concatenation `[self | other]`; panics if row counts differ.

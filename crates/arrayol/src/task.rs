@@ -35,7 +35,12 @@ pub struct Port {
 
 impl Port {
     /// Convenience constructor.
-    pub fn new(name: impl Into<String>, array: ArrayId, pattern: impl Into<Shape>, tiler: Tiler) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        array: ArrayId,
+        pattern: impl Into<Shape>,
+        tiler: Tiler,
+    ) -> Self {
         Port { name: name.into(), array, pattern: pattern.into(), tiler }
     }
 }
@@ -98,10 +103,8 @@ mod tests {
 
     #[test]
     fn task_body_debug_labels() {
-        let body = TaskBody::Elementary {
-            kernel_name: "interp6".into(),
-            f: Arc::new(|ins| ins.to_vec()),
-        };
+        let body =
+            TaskBody::Elementary { kernel_name: "interp6".into(), f: Arc::new(|ins| ins.to_vec()) };
         assert_eq!(format!("{body:?}"), "Elementary(interp6)");
     }
 

@@ -126,8 +126,10 @@ impl Tiler {
                 data.push(*array.get_unchecked(&ix));
             });
         });
-        NdArray::from_vec(out_shape, data)
-            .map_err(|_| ArrayOlError::BadTaskOutput { task: "gather".into(), detail: "length".into() })
+        NdArray::from_vec(out_shape, data).map_err(|_| ArrayOlError::BadTaskOutput {
+            task: "gather".into(),
+            detail: "length".into(),
+        })
     }
 
     /// Scatter a `repetition ++ pattern` intermediate into `out` (the paper's
@@ -197,11 +199,8 @@ impl Tiler {
     /// 8 columns.
     pub fn sliding_window(dim: usize, step: i64) -> Tiler {
         assert!(dim < 2, "sliding_window is defined for rank-2 arrays");
-        let fitting = if dim == 0 {
-            IMat::from_rows(&[&[1], &[0]])
-        } else {
-            IMat::from_rows(&[&[0], &[1]])
-        };
+        let fitting =
+            if dim == 0 { IMat::from_rows(&[&[1], &[0]]) } else { IMat::from_rows(&[&[0], &[1]]) };
         let paving = if dim == 0 {
             IMat::from_rows(&[&[step, 0], &[0, 1]])
         } else {
@@ -219,21 +218,13 @@ mod tests {
     /// array {1080,1920}, pattern {11}, origin {0,0},
     /// fitting {{0},{1}}, paving {{1,0},{0,8}}, repetition {1080,240}.
     fn hfilter_input_tiler() -> Tiler {
-        Tiler::new(
-            vec![0, 0],
-            IMat::from_rows(&[&[0], &[1]]),
-            IMat::from_rows(&[&[1, 0], &[0, 8]]),
-        )
+        Tiler::new(vec![0, 0], IMat::from_rows(&[&[0], &[1]]), IMat::from_rows(&[&[1, 0], &[0, 8]]))
     }
 
     /// The paper's horizontal-filter output tiler: array {1080,720},
     /// pattern {3}, fitting {{0},{1}}, paving {{1,0},{0,3}}.
     fn hfilter_output_tiler() -> Tiler {
-        Tiler::new(
-            vec![0, 0],
-            IMat::from_rows(&[&[0], &[1]]),
-            IMat::from_rows(&[&[1, 0], &[0, 3]]),
-        )
+        Tiler::new(vec![0, 0], IMat::from_rows(&[&[0], &[1]]), IMat::from_rows(&[&[1, 0], &[0, 3]]))
     }
 
     #[test]
@@ -305,7 +296,11 @@ mod tests {
             IMat::from_rows(&[&[1, 0], &[0, 2]]),
         );
         let err = overlapping
-            .check_exact_cover(&Shape::new(vec![2, 12]), &Shape::new(vec![2, 6]), &Shape::new(vec![3]))
+            .check_exact_cover(
+                &Shape::new(vec![2, 12]),
+                &Shape::new(vec![2, 6]),
+                &Shape::new(vec![3]),
+            )
             .unwrap_err();
         assert!(matches!(err, ArrayOlError::NotExactCover { .. }));
 
@@ -316,7 +311,11 @@ mod tests {
             IMat::from_rows(&[&[1, 0], &[0, 3]]),
         );
         let err = gapped
-            .check_exact_cover(&Shape::new(vec![2, 12]), &Shape::new(vec![2, 4]), &Shape::new(vec![2]))
+            .check_exact_cover(
+                &Shape::new(vec![2, 12]),
+                &Shape::new(vec![2, 4]),
+                &Shape::new(vec![2]),
+            )
             .unwrap_err();
         assert!(matches!(err, ArrayOlError::NotExactCover { writes: 0, .. }));
     }

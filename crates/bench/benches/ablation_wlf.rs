@@ -30,15 +30,15 @@ fn bench_ablation(c: &mut Criterion) {
 
     for (name, cfg) in configs() {
         group.bench_with_input(BenchmarkId::new("compile", name), &cfg, |b, cfg| {
-            b.iter(|| {
-                black_box(build_sac(&s, Variant::NonGeneric, Part::Full, cfg).unwrap())
-            })
+            b.iter(|| black_box(build_sac(&s, Variant::NonGeneric, Part::Full, cfg).unwrap()))
         });
         let route = build_sac(&s, Variant::NonGeneric, Part::Full, &cfg).unwrap();
         group.bench_with_input(BenchmarkId::new("seq_run", name), &route, |b, route| {
             b.iter(|| {
                 let mut ops = 0u64;
-                black_box(route.flat.run(black_box(std::slice::from_ref(&frame)), &mut ops).unwrap())
+                black_box(
+                    route.flat.run(black_box(std::slice::from_ref(&frame)), &mut ops).unwrap(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("gpu_run", name), &route, |b, route| {

@@ -22,7 +22,9 @@ fn bench_fig9(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("seq", name), &route, |b, route| {
             b.iter(|| {
                 let mut ops = 0u64;
-                black_box(route.flat.run(black_box(std::slice::from_ref(&frame)), &mut ops).unwrap())
+                black_box(
+                    route.flat.run(black_box(std::slice::from_ref(&frame)), &mut ops).unwrap(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("cuda", name), &route, |b, route| {

@@ -29,9 +29,7 @@ fn bench_tilers(c: &mut Criterion) {
         IMat::from_rows(&[&[1, 0], &[0, 3]]),
     );
     let out_pat = Shape::new(vec![3]);
-    let tiles = out_tiler
-        .gather(&NdArray::filled([288usize, 132], 5i64), &rep, &out_pat)
-        .unwrap();
+    let tiles = out_tiler.gather(&NdArray::filled([288usize, 132], 5i64), &rep, &out_pat).unwrap();
     group.bench_function("scatter_cif_3pattern", |b| {
         b.iter(|| {
             let mut out = NdArray::filled([288usize, 132], 0i64);
@@ -41,12 +39,8 @@ fn bench_tilers(c: &mut Criterion) {
     });
     group.bench_function("exact_cover_check", |b| {
         b.iter(|| {
-            out_tiler
-            .check_exact_cover(&Shape::new(vec![288, 132]), &rep, &out_pat)
-            .unwrap();
-            black_box(
-                (),
-            )
+            out_tiler.check_exact_cover(&Shape::new(vec![288, 132]), &rep, &out_pat).unwrap();
+            black_box(())
         })
     });
     group.finish();
@@ -61,11 +55,7 @@ fn bench_arrayol_executor(c: &mut Criterion) {
     let output = g.declare_array("out", [64usize, 64]);
     g.external_inputs.push(input);
     g.external_outputs.push(output);
-    let in_tiler = Tiler::new(
-        vec![0, 0],
-        IMat::identity(2),
-        IMat::from_rows(&[&[4, 0], &[0, 4]]),
-    );
+    let in_tiler = Tiler::new(vec![0, 0], IMat::identity(2), IMat::from_rows(&[&[4, 0], &[0, 4]]));
     let out_tiler = Tiler::new(vec![0, 0], IMat::zeros(2, 0), IMat::identity(2));
     g.add_task(RepetitiveTask {
         name: "sum".into(),

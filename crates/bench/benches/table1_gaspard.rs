@@ -41,10 +41,7 @@ fn bench_gaspard(c: &mut Criterion) {
                 .launch(
                     &hf.kernel,
                     hf.config,
-                    &[
-                        simgpu::kir::KernelArg::Buffer(out.0),
-                        simgpu::kir::KernelArg::Buffer(inp.0),
-                    ],
+                    &[simgpu::kir::KernelArg::Buffer(out.0), simgpu::kir::KernelArg::Buffer(inp.0)],
                 )
                 .unwrap();
             black_box(device.now_us())

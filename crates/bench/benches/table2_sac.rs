@@ -20,13 +20,8 @@ fn bench_sac(c: &mut Criterion) {
     group.bench_function("compiler_pipeline", |b| {
         b.iter(|| {
             black_box(
-                build_sac(
-                    black_box(&s),
-                    Variant::NonGeneric,
-                    Part::Full,
-                    &Default::default(),
-                )
-                .unwrap(),
+                build_sac(black_box(&s), Variant::NonGeneric, Part::Full, &Default::default())
+                    .unwrap(),
             )
         })
     });
@@ -37,8 +32,13 @@ fn bench_sac(c: &mut Criterion) {
         b.iter(|| {
             let mut device = Device::gtx480();
             black_box(
-                run_on_device_opts(&route.cuda, &mut device, black_box(std::slice::from_ref(&frame)), opts)
-                    .unwrap(),
+                run_on_device_opts(
+                    &route.cuda,
+                    &mut device,
+                    black_box(std::slice::from_ref(&frame)),
+                    opts,
+                )
+                .unwrap(),
             )
         })
     });
@@ -54,8 +54,13 @@ fn bench_sac(c: &mut Criterion) {
             b.iter(|| {
                 let mut device = Device::gtx480();
                 black_box(
-                    run_on_device_opts(&r.cuda, &mut device, black_box(std::slice::from_ref(&input)), opts)
-                        .unwrap(),
+                    run_on_device_opts(
+                        &r.cuda,
+                        &mut device,
+                        black_box(std::slice::from_ref(&input)),
+                        opts,
+                    )
+                    .unwrap(),
                 )
             })
         });

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p bench --bin reproduce [-- <command>] [--scenario hd1080|cif|tiny]
 //!
-//! commands: fig8 fig9 fig11 fig12 table1 table2 cuda-src summary ablations all
+//! commands: fig8 fig9 fig11 fig12 table1 table2 cuda-src summary ablations streams all
 //! ```
 
 use bench::experiments as exp;
@@ -13,7 +13,7 @@ use simgpu::Calibration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|sweep|emit-artifacts|all] \
+        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|sweep|emit-artifacts|all] \
          [--scenario hd1080|cif|tiny]"
     );
     std::process::exit(2);
@@ -36,9 +36,20 @@ fn main() {
             }
             "--help" | "-h" => usage(),
             cmd if !cmd.starts_with('-') => {
-                const KNOWN: [&str; 13] = [
-                    "all", "fig3", "fig8", "fig9", "fig11", "fig12", "table1",
-                    "table2", "cuda-src", "summary", "ablations", "sweep",
+                const KNOWN: [&str; 14] = [
+                    "all",
+                    "fig3",
+                    "fig8",
+                    "fig9",
+                    "fig11",
+                    "fig12",
+                    "table1",
+                    "table2",
+                    "cuda-src",
+                    "summary",
+                    "ablations",
+                    "streams",
+                    "sweep",
                     "emit-artifacts",
                 ];
                 if !KNOWN.contains(&cmd) {
@@ -125,6 +136,12 @@ fn main() {
     if run("ablations") {
         ablations(s);
     }
+    if run("streams") {
+        match exp::streams_ablation(s, &[1, 2, 4]) {
+            Ok(rows) => println!("{}", report::render_streams(&rows)),
+            Err(e) => eprintln!("streams ablation failed: {e}"),
+        }
+    }
     if run("sweep") {
         sweep();
     }
@@ -164,10 +181,7 @@ fn emit_artifacts(s: &Scenario) {
             write("gaspard/kernels.cl", &route.opencl.emit_opencl_source());
             write("gaspard/main.cpp", &gaspard::emit::emit_host_source(&route.opencl));
             write("gaspard/Makefile", &gaspard::emit::emit_makefile("downscaler"));
-            write(
-                "gaspard/openmp.c",
-                &gaspard::openmp::emit_openmp_source(&route.scheduled),
-            );
+            write("gaspard/openmp.c", &gaspard::openmp::emit_openmp_source(&route.scheduled));
             if let Ok(g) = gaspard::transform::to_arrayol(&route.scheduled) {
                 write("gaspard/downscaler.dot", &arrayol::dot::to_dot(&g, "Downscaler"));
             }
@@ -178,10 +192,7 @@ fn emit_artifacts(s: &Scenario) {
 
 fn sweep() {
     println!("--- Frame-size sweep: sequential vs GPU per frame (non-generic SaC) ---");
-    println!(
-        "{:>11} {:>12} {:>14} {:>16}",
-        "frame", "seq (us)", "GPU kern (us)", "GPU+xfers (us)"
-    );
+    println!("{:>11} {:>12} {:>14} {:>16}", "frame", "seq (us)", "GPU kern (us)", "GPU+xfers (us)");
     match exp::sweep(&[1, 2, 4, 8, 15, 30, 60, 120]) {
         Ok(rows) => {
             let mut crossed_kern = None;
@@ -269,10 +280,7 @@ fn ablations(s: &Scenario) {
             "launch x4 (SaC pays 12 launches/frame)",
             Calibration { kernel_launch_us: base.kernel_launch_us * 4.0, ..base.clone() },
         ),
-        (
-            "launch = 0",
-            Calibration { kernel_launch_us: 0.0, ..base.clone() },
-        ),
+        ("launch = 0", Calibration { kernel_launch_us: 0.0, ..base.clone() }),
         (
             "free L1 (cross-kernel reuse irrelevant)",
             Calibration { l1_access_ns: 0.0, ..base.clone() },
@@ -293,10 +301,9 @@ fn ablations(s: &Scenario) {
     println!("{:<42} {:>10} {:>12} {:>8}", "calibration", "SaC", "Gaspard2", "ratio");
     for (label, calib) in variants {
         match exp::totals_with_calibration(s, calib) {
-            Ok((sac, gaspard)) => println!(
-                "{label:<42} {sac:>9.2}s {gaspard:>11.2}s {:>8.3}",
-                gaspard / sac
-            ),
+            Ok((sac, gaspard)) => {
+                println!("{label:<42} {sac:>9.2}s {gaspard:>11.2}s {:>8.3}", gaspard / sac)
+            }
             Err(e) => eprintln!("{label}: {e}"),
         }
     }
@@ -304,10 +311,7 @@ fn ablations(s: &Scenario) {
     println!("--- Ablation: WITH-loop folding off (kernel counts / launches per frame) ---");
     for (label, cfg) in [
         ("WLF on (paper)", sac_lang::opt::OptConfig::default()),
-        (
-            "WLF off",
-            sac_lang::opt::OptConfig { with_loop_folding: false, resolve_modulo: true },
-        ),
+        ("WLF off", sac_lang::opt::OptConfig { with_loop_folding: false, resolve_modulo: true }),
     ] {
         match downscaler::pipelines::build_sac(
             s,

@@ -2,7 +2,10 @@
 
 use crate::calibration::{HOST_NS_PER_OP, SEQ_CPU_NS_PER_OP};
 use downscaler::frames::FrameGenerator;
-use downscaler::pipelines::{build_gaspard, build_sac, PipelineError, SacRoute};
+use downscaler::pipelines::{
+    build_gaspard, build_sac, run_gaspard_batch, run_sac_batch, BatchOptions, PipelineError,
+    SacRoute,
+};
 use downscaler::sac_src::{Part, Variant};
 use downscaler::Scenario;
 use mdarray::NdArray;
@@ -46,10 +49,7 @@ pub struct Fig12 {
 }
 
 fn default_exec(s: &Scenario) -> ExecOptions {
-    ExecOptions {
-        host_cost: HostCost { ns_per_op: HOST_NS_PER_OP },
-        channel_chunks: s.channels,
-    }
+    ExecOptions { host_cost: HostCost { ns_per_op: HOST_NS_PER_OP }, channel_chunks: s.channels }
 }
 
 fn test_frame(s: &Scenario) -> NdArray<i64> {
@@ -58,17 +58,14 @@ fn test_frame(s: &Scenario) -> NdArray<i64> {
 
 /// Simulated seconds to transfer `route`'s result back, if the plan does.
 fn result_download_us(s: &Scenario, route: &SacRoute, device: &Device) -> f64 {
-    let downloads_result = route
-        .plan_last_download()
-        .map(|arr| arr == route.flat.result)
-        .unwrap_or(false);
+    let downloads_result =
+        route.plan_last_download().map(|arr| arr == route.flat.result).unwrap_or(false);
     if !downloads_result {
         return 0.0;
     }
     let shape = &route.flat.arrays[route.flat.result].shape;
     let len: usize = shape.iter().product();
-    let chunks =
-        if shape.first() == Some(&s.channels) && s.channels > 1 { s.channels } else { 1 };
+    let chunks = if shape.first() == Some(&s.channels) && s.channels > 1 { s.channels } else { 1 };
     let calib = device.calibration();
     chunks as f64 * calib.transfer_time_us(len * 4 / chunks, Direction::DeviceToHost)
 }
@@ -91,17 +88,11 @@ impl PlanExt for SacRoute {
 /// kernel + host-fallback + *forced mid-pipeline* transfer time. The frame
 /// upload and (when present) final result download are excluded — they are
 /// common to every configuration and reported separately in Tables I/II.
-fn cuda_filter_time_s(
-    s: &Scenario,
-    variant: Variant,
-    part: Part,
-) -> Result<f64, PipelineError> {
+fn cuda_filter_time_s(s: &Scenario, variant: Variant, part: Part) -> Result<f64, PipelineError> {
     let route = build_sac(s, variant, part, &Default::default())?;
     let mut device = Device::gtx480();
     let input = match part {
-        Part::Vertical => {
-            downscaler::pipelines::reference_horizontal(s, &test_frame(s))
-        }
+        Part::Vertical => downscaler::pipelines::reference_horizontal(s, &test_frame(s)),
         _ => test_frame(s),
     };
     run_on_device_opts(&route.cuda, &mut device, &[input], default_exec(s))?;
@@ -113,23 +104,14 @@ fn cuda_filter_time_s(
 }
 
 /// Sequential (SAC-Seq) per-filter time over the full run, seconds.
-fn seq_filter_time_s(
-    s: &Scenario,
-    variant: Variant,
-    part: Part,
-) -> Result<f64, PipelineError> {
+fn seq_filter_time_s(s: &Scenario, variant: Variant, part: Part) -> Result<f64, PipelineError> {
     let route = build_sac(s, variant, part, &Default::default())?;
     let input = match part {
-        Part::Vertical => {
-            downscaler::pipelines::reference_horizontal(s, &test_frame(s))
-        }
+        Part::Vertical => downscaler::pipelines::reference_horizontal(s, &test_frame(s)),
         _ => test_frame(s),
     };
     let mut ops = 0u64;
-    route
-        .flat
-        .run(&[input], &mut ops)
-        .map_err(PipelineError::Sac)?;
+    route.flat.run(&[input], &mut ops).map_err(PipelineError::Sac)?;
     Ok(ops as f64 * SEQ_CPU_NS_PER_OP * s.frames as f64 / 1e9)
 }
 
@@ -172,8 +154,7 @@ fn paper_groups() -> Vec<Group> {
 pub fn table1(s: &Scenario) -> Result<ProfileTable, PipelineError> {
     let route = build_gaspard(s)?;
     let mut device = Device::gtx480();
-    let channels =
-        FrameGenerator::new(s.channels, s.rows, s.cols, 0xD05C).frame_channels(0);
+    let channels = FrameGenerator::new(s.channels, s.rows, s.cols, 0xD05C).frame_channels(0);
     gaspard::run_opencl(&route.opencl, &mut device, &channels)?;
     device.profiler.scale(s.frames as u64);
     Ok(ProfileTable {
@@ -210,8 +191,7 @@ pub fn figure12(s: &Scenario) -> Result<Fig12, PipelineError> {
 /// Figure 3 artefact: the downscaler overview as a Graphviz DOT graph.
 pub fn figure3_dot(s: &Scenario) -> Result<String, PipelineError> {
     let route = build_gaspard(s)?;
-    let g = gaspard::transform::to_arrayol(&route.scheduled)
-        .map_err(PipelineError::Gaspard)?;
+    let g = gaspard::transform::to_arrayol(&route.scheduled).map_err(PipelineError::Gaspard)?;
     Ok(arrayol::dot::to_dot(&g, "Downscaler"))
 }
 
@@ -300,12 +280,66 @@ pub fn sweep(scales: &[usize]) -> Result<Vec<SweepRow>, PipelineError> {
         let seq_us = ops as f64 * SEQ_CPU_NS_PER_OP / 1e3;
 
         let mut device = Device::gtx480();
-        run_on_device_opts(&route.cuda, &mut device, std::slice::from_ref(&frame), default_exec(&s))?;
+        run_on_device_opts(
+            &route.cuda,
+            &mut device,
+            std::slice::from_ref(&frame),
+            default_exec(&s),
+        )?;
         let gpu_total_us = device.now_us();
         let gpu_kernels_us = device.profiler.class_total_us(OpClass::Kernel);
         out.push(SweepRow { rows, cols, seq_us, gpu_kernels_us, gpu_total_us });
     }
     Ok(out)
+}
+
+/// One row of the stream-count ablation.
+#[derive(Debug, Clone)]
+pub struct StreamsRow {
+    /// Streams (SaC) / command queues (GASPARD2) used.
+    pub streams: usize,
+    /// SaC route makespan for the whole run, seconds.
+    pub sac_s: f64,
+    /// GASPARD2 route makespan for the whole run, seconds.
+    pub gaspard_s: f64,
+    /// Engine busy time hidden by overlap, percent (SaC route).
+    pub sac_overlap_pct: f64,
+    /// Engine busy time hidden by overlap, percent (GASPARD2 route).
+    pub gaspard_overlap_pct: f64,
+}
+
+/// Stream-count ablation: the whole scenario driven through both routes'
+/// frame pipelines at each stream count.
+///
+/// One frame per configuration is executed functionally (results stay
+/// bit-exact by construction — the executors are exercised against golden
+/// references in their own tests); the remaining `s.frames − 1` frames are
+/// timing-replayed, which is exact because per-frame cost is
+/// content-independent under the cost model. `streams = 1` is the serialized
+/// baseline: it reproduces the one-frame-at-a-time executors' simulated time
+/// bit-for-bit.
+pub fn streams_ablation(
+    s: &Scenario,
+    stream_counts: &[usize],
+) -> Result<Vec<StreamsRow>, PipelineError> {
+    let sac = build_sac(s, Variant::NonGeneric, Part::Full, &Default::default())?;
+    let gasp = build_gaspard(s)?;
+    let mut rows = Vec::new();
+    for &streams in stream_counts {
+        let opts = BatchOptions { streams, executed: 1, host_ns_per_op: HOST_NS_PER_OP };
+        let mut sac_dev = Device::gtx480();
+        run_sac_batch(s, &sac, &mut sac_dev, 0xD05C, opts)?;
+        let mut gasp_dev = Device::gtx480();
+        run_gaspard_batch(s, &gasp, &mut gasp_dev, 0xD05C, opts)?;
+        rows.push(StreamsRow {
+            streams,
+            sac_s: sac_dev.now_us() / 1e6,
+            gaspard_s: gasp_dev.now_us() / 1e6,
+            sac_overlap_pct: sac_dev.profiler.overlap_percent(),
+            gaspard_overlap_pct: gasp_dev.profiler.overlap_percent(),
+        });
+    }
+    Ok(rows)
 }
 
 /// Cost-model ablation: rerun Table I/II totals under a modified calibration.
@@ -317,8 +351,7 @@ pub fn totals_with_calibration(
     let route = build_gaspard(s)?;
     let mut device = Device::gtx480();
     device.set_calibration(calib.clone());
-    let channels =
-        FrameGenerator::new(s.channels, s.rows, s.cols, 0xD05C).frame_channels(0);
+    let channels = FrameGenerator::new(s.channels, s.rows, s.cols, 0xD05C).frame_channels(0);
     gaspard::run_opencl(&route.opencl, &mut device, &channels)?;
     let gaspard_total = device.now_us() * s.frames as f64 / 1e6;
     // SaC non-generic.
@@ -377,6 +410,45 @@ mod tests {
         // call per frame).
         assert_eq!(t1.rows[0].calls, s.frames as u64);
         assert_eq!(t2.rows[0].calls, s.frames as u64);
+    }
+
+    #[test]
+    fn streams_ablation_overlap_strictly_beats_sync() {
+        // The acceptance shape of the HD run at test-friendly scale: same
+        // frame count (300), smaller frames.
+        let s = Scenario::new("hd-ish", 3, 90, 160, 300);
+        let rows = streams_ablation(&s, &[1, 2, 4]).unwrap();
+        assert_eq!(rows.len(), 3);
+        let (sync, two, four) = (&rows[0], &rows[1], &rows[2]);
+        // Double buffering strictly beats the serialized baseline on both
+        // routes, and going wider never hurts.
+        assert!(two.sac_s < sync.sac_s, "{} !< {}", two.sac_s, sync.sac_s);
+        assert!(two.gaspard_s < sync.gaspard_s);
+        assert!(four.sac_s <= two.sac_s + 1e-12);
+        assert!(four.gaspard_s <= two.gaspard_s + 1e-12);
+        // Sync has nothing to hide; the pipelined runs do.
+        assert_eq!(sync.sac_overlap_pct, 0.0);
+        assert!(two.sac_overlap_pct > 0.0 && two.gaspard_overlap_pct > 0.0);
+        // The makespan can never beat the serial sum's busiest engine: with
+        // overlap% < 100·(1 − 1/engines) as a loose sanity bound.
+        assert!(two.sac_overlap_pct < 100.0);
+    }
+
+    #[test]
+    fn one_stream_ablation_matches_serial_total() {
+        // streams=1 with replay must reproduce the serial executor's
+        // simulated time for the full run bit-for-bit.
+        let s = tiny();
+        let rows = streams_ablation(&s, &[1]).unwrap();
+
+        let route = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default()).unwrap();
+        let mut device = Device::gtx480();
+        let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 0xD05C);
+        for f in 0..s.frames {
+            run_on_device_opts(&route.cuda, &mut device, &[gen.frame_rank3(f)], default_exec(&s))
+                .unwrap();
+        }
+        assert_eq!(rows[0].sac_s, device.now_us() / 1e6);
     }
 
     #[test]

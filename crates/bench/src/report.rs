@@ -1,14 +1,11 @@
 //! Text rendering of experiment results (ASCII bars and the paper's tables).
 
-use crate::experiments::{Fig12, Fig9Row, ProfileTable};
+use crate::experiments::{Fig12, Fig9Row, ProfileTable, StreamsRow};
 
 /// Render Figure 9 as labelled ASCII bars.
 pub fn render_fig9(rows: &[Fig9Row]) -> String {
-    let max = rows
-        .iter()
-        .flat_map(|r| [r.horizontal_s, r.vertical_s])
-        .fold(0.0f64, f64::max)
-        .max(1e-12);
+    let max =
+        rows.iter().flat_map(|r| [r.horizontal_s, r.vertical_s]).fold(0.0f64, f64::max).max(1e-12);
     let bar = |v: f64| {
         let n = ((v / max) * 40.0).round() as usize;
         "#".repeat(n.max(1))
@@ -50,6 +47,33 @@ pub fn render_table(title: &str, t: &ProfileTable) -> String {
         format!("{:.3}ms", t.total_s * 1e3)
     };
     out.push_str(&format!("{:<26} {:>8} {:>16} {:>13.2}\n", "Total", "-", total, 100.0));
+    out
+}
+
+/// Render the stream-count ablation (async frame pipelining).
+pub fn render_streams(rows: &[StreamsRow]) -> String {
+    let mut out = String::from(
+        "Ablation: async streams / double-buffered frame pipelining\n\
+         (whole run; streams=1 is the paper's serialized runtime)\n\n",
+    );
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+        "streams", "SaC", "speedup", "overlap", "Gaspard2", "speedup", "overlap"
+    ));
+    let base = rows.first();
+    for r in rows {
+        let (sac0, gasp0) = base.map(|b| (b.sac_s, b.gaspard_s)).unwrap_or((r.sac_s, r.gaspard_s));
+        out.push_str(&format!(
+            "{:>8} {:>11.3}s {:>11.2}x {:>11.1}% {:>11.3}s {:>11.2}x {:>11.1}%\n",
+            r.streams,
+            r.sac_s,
+            sac0 / r.sac_s,
+            r.sac_overlap_pct,
+            r.gaspard_s,
+            gasp0 / r.gaspard_s,
+            r.gaspard_overlap_pct,
+        ));
+    }
     out
 }
 

@@ -129,11 +129,7 @@ pub fn vertical_filter(ch: &NdArray<i64>, spec: &FilterSpec) -> NdArray<i64> {
 }
 
 /// Full per-channel downscale: horizontal then vertical.
-pub fn downscale_channel(
-    ch: &NdArray<i64>,
-    h: &FilterSpec,
-    v: &FilterSpec,
-) -> NdArray<i64> {
+pub fn downscale_channel(ch: &NdArray<i64>, h: &FilterSpec, v: &FilterSpec) -> NdArray<i64> {
     vertical_filter(&horizontal_filter(ch, h), v)
 }
 

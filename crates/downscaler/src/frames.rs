@@ -111,11 +111,8 @@ impl FrameSink {
     /// Consume one frame (any number of channel planes).
     pub fn consume(&mut self, channels: &[NdArray<i64>]) {
         for ch in channels {
-            self.digest = self
-                .digest
-                .rotate_left(13)
-                .wrapping_add(checksum(ch))
-                .wrapping_mul(0x100000001b3);
+            self.digest =
+                self.digest.rotate_left(13).wrapping_add(checksum(ch)).wrapping_mul(0x100000001b3);
         }
         self.frames += 1;
     }
@@ -126,9 +123,8 @@ impl FrameSink {
         let cols = ch.shape().dim(1);
         let mut out = format!("P2\n{cols} {rows}\n255\n");
         for i in 0..rows {
-            let row: Vec<String> = (0..cols)
-                .map(|j| ch.get(&[i, j]).unwrap().clamp(&0, &255).to_string())
-                .collect();
+            let row: Vec<String> =
+                (0..cols).map(|j| ch.get(&[i, j]).unwrap().clamp(&0, &255).to_string()).collect();
             out.push_str(&row.join(" "));
             out.push('\n');
         }

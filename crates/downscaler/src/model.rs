@@ -31,8 +31,7 @@ fn channel_filter(
     let k = spec.outputs_per_tile();
     let mut out_shape = in_shape;
     out_shape[dim] = tiles * k;
-    let repetition =
-        if dim == 1 { vec![in_shape[0], tiles] } else { vec![tiles, in_shape[1]] };
+    let repetition = if dim == 1 { vec![in_shape[0], tiles] } else { vec![tiles, in_shape[1]] };
     let unit = |d: usize| {
         if d == 0 {
             vec![vec![1], vec![0]]
@@ -84,11 +83,7 @@ fn interp_task(name: &str, spec: &FilterSpec) -> Component {
         stereotype: Stereotype::SwResource,
         ports: vec![
             Port { name: "pin".into(), dir: PortDir::In, shape: vec![spec.pattern] },
-            Port {
-                name: "pout".into(),
-                dir: PortDir::Out,
-                shape: vec![spec.outputs_per_tile()],
-            },
+            Port { name: "pout".into(), dir: PortDir::Out, shape: vec![spec.outputs_per_tile()] },
         ],
         kind: ComponentKind::Elementary {
             op: ElementaryOp::InterpolateWindows {
@@ -117,16 +112,8 @@ fn filter_composite(
     let mut parts = Vec::new();
     let mut connections = Vec::new();
     for c in 0..channels {
-        ports.push(Port {
-            name: format!("in{c}"),
-            dir: PortDir::In,
-            shape: in_shape.to_vec(),
-        });
-        ports.push(Port {
-            name: format!("out{c}"),
-            dir: PortDir::Out,
-            shape: out_shape.to_vec(),
-        });
+        ports.push(Port { name: format!("in{c}"), dir: PortDir::In, shape: in_shape.to_vec() });
+        ports.push(Port { name: format!("out{c}"), dir: PortDir::Out, shape: out_shape.to_vec() });
         let inst = channel_prefixes.get(c).copied().unwrap_or("chf").to_string();
         parts.push((inst.clone(), channel_comp.to_string()));
         connections.push(Connection {
@@ -160,11 +147,7 @@ pub fn downscaler_model(s: &Scenario) -> (Model, Allocation) {
         name: "FrameGenerator".into(),
         stereotype: Stereotype::SwResource,
         ports: (0..s.channels)
-            .map(|c| Port {
-                name: format!("ch{c}"),
-                dir: PortDir::Out,
-                shape: in_shape.to_vec(),
-            })
+            .map(|c| Port { name: format!("ch{c}"), dir: PortDir::Out, shape: in_shape.to_vec() })
             .collect(),
         kind: ComponentKind::FrameSource,
     };
@@ -172,11 +155,7 @@ pub fn downscaler_model(s: &Scenario) -> (Model, Allocation) {
         name: "FrameConstructor".into(),
         stereotype: Stereotype::SwResource,
         ports: (0..s.channels)
-            .map(|c| Port {
-                name: format!("ch{c}"),
-                dir: PortDir::In,
-                shape: out_shape.to_vec(),
-            })
+            .map(|c| Port { name: format!("ch{c}"), dir: PortDir::In, shape: out_shape.to_vec() })
             .collect(),
         kind: ComponentKind::FrameSink,
     };
@@ -313,8 +292,7 @@ mod tests {
             inputs.insert(g.external_inputs[i], ch.clone());
         }
         let out =
-            arrayol::exec::execute(&g, &inputs, &arrayol::exec::ExecOptions::sequential())
-                .unwrap();
+            arrayol::exec::execute(&g, &inputs, &arrayol::exec::ExecOptions::sequential()).unwrap();
         for (c, ch) in channels.iter().enumerate() {
             let expect = crate::filter::downscale_channel(ch, &s.h, &s.v);
             assert_eq!(out[&g.external_outputs[c]], expect, "channel {c}");

@@ -4,10 +4,12 @@ use crate::frames::FrameGenerator;
 use crate::sac_src::{program_src, Part, Variant};
 use crate::scenario::Scenario;
 use gaspard::codegen::{generate_opencl, OpenClProgram};
+use gaspard::exec::{run_opencl_frames, OpenClPipelineOptions};
 use gaspard::transform::{deploy, schedule, ScheduledModel};
 use gaspard::Platform;
 use mdarray::NdArray;
 use sac_cuda::codegen::{compile_flat_program, CudaProgram};
+use sac_cuda::exec::{run_frames_pipelined, ExecOptions, HostCost, PipelineOptions};
 use sac_lang::opt::{optimize, ArgDesc, OptConfig, OptReport};
 use sac_lang::wir::FlatProgram;
 
@@ -100,6 +102,87 @@ pub fn build_gaspard(s: &Scenario) -> Result<GaspardRoute, PipelineError> {
     Ok(GaspardRoute { scheduled, opencl })
 }
 
+/// How a scenario's frame batch is driven through a pipelined executor.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Streams (SaC route) / command queues (GASPARD route). `1` = the
+    /// serialized baseline.
+    pub streams: usize,
+    /// Frames executed functionally; the scenario's remaining frames are
+    /// timing-replayed from the first frame's measured schedule. `0` runs
+    /// every frame functionally.
+    pub executed: usize,
+    /// Host-fallback cost (SaC route only).
+    pub host_ns_per_op: f64,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { streams: 1, executed: 0, host_ns_per_op: HostCost::default().ns_per_op }
+    }
+}
+
+impl BatchOptions {
+    fn executed_frames(&self, s: &Scenario) -> usize {
+        if self.executed == 0 {
+            s.frames
+        } else {
+            self.executed.min(s.frames)
+        }
+    }
+}
+
+/// Drive the whole scenario (all `s.frames` frames) through the SaC→CUDA
+/// route's stream pipeline. Returns the functionally executed frames'
+/// results; `device.now_us()` afterwards is the batch makespan.
+pub fn run_sac_batch(
+    s: &Scenario,
+    route: &SacRoute,
+    device: &mut simgpu::Device,
+    seed: u64,
+    opts: BatchOptions,
+) -> Result<Vec<NdArray<i64>>, PipelineError> {
+    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, seed);
+    let frames: Vec<Vec<NdArray<i64>>> =
+        (0..opts.executed_frames(s)).map(|f| vec![gen.frame_rank3(f)]).collect();
+    let (outs, _) = run_frames_pipelined(
+        &route.cuda,
+        device,
+        &frames,
+        PipelineOptions {
+            exec: ExecOptions {
+                host_cost: HostCost { ns_per_op: opts.host_ns_per_op },
+                channel_chunks: s.channels,
+            },
+            streams: opts.streams,
+            total_frames: s.frames,
+        },
+    )?;
+    Ok(outs)
+}
+
+/// Drive the whole scenario through the GASPARD→OpenCL route's command-queue
+/// pipeline. Returns per-frame channel planes for the functionally executed
+/// frames; `device.now_us()` afterwards is the batch makespan.
+pub fn run_gaspard_batch(
+    s: &Scenario,
+    route: &GaspardRoute,
+    device: &mut simgpu::Device,
+    seed: u64,
+    opts: BatchOptions,
+) -> Result<Vec<Vec<NdArray<i64>>>, PipelineError> {
+    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, seed);
+    let frames: Vec<Vec<NdArray<i64>>> =
+        (0..opts.executed_frames(s)).map(|f| gen.frame_channels(f)).collect();
+    let outs = run_opencl_frames(
+        &route.opencl,
+        device,
+        &frames,
+        OpenClPipelineOptions { queues: opts.streams, total_frames: s.frames },
+    )?;
+    Ok(outs)
+}
+
 /// Golden-model downscale of a rank-3 `[channels, rows, cols]` frame.
 pub fn reference_downscale(s: &Scenario, frame: &NdArray<i64>) -> NdArray<i64> {
     let planes: Vec<NdArray<i64>> = FrameGenerator::unstack(frame)
@@ -129,17 +212,15 @@ mod tests {
         // "the final fused WITH-loop for horizontal filter after applying WLF
         // has 5 generators (the vertical filter has 7 generators)" — §VIII.C.
         let s = Scenario::tiny();
-        let h = build_sac(&s, Variant::NonGeneric, Part::Horizontal, &OptConfig::default())
-            .unwrap();
+        let h =
+            build_sac(&s, Variant::NonGeneric, Part::Horizontal, &OptConfig::default()).unwrap();
         assert_eq!(h.report.generators_after_split, 5, "horizontal: {}", h.flat);
         assert_eq!(h.report.host_steps, 0);
 
-        let v = build_sac(&s, Variant::NonGeneric, Part::Vertical, &OptConfig::default())
-            .unwrap();
+        let v = build_sac(&s, Variant::NonGeneric, Part::Vertical, &OptConfig::default()).unwrap();
         assert_eq!(v.report.generators_after_split, 7, "vertical: {}", v.flat);
 
-        let full =
-            build_sac(&s, Variant::NonGeneric, Part::Full, &OptConfig::default()).unwrap();
+        let full = build_sac(&s, Variant::NonGeneric, Part::Full, &OptConfig::default()).unwrap();
         assert_eq!(full.report.generators_after_split, 12, "full: {}", full.flat);
         assert_eq!(full.cuda.launches_per_run(), 12);
     }
@@ -147,17 +228,12 @@ mod tests {
     #[test]
     fn generic_route_keeps_host_steps() {
         let s = Scenario::tiny();
-        let g =
-            build_sac(&s, Variant::Generic, Part::Full, &OptConfig::default()).unwrap();
+        let g = build_sac(&s, Variant::Generic, Part::Full, &OptConfig::default()).unwrap();
         assert_eq!(g.report.host_steps, 2, "{}", g.flat);
         assert!(g.cuda.host_steps_per_run() == 2);
         // The host fallback forces device-to-host downloads mid-pipeline.
-        let downloads = g
-            .cuda
-            .plan
-            .iter()
-            .filter(|op| matches!(op, sac_cuda::PlanOp::Download { .. }))
-            .count();
+        let downloads =
+            g.cuda.plan.iter().filter(|op| matches!(op, sac_cuda::PlanOp::Download { .. })).count();
         assert!(downloads >= 2, "{:?}", g.cuda.plan);
     }
 
@@ -170,9 +246,13 @@ mod tests {
         for variant in [Variant::Generic, Variant::NonGeneric] {
             let route = build_sac(&s, variant, Part::Full, &OptConfig::default()).unwrap();
             let mut device = Device::gtx480();
-            let (got, _) =
-                run_on_device(&route.cuda, &mut device, std::slice::from_ref(&frame), HostCost::default())
-                    .unwrap();
+            let (got, _) = run_on_device(
+                &route.cuda,
+                &mut device,
+                std::slice::from_ref(&frame),
+                HostCost::default(),
+            )
+            .unwrap();
             assert_eq!(got, expect, "variant {variant:?}");
         }
     }
@@ -209,6 +289,49 @@ mod tests {
     }
 
     #[test]
+    fn batch_runners_match_reference_and_overlap() {
+        let s = Scenario::tiny(); // 2 frames
+        let seed = 77;
+        let gen = FrameGenerator::new(s.channels, s.rows, s.cols, seed);
+
+        let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &OptConfig::default()).unwrap();
+        let gasp = build_gaspard(&s).unwrap();
+
+        let mut sac_sync = Device::gtx480();
+        let sync_outs =
+            run_sac_batch(&s, &sac, &mut sac_sync, seed, BatchOptions::default()).unwrap();
+        let mut sac_db = Device::gtx480();
+        let db_outs = run_sac_batch(
+            &s,
+            &sac,
+            &mut sac_db,
+            seed,
+            BatchOptions { streams: 2, ..Default::default() },
+        )
+        .unwrap();
+        for (f, out) in db_outs.iter().enumerate() {
+            assert_eq!(out, &reference_downscale(&s, &gen.frame_rank3(f)), "frame {f}");
+        }
+        assert_eq!(db_outs, sync_outs);
+        assert!(sac_db.now_us() < sac_sync.now_us());
+
+        let mut g_sync = Device::gtx480();
+        let g_sync_outs =
+            run_gaspard_batch(&s, &gasp, &mut g_sync, seed, BatchOptions::default()).unwrap();
+        let mut g_db = Device::gtx480();
+        let g_db_outs = run_gaspard_batch(
+            &s,
+            &gasp,
+            &mut g_db,
+            seed,
+            BatchOptions { streams: 2, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(g_db_outs, g_sync_outs);
+        assert!(g_db.now_us() < g_sync.now_us());
+    }
+
+    #[test]
     fn both_routes_agree_bit_exactly() {
         // The cross-route check the paper's comparison implies: same frames,
         // same downscaled video.
@@ -217,8 +340,7 @@ mod tests {
         let frame_planes = gen.frame_channels(0);
         let frame3 = FrameGenerator::stack(&frame_planes);
 
-        let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &OptConfig::default())
-            .unwrap();
+        let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &OptConfig::default()).unwrap();
         let mut dev1 = Device::gtx480();
         let (sac_out, _) =
             run_on_device(&sac.cuda, &mut dev1, &[frame3], HostCost::default()).unwrap();

@@ -350,8 +350,7 @@ mod tests {
             for part in [Part::Horizontal, Part::Vertical, Part::Full] {
                 let src = program_src(&s, variant, part);
                 let prog = parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
-                sac_lang::types::check_program(&prog)
-                    .unwrap_or_else(|e| panic!("{e}\n{src}"));
+                sac_lang::types::check_program(&prog).unwrap_or_else(|e| panic!("{e}\n{src}"));
             }
         }
     }
@@ -391,12 +390,7 @@ mod tests {
             let src = program_src(&s, Variant::NonGeneric, part);
             let prog = parse_program(&src).unwrap();
             let mut interp = Interp::new(&prog);
-            interp
-                .call("main", vec![Value::Arr(arg.clone())])
-                .unwrap()
-                .as_array()
-                .unwrap()
-                .clone()
+            interp.call("main", vec![Value::Arr(arg.clone())]).unwrap().as_array().unwrap().clone()
         };
         let hf = run(Part::Horizontal, &frame);
         let vf = run(Part::Vertical, &hf);
@@ -437,14 +431,14 @@ mod pretty_roundtrip_tests {
     #[test]
     fn printed_downscaler_is_semantics_preserving() {
         let s = Scenario::micro();
-        let frame = crate::frames::FrameGenerator::new(s.channels, s.rows, s.cols, 4)
-            .frame_rank3(0);
+        let frame =
+            crate::frames::FrameGenerator::new(s.channels, s.rows, s.cols, 4).frame_rank3(0);
         for variant in [Variant::Generic, Variant::NonGeneric] {
             let src = program_src(&s, variant, Part::Full);
             let p1 = parse_program(&src).unwrap();
             let printed = print_program(&p1);
-            let p2 = parse_program(&printed)
-                .unwrap_or_else(|e| panic!("{variant:?}: {e}\n{printed}"));
+            let p2 =
+                parse_program(&printed).unwrap_or_else(|e| panic!("{variant:?}: {e}\n{printed}"));
             assert_eq!(p1, p2, "{variant:?} AST changed through print/parse");
 
             let mut i1 = Interp::new(&p1);

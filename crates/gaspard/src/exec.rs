@@ -9,8 +9,9 @@
 use crate::codegen::OpenClProgram;
 use crate::GaspardError;
 use mdarray::NdArray;
-use simgpu::device::{BufferId, Device};
+use simgpu::device::{BufferId, Device, StreamId};
 use simgpu::kir::KernelArg;
+use simgpu::profiler::OpClass;
 
 /// Execute the program once (one frame set) on `device`.
 ///
@@ -21,14 +22,36 @@ pub fn run_opencl(
     device: &mut Device,
     inputs: &[NdArray<i64>],
 ) -> Result<Vec<NdArray<i64>>, GaspardError> {
+    let mut buffers: Vec<Option<BufferId>> = vec![None; prog.model.arrays.len()];
+    let out = exec_frame_on(prog, device, inputs, &mut buffers, StreamId::DEFAULT);
+    device.sync_stream(StreamId::DEFAULT).expect("default stream always exists");
+
+    // Per-frame cleanup, as the generated host loop does.
+    for buf in buffers.into_iter().flatten() {
+        device.free(buf)?;
+    }
+    out
+}
+
+/// Enqueue one frame of the program on `command_queue` (an OpenCL command
+/// queue is the simulator's stream).
+///
+/// `buffers` is this queue's buffer set, indexed by model array id: `Some`
+/// entries are reused in place (later frames overwrite them), `None` entries
+/// are allocated on demand and left allocated for the caller.
+fn exec_frame_on(
+    prog: &OpenClProgram,
+    device: &mut Device,
+    inputs: &[NdArray<i64>],
+    buffers: &mut [Option<BufferId>],
+    command_queue: StreamId,
+) -> Result<Vec<NdArray<i64>>, GaspardError> {
     let sm = &prog.model;
     if inputs.len() != sm.inputs.len() {
         return Err(GaspardError::BadInput {
             msg: format!("expected {} inputs, got {}", sm.inputs.len(), inputs.len()),
         });
     }
-
-    let mut buffers: Vec<Option<BufferId>> = vec![None; sm.arrays.len()];
 
     // Upload sources.
     for (&id, arr) in sm.inputs.iter().zip(inputs) {
@@ -51,9 +74,15 @@ pub fn run_opencl(
                 })
             })
             .collect::<Result<_, _>>()?;
-        let buf = device.malloc(data.len())?;
-        device.host2device(&data, buf)?;
-        buffers[id] = Some(buf);
+        let buf = match buffers[id] {
+            Some(b) => b,
+            None => {
+                let b = device.malloc(data.len())?;
+                buffers[id] = Some(b);
+                b
+            }
+        };
+        device.host2device_on(&data, buf, command_queue)?;
     }
 
     // Launch kernels in schedule order; allocate outputs on demand.
@@ -66,10 +95,11 @@ pub fn run_opencl(
         let inp = buffers[k.input].ok_or_else(|| GaspardError::BadInput {
             msg: format!("kernel '{}' input not on device", k.kernel.name),
         })?;
-        device.launch(
+        device.launch_on(
             &k.kernel,
             k.config,
             &[KernelArg::Buffer(out.0), KernelArg::Buffer(inp.0)],
+            command_queue,
         )?;
     }
 
@@ -79,7 +109,7 @@ pub fn run_opencl(
         let buf = buffers[id].ok_or_else(|| GaspardError::BadInput {
             msg: format!("output '{}' never computed", sm.arrays[id].name),
         })?;
-        let data = device.device2host(buf)?;
+        let data = device.device2host_on(buf, command_queue)?;
         outputs.push(
             NdArray::from_vec(
                 sm.arrays[id].shape.clone(),
@@ -88,11 +118,80 @@ pub fn run_opencl(
             .expect("device buffer length matches declared shape"),
         );
     }
+    Ok(outputs)
+}
 
-    // Per-frame cleanup, as the generated host loop does.
-    for buf in buffers.into_iter().flatten() {
-        device.free(buf)?;
+/// Options for [`run_opencl_frames`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenClPipelineOptions {
+    /// Number of command queues = number of device buffer sets. `0` or `1`
+    /// serializes on the default queue, reproducing [`run_opencl`]'s
+    /// one-frame-at-a-time schedule exactly; `2` double-buffers adjacent
+    /// frames across the copy and compute engines.
+    pub queues: usize,
+    /// When greater than the number of supplied frames, remaining frames are
+    /// timing-replayed from the first frame's measured per-operation
+    /// durations (exact under the cost model: per-frame cost is
+    /// content-independent for fixed shapes). `0` means `frames.len()`.
+    pub total_frames: usize,
+}
+
+/// Execute a batch of frames with multi-queue double buffering.
+///
+/// Frame `f` runs on command queue `f % queues` with that queue's private
+/// buffer set; in-order queues protect in-place buffer reuse while adjacent
+/// frames overlap upload, kernels, and readback on the device's three
+/// engines. Returns one sink-array vector per functionally executed frame.
+/// The device is synchronized on return, so `device.now_us()` is the batch
+/// makespan.
+pub fn run_opencl_frames(
+    prog: &OpenClProgram,
+    device: &mut Device,
+    frames: &[Vec<NdArray<i64>>],
+    opts: OpenClPipelineOptions,
+) -> Result<Vec<Vec<NdArray<i64>>>, GaspardError> {
+    if frames.is_empty() {
+        return Ok(Vec::new());
     }
+    let lanes = opts.queues.max(1);
+    let mut queues = vec![StreamId::DEFAULT];
+    while queues.len() < lanes {
+        queues.push(device.create_stream());
+    }
+    let mut buffer_sets: Vec<Vec<Option<BufferId>>> =
+        vec![vec![None; prog.model.arrays.len()]; lanes];
+
+    let mut outputs = Vec::with_capacity(frames.len());
+    let mut frame_ops: Vec<(String, OpClass, f64)> = Vec::new();
+    for (f, inputs) in frames.iter().enumerate() {
+        let lane = f % lanes;
+        let span_mark = device.profiler.spans().count();
+        let out = exec_frame_on(prog, device, inputs, &mut buffer_sets[lane], queues[lane])?;
+        if f == 0 {
+            frame_ops = device
+                .profiler
+                .spans()
+                .skip(span_mark)
+                .map(|sp| (sp.name.clone(), sp.class, sp.duration_us()))
+                .collect();
+        }
+        outputs.push(out);
+    }
+
+    let total = if opts.total_frames == 0 { frames.len() } else { opts.total_frames };
+    for f in frames.len()..total {
+        let lane = f % lanes;
+        for (name, class, us) in &frame_ops {
+            device.replay_on(name, *class, *us, queues[lane])?;
+        }
+    }
+
+    for set in buffer_sets {
+        for buf in set.into_iter().flatten() {
+            device.free(buf)?;
+        }
+    }
+    device.synchronize();
     Ok(outputs)
 }
 
@@ -149,15 +248,105 @@ mod tests {
     fn input_validation() {
         let prog = compiled();
         let mut device = Device::gtx480();
-        assert!(matches!(
-            run_opencl(&prog, &mut device, &[]),
-            Err(GaspardError::BadInput { .. })
-        ));
+        assert!(matches!(run_opencl(&prog, &mut device, &[]), Err(GaspardError::BadInput { .. })));
         let wrong = NdArray::filled([3usize, 3], 0i64);
         assert!(matches!(
             run_opencl(&prog, &mut device, &[wrong]),
             Err(GaspardError::BadInput { .. })
         ));
+    }
+
+    fn queue_frames(n: usize) -> Vec<Vec<NdArray<i64>>> {
+        (0..n)
+            .map(|f| {
+                vec![NdArray::from_fn([4usize, 16], |ix| {
+                    ((f * 31 + ix[0] * 37 + ix[1] * 11) % 256) as i64
+                })]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_queue_pipeline_matches_serial_executor_exactly() {
+        let prog = compiled();
+        let frames = queue_frames(4);
+
+        let mut serial = Device::gtx480();
+        let mut serial_outs = Vec::new();
+        for f in &frames {
+            serial_outs.push(run_opencl(&prog, &mut serial, f).unwrap());
+        }
+
+        let mut piped = Device::gtx480();
+        let outs = run_opencl_frames(
+            &prog,
+            &mut piped,
+            &frames,
+            OpenClPipelineOptions { queues: 1, ..Default::default() },
+        )
+        .unwrap();
+
+        assert_eq!(outs, serial_outs);
+        assert_eq!(piped.now_us(), serial.now_us());
+        let a: Vec<_> = serial.profiler.records().collect();
+        let b: Vec<_> = piped.profiler.records().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_queues_overlap_and_preserve_results() {
+        let prog = compiled();
+        let frames = queue_frames(6);
+
+        let mut sync = Device::gtx480();
+        let expect = run_opencl_frames(
+            &prog,
+            &mut sync,
+            &frames,
+            OpenClPipelineOptions { queues: 1, ..Default::default() },
+        )
+        .unwrap();
+
+        let mut db = Device::gtx480();
+        let got = run_opencl_frames(
+            &prog,
+            &mut db,
+            &frames,
+            OpenClPipelineOptions { queues: 2, ..Default::default() },
+        )
+        .unwrap();
+
+        assert_eq!(got, expect);
+        assert!(db.now_us() < sync.now_us(), "{} !< {}", db.now_us(), sync.now_us());
+        assert!(db.profiler.overlap_percent() > 0.0);
+        assert_eq!(db.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn replay_extends_timing_to_total_frames() {
+        let prog = compiled();
+
+        let mut full = Device::gtx480();
+        run_opencl_frames(
+            &prog,
+            &mut full,
+            &queue_frames(6),
+            OpenClPipelineOptions { queues: 2, ..Default::default() },
+        )
+        .unwrap();
+
+        let mut replay = Device::gtx480();
+        let outs = run_opencl_frames(
+            &prog,
+            &mut replay,
+            &queue_frames(2),
+            OpenClPipelineOptions { queues: 2, total_frames: 6 },
+        )
+        .unwrap();
+
+        assert_eq!(outs.len(), 2);
+        assert_eq!(replay.now_us(), full.now_us());
+        assert_eq!(replay.profiler.spans().count(), full.profiler.spans().count());
     }
 
     #[test]
@@ -168,11 +357,7 @@ mod tests {
         for _ in 0..5 {
             run_opencl(&prog, &mut device, std::slice::from_ref(&frame)).unwrap();
         }
-        let h2d = device
-            .profiler
-            .records()
-            .find(|r| r.name == "memcpyHtoDasync")
-            .unwrap();
+        let h2d = device.profiler.records().find(|r| r.name == "memcpyHtoDasync").unwrap();
         assert_eq!(h2d.calls, 5);
         // All buffers were freed each frame.
         assert_eq!(device.allocated_bytes(), 0);

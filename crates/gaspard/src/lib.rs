@@ -29,15 +29,15 @@
 
 pub mod codegen;
 pub mod emit;
-pub mod fixtures;
 pub mod exec;
+pub mod fixtures;
 pub mod marte;
 pub mod model;
 pub mod openmp;
 pub mod transform;
 
 pub use codegen::{generate_opencl, OpenClProgram};
-pub use exec::run_opencl;
+pub use exec::{run_opencl, run_opencl_frames, OpenClPipelineOptions};
 pub use model::{
     Allocation, Component, ComponentKind, Connection, ElementaryOp, HwKind, Model, PartRef,
     Platform, Port, PortDir, Stereotype, TilerSpec, WindowSpec,

@@ -19,7 +19,10 @@ use mdarray::Shape;
 /// Validate a whole model.
 pub fn validate(model: &Model) -> Result<(), GaspardError> {
     if model.component(&model.root).is_none() {
-        return Err(GaspardError::UnknownElement { what: "root component", name: model.root.clone() });
+        return Err(GaspardError::UnknownElement {
+            what: "root component",
+            name: model.root.clone(),
+        });
     }
     for c in &model.components {
         validate_component(model, c)?;
@@ -163,9 +166,8 @@ fn endpoint_shape(
 ) -> Result<Vec<usize>, String> {
     match ep {
         PartRef::External { port } => {
-            let p = composite
-                .port(port)
-                .ok_or_else(|| format!("unknown external port '{port}'"))?;
+            let p =
+                composite.port(port).ok_or_else(|| format!("unknown external port '{port}'"))?;
             // External In ports feed parts (act as producers); External Out
             // ports are fed by parts (act as consumers).
             let ok = match expected_dir {
@@ -187,9 +189,8 @@ fn endpoint_shape(
                 .map(|(_, c)| c.as_str())
                 .ok_or_else(|| format!("unknown part '{part}'"))?;
             let comp = model.component(comp_name).ok_or("unresolved part component")?;
-            let p = comp
-                .port(port)
-                .ok_or_else(|| format!("unknown port '{port}' on '{comp_name}'"))?;
+            let p =
+                comp.port(port).ok_or_else(|| format!("unknown port '{port}' on '{comp_name}'"))?;
             if p.dir != expected_dir {
                 return Err(format!("port '{part}.{port}' has the wrong direction"));
             }
@@ -217,10 +218,7 @@ mod tests {
 
     fn simple_model() -> Model {
         let interp = ElementaryOp::InterpolateWindows {
-            windows: vec![
-                WindowSpec { offset: 0, len: 3 },
-                WindowSpec { offset: 2, len: 3 },
-            ],
+            windows: vec![WindowSpec { offset: 0, len: 3 }, WindowSpec { offset: 2, len: 3 }],
             divisor: 3,
         };
         let task = elementary("interp", 5, interp);

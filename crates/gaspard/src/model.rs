@@ -21,11 +21,8 @@ impl TilerSpec {
         let rows = self.fitting.len();
         let fcols = self.fitting.first().map_or(0, |r| r.len());
         let pcols = self.paving.first().map_or(0, |r| r.len());
-        let fitting = arrayol::IMat::new(
-            rows,
-            fcols,
-            self.fitting.iter().flatten().copied().collect(),
-        );
+        let fitting =
+            arrayol::IMat::new(rows, fcols, self.fitting.iter().flatten().copied().collect());
         let paving = arrayol::IMat::new(
             self.paving.len(),
             pcols,
@@ -237,9 +234,7 @@ pub struct Platform {
 impl Platform {
     /// The usual CPU-plus-GPU platform of the paper's test system.
     pub fn cpu_gpu() -> Self {
-        Platform {
-            resources: vec![("i7_930".into(), HwKind::Cpu), ("gtx480".into(), HwKind::Gpu)],
-        }
+        Platform { resources: vec![("i7_930".into(), HwKind::Cpu), ("gtx480".into(), HwKind::Gpu)] }
     }
 
     /// Look up a resource kind.
@@ -332,10 +327,7 @@ mod tests {
         let t0: i64 = (0..6).sum(); // 15
         let t1: i64 = (2..8).sum(); // 27
         let t2: i64 = (5..11).sum(); // 45
-        assert_eq!(
-            op.apply(&pattern),
-            vec![t0 / 6 - t0 % 6, t1 / 6 - t1 % 6, t2 / 6 - t2 % 6]
-        );
+        assert_eq!(op.apply(&pattern), vec![t0 / 6 - t0 % 6, t1 / 6 - t1 % 6, t2 / 6 - t2 % 6]);
     }
 
     #[test]

@@ -89,14 +89,8 @@ mod tests {
     fn iterates_in_row_major_order() {
         let s = Shape::new(vec![2, 3]);
         let got: Vec<_> = IndexIter::new(&s).collect();
-        let want: Vec<Vec<usize>> = vec![
-            vec![0, 0],
-            vec![0, 1],
-            vec![0, 2],
-            vec![1, 0],
-            vec![1, 1],
-            vec![1, 2],
-        ];
+        let want: Vec<Vec<usize>> =
+            vec![vec![0, 0], vec![0, 1], vec![0, 2], vec![1, 0], vec![1, 1], vec![1, 2]];
         assert_eq!(got, want);
     }
 

@@ -7,8 +7,9 @@ use sac_lang::ast::Program;
 use sac_lang::eval::Interp;
 use sac_lang::value::Value;
 use sac_lang::wir::{HostBinding, Step};
-use simgpu::device::{BufferId, Device};
+use simgpu::device::{BufferId, Device, StreamId};
 use simgpu::kir::KernelArg;
+use simgpu::profiler::OpClass;
 
 /// Cost model for work that stays on the host CPU (the generic output
 /// tiler). Charged as simulated time so Figure 9's generic-variant numbers
@@ -43,9 +44,19 @@ pub struct RunStats {
     pub host_ops: u64,
 }
 
+impl RunStats {
+    /// Fold another run's counters into this one.
+    pub fn accumulate(&mut self, other: &RunStats) {
+        self.launches += other.launches;
+        self.h2d += other.h2d;
+        self.d2h += other.d2h;
+        self.host_steps += other.host_steps;
+        self.host_ops += other.host_ops;
+    }
+}
+
 /// Execution options beyond the defaults of [`run_on_device`].
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ExecOptions {
     /// Host-fallback cost model.
     pub host_cost: HostCost,
@@ -55,7 +66,6 @@ pub struct ExecOptions {
     /// transfers for 300 three-channel frames.
     pub channel_chunks: usize,
 }
-
 
 /// Execute `prog` once on `device` with the given input arrays.
 ///
@@ -67,12 +77,7 @@ pub fn run_on_device(
     inputs: &[NdArray<i64>],
     host_cost: HostCost,
 ) -> Result<(NdArray<i64>, RunStats), CudaError> {
-    run_on_device_opts(
-        prog,
-        device,
-        inputs,
-        ExecOptions { host_cost, channel_chunks: 0 },
-    )
+    run_on_device_opts(prog, device, inputs, ExecOptions { host_cost, channel_chunks: 0 })
 }
 
 /// [`run_on_device`] with explicit [`ExecOptions`].
@@ -81,6 +86,32 @@ pub fn run_on_device_opts(
     device: &mut Device,
     inputs: &[NdArray<i64>],
     opts: ExecOptions,
+) -> Result<(NdArray<i64>, RunStats), CudaError> {
+    let mut dev: Vec<Option<BufferId>> = vec![None; prog.flat.arrays.len()];
+    let out = exec_plan_on(prog, device, inputs, opts, &mut dev, StreamId::DEFAULT);
+    device.sync_stream(StreamId::DEFAULT).expect("default stream always exists");
+
+    // Free device buffers (frames are processed one at a time; the paper's
+    // runtime also releases per-frame buffers).
+    for buf in dev.into_iter().flatten() {
+        device.free(buf)?;
+    }
+    out
+}
+
+/// Walk the execution plan once, enqueuing every operation on `stream`.
+///
+/// Device buffers live in `dev`, indexed by flat-program array id; entries
+/// that are `Some` are reused (a later frame on the same buffer set
+/// overwrites in place), entries that are `None` are allocated on demand and
+/// left allocated for the caller to free or reuse.
+fn exec_plan_on(
+    prog: &CudaProgram,
+    device: &mut Device,
+    inputs: &[NdArray<i64>],
+    opts: ExecOptions,
+    dev: &mut [Option<BufferId>],
+    stream: StreamId,
 ) -> Result<(NdArray<i64>, RunStats), CudaError> {
     let host_cost = opts.host_cost;
     let flat = &prog.flat;
@@ -101,7 +132,6 @@ pub fn run_on_device_opts(
         }
         host[id] = Some(arr.clone());
     }
-    let mut dev: Vec<Option<BufferId>> = vec![None; flat.arrays.len()];
     let mut stats = RunStats::default();
 
     for op in &prog.plan {
@@ -120,7 +150,7 @@ pub fn run_on_device_opts(
                     }
                 };
                 let chunks = chunks_for(&flat.arrays[*array].shape, opts.channel_chunks);
-                device.host2device_chunked(&data, buf, chunks)?;
+                device.host2device_chunked_on(&data, buf, chunks, stream)?;
                 stats.h2d += chunks;
             }
             PlanOp::Alloc { array } => {
@@ -140,14 +170,14 @@ pub fn run_on_device_opts(
                             .ok_or_else(|| CudaError::Host(format!("array {a} not on device")))
                     })
                     .collect::<Result<_, _>>()?;
-                device.launch(&ck.kernel, ck.config, &args)?;
+                device.launch_on(&ck.kernel, ck.config, &args, stream)?;
                 stats.launches += 1;
             }
             PlanOp::Download { array } => {
                 let buf = dev[*array]
                     .ok_or_else(|| CudaError::Host(format!("array {array} not on device")))?;
                 let chunks = chunks_for(&flat.arrays[*array].shape, opts.channel_chunks);
-                let data = device.device2host_chunked(buf, chunks)?;
+                let data = device.device2host_chunked_on(buf, chunks, stream)?;
                 let arr = NdArray::from_vec(
                     flat.arrays[*array].shape.clone(),
                     data.into_iter().map(i64::from).collect(),
@@ -168,17 +198,18 @@ pub fn run_on_device_opts(
                         HostBinding::Array(a) => host[*a]
                             .as_ref()
                             .map(|arr| Value::Arr(arr.clone()))
-                            .ok_or_else(|| {
-                                CudaError::Host(format!("host step input {a} missing"))
-                            }),
+                            .ok_or_else(|| CudaError::Host(format!("host step input {a} missing"))),
                         HostBinding::Const(v) => Ok(v.clone()),
                     })
                     .collect();
-                let out = interp
-                    .call(&fun.name, args?)
-                    .map_err(|e| CudaError::Host(e.to_string()))?;
+                let out =
+                    interp.call(&fun.name, args?).map_err(|e| CudaError::Host(e.to_string()))?;
                 let out = out.as_array().map_err(|e| CudaError::Host(e.to_string()))?.clone();
-                device.charge_host(&fun.name, interp.ops as f64 * host_cost.ns_per_op / 1000.0);
+                device.charge_host_on(
+                    &fun.name,
+                    interp.ops as f64 * host_cost.ns_per_op / 1000.0,
+                    stream,
+                )?;
                 stats.host_ops += interp.ops;
                 stats.host_steps += 1;
                 host[*target] = Some(out);
@@ -186,16 +217,102 @@ pub fn run_on_device_opts(
         }
     }
 
-    // Free device buffers (frames are processed one at a time; the paper's
-    // runtime also releases per-frame buffers).
-    for buf in dev.into_iter().flatten() {
-        device.free(buf)?;
-    }
-
     let result = host[flat.result]
         .take()
         .ok_or_else(|| CudaError::Host("result never reached the host".into()))?;
     Ok((result, stats))
+}
+
+/// Options for [`run_frames_pipelined`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineOptions {
+    /// Per-frame execution options (host cost model, channel chunking).
+    pub exec: ExecOptions,
+    /// Number of streams = number of device buffer sets. `0` or `1` runs
+    /// fully serialized on the default stream (and then reproduces the
+    /// one-frame-at-a-time schedule of [`run_on_device_opts`] exactly);
+    /// `2` double-buffers so frame `f+1`'s upload overlaps frame `f`'s
+    /// kernels and frame `f-1`'s download.
+    pub streams: usize,
+    /// When greater than the number of supplied frames, the timing of the
+    /// remaining frames is *replayed* from the first frame's measured
+    /// per-operation durations instead of executing them functionally. Exact
+    /// under the cost model whenever per-frame cost is content-independent
+    /// (fixed shapes; host steps whose trip counts do not depend on data),
+    /// which holds for every pipeline in this workspace. `0` means
+    /// `frames.len()`.
+    pub total_frames: usize,
+}
+
+/// Execute a batch of frames with multi-stream double buffering.
+///
+/// Frame `f` is assigned stream `f % streams` and that stream's private
+/// buffer set, so same-buffer reuse is protected by same-stream ordering
+/// while adjacent frames overlap their H2D / compute / D2H phases on the
+/// device's three engines — the classic CUDA async-stream frame pipeline.
+/// Buffer sets are allocated once and reused across frames (allocation is
+/// free in simulated time, so the `streams = 1` case still matches the
+/// serial executor's clock bit-for-bit).
+///
+/// Returns one result array per *functionally executed* frame plus counters
+/// covering all `total_frames` (replayed frames contribute their counters
+/// and profiler records but no arrays). The device is synchronized on
+/// return, so `device.now_us()` is the batch makespan.
+pub fn run_frames_pipelined(
+    prog: &CudaProgram,
+    device: &mut Device,
+    frames: &[Vec<NdArray<i64>>],
+    opts: PipelineOptions,
+) -> Result<(Vec<NdArray<i64>>, RunStats), CudaError> {
+    if frames.is_empty() {
+        return Ok((Vec::new(), RunStats::default()));
+    }
+    let lanes = opts.streams.max(1);
+    let mut streams = vec![StreamId::DEFAULT];
+    while streams.len() < lanes {
+        streams.push(device.create_stream());
+    }
+    let mut buffer_sets: Vec<Vec<Option<BufferId>>> =
+        vec![vec![None; prog.flat.arrays.len()]; lanes];
+
+    let mut outputs = Vec::with_capacity(frames.len());
+    let mut stats = RunStats::default();
+    let mut frame_ops: Vec<(String, OpClass, f64)> = Vec::new();
+    let mut frame_stats = RunStats::default();
+    for (f, inputs) in frames.iter().enumerate() {
+        let lane = f % lanes;
+        let span_mark = device.profiler.spans().count();
+        let (out, st) =
+            exec_plan_on(prog, device, inputs, opts.exec, &mut buffer_sets[lane], streams[lane])?;
+        if f == 0 {
+            frame_ops = device
+                .profiler
+                .spans()
+                .skip(span_mark)
+                .map(|sp| (sp.name.clone(), sp.class, sp.duration_us()))
+                .collect();
+            frame_stats = st.clone();
+        }
+        stats.accumulate(&st);
+        outputs.push(out);
+    }
+
+    let total = if opts.total_frames == 0 { frames.len() } else { opts.total_frames };
+    for f in frames.len()..total {
+        let lane = f % lanes;
+        for (name, class, us) in &frame_ops {
+            device.replay_on(name, *class, *us, streams[lane])?;
+        }
+        stats.accumulate(&frame_stats);
+    }
+
+    for set in buffer_sets {
+        for buf in set.into_iter().flatten() {
+            device.free(buf)?;
+        }
+    }
+    device.synchronize();
+    Ok((outputs, stats))
 }
 
 /// Transfers split per leading slice when the leading dimension matches the
@@ -209,9 +326,7 @@ fn chunks_for(shape: &[usize], channel_chunks: usize) -> usize {
 }
 
 fn to_i32(data: &[i64]) -> Result<Vec<i32>, CudaError> {
-    data.iter()
-        .map(|&v| i32::try_from(v).map_err(|_| CudaError::Overflow { value: v }))
-        .collect()
+    data.iter().map(|&v| i32::try_from(v).map_err(|_| CudaError::Overflow { value: v })).collect()
 }
 
 #[cfg(test)]
@@ -323,12 +438,10 @@ int[*] main(int[4,16] frame)
         let frame = NdArray::from_fn([4usize, 16], |ix| (ix[0] * 16 + ix[1]) as i64);
         let expect = interp_result(src, std::slice::from_ref(&frame));
 
-        let (out_folded, stats_folded, _) = run_src(src, std::slice::from_ref(&frame), &OptConfig::default());
-        let (out_raw, stats_raw, _) = run_src(
-            src,
-            &[frame],
-            &OptConfig { with_loop_folding: false, resolve_modulo: false },
-        );
+        let (out_folded, stats_folded, _) =
+            run_src(src, std::slice::from_ref(&frame), &OptConfig::default());
+        let (out_raw, stats_raw, _) =
+            run_src(src, &[frame], &OptConfig { with_loop_folding: false, resolve_modulo: false });
         assert_eq!(out_folded, expect);
         assert_eq!(out_raw, expect);
         assert!(stats_folded.launches < stats_raw.launches);
@@ -358,6 +471,126 @@ int[*] main(int[2] a)
         assert!(matches!(err, Err(CudaError::Overflow { .. })));
     }
 
+    fn compile(src: &str, shapes: &[Vec<usize>]) -> CudaProgram {
+        let prog = parse_program(src).unwrap();
+        let args: Vec<ArgDesc> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ArgDesc::Array { name: format!("in{i}"), shape: s.clone() })
+            .collect();
+        let (flat, _) = optimize(&prog, "main", &args, &OptConfig::default()).unwrap();
+        compile_flat_program(&flat).unwrap()
+    }
+
+    const PIPE_SRC: &str = r#"
+int[*] main(int[8,16] a)
+{
+    out = with {
+        ([0,0] <= iv < [8,16]) : a[iv] * 3 + 7;
+    } : genarray( [8,16], 0);
+    return( out);
+}
+"#;
+
+    fn pipe_frames(n: usize) -> Vec<Vec<NdArray<i64>>> {
+        (0..n)
+            .map(|f| {
+                vec![NdArray::from_fn([8usize, 16], |ix| (f * 1000 + ix[0] * 16 + ix[1]) as i64)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_stream_pipeline_matches_serial_executor_exactly() {
+        let prog = compile(PIPE_SRC, &[vec![8, 16]]);
+        let frames = pipe_frames(4);
+
+        let mut serial = Device::gtx480();
+        let mut serial_outs = Vec::new();
+        for f in &frames {
+            let (out, _) =
+                run_on_device_opts(&prog, &mut serial, f, ExecOptions::default()).unwrap();
+            serial_outs.push(out);
+        }
+
+        let mut piped = Device::gtx480();
+        let (outs, _) = run_frames_pipelined(
+            &prog,
+            &mut piped,
+            &frames,
+            PipelineOptions { streams: 1, ..Default::default() },
+        )
+        .unwrap();
+
+        assert_eq!(outs, serial_outs);
+        // Bit-identical simulated clock and profiler records.
+        assert_eq!(piped.now_us(), serial.now_us());
+        let a: Vec<_> = serial.profiler.records().collect();
+        let b: Vec<_> = piped.profiler.records().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_streams_overlap_and_preserve_results() {
+        let prog = compile(PIPE_SRC, &[vec![8, 16]]);
+        let frames = pipe_frames(6);
+
+        let mut sync = Device::gtx480();
+        let (expect, _) = run_frames_pipelined(
+            &prog,
+            &mut sync,
+            &frames,
+            PipelineOptions { streams: 1, ..Default::default() },
+        )
+        .unwrap();
+
+        let mut db = Device::gtx480();
+        let (got, stats) = run_frames_pipelined(
+            &prog,
+            &mut db,
+            &frames,
+            PipelineOptions { streams: 2, ..Default::default() },
+        )
+        .unwrap();
+
+        assert_eq!(got, expect);
+        assert_eq!(stats.launches, 6);
+        assert!(db.now_us() < sync.now_us(), "{} !< {}", db.now_us(), sync.now_us());
+        assert!(db.profiler.overlap_percent() > 0.0);
+        // All buffer sets were released.
+        assert_eq!(db.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn replayed_frames_extend_timing_without_execution() {
+        let prog = compile(PIPE_SRC, &[vec![8, 16]]);
+
+        // Full functional run of 6 frames...
+        let mut full = Device::gtx480();
+        run_frames_pipelined(
+            &prog,
+            &mut full,
+            &pipe_frames(6),
+            PipelineOptions { streams: 2, ..Default::default() },
+        )
+        .unwrap();
+
+        // ...vs 2 functional frames replayed out to 6.
+        let mut replay = Device::gtx480();
+        let (outs, stats) = run_frames_pipelined(
+            &prog,
+            &mut replay,
+            &pipe_frames(2),
+            PipelineOptions { streams: 2, total_frames: 6, ..Default::default() },
+        )
+        .unwrap();
+
+        assert_eq!(outs.len(), 2);
+        assert_eq!(stats.launches, 6);
+        assert_eq!(replay.now_us(), full.now_us());
+        assert_eq!(replay.profiler.spans().count(), full.profiler.spans().count());
+    }
+
     #[test]
     fn profiler_records_kernels_and_transfers() {
         let src = r#"
@@ -379,8 +612,7 @@ int[*] main(int[32] a)
         let mut device = Device::gtx480();
         let a = NdArray::from_fn([32usize], |ix| ix[0] as i64);
         run_on_device(&cuda, &mut device, &[a], HostCost::default()).unwrap();
-        let names: Vec<String> =
-            device.profiler.records().map(|r| r.name.clone()).collect();
+        let names: Vec<String> = device.profiler.records().map(|r| r.name.clone()).collect();
         assert!(names.iter().any(|n| n == "memcpyHtoDasync"), "{names:?}");
         assert!(names.iter().any(|n| n == "memcpyDtoHasync"), "{names:?}");
         assert!(names.iter().any(|n| n.contains("_k0")), "{names:?}");

@@ -108,10 +108,7 @@ mod tests {
         let p = sample();
         let classes = classify(&p);
         assert_eq!(classes.len(), 2);
-        assert_eq!(
-            classes[0].1,
-            StepClass::CudaWithLoop { generators: 2, threads: 12 }
-        );
+        assert_eq!(classes[0].1, StepClass::CudaWithLoop { generators: 2, threads: 12 });
         assert!(matches!(classes[1].1, StepClass::Host { .. }));
     }
 

@@ -30,7 +30,10 @@ pub mod exec;
 pub mod identify;
 
 pub use codegen::{compile_flat_program, CompiledKernel, CudaProgram, PlanOp};
-pub use exec::{run_on_device, run_on_device_opts, ExecOptions, HostCost, RunStats};
+pub use exec::{
+    run_frames_pipelined, run_on_device, run_on_device_opts, ExecOptions, HostCost,
+    PipelineOptions, RunStats,
+};
 
 /// Errors from the CUDA backend.
 #[derive(Debug, Clone, PartialEq)]

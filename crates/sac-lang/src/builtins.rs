@@ -10,10 +10,7 @@ use mdarray::NdArray;
 
 /// Is `name` a builtin? (Builtins shadow user functions.)
 pub fn is_builtin(name: &str) -> bool {
-    matches!(
-        name,
-        "shape" | "dim" | "MV" | "CAT" | "min" | "max" | "abs" | "sum" | "genarray"
-    )
+    matches!(name, "shape" | "dim" | "MV" | "CAT" | "min" | "max" | "abs" | "sum" | "genarray")
 }
 
 /// Evaluate builtin `name` on `args`.
@@ -68,9 +65,9 @@ pub fn call_builtin(name: &str, args: &[Value]) -> Result<Value, SacError> {
                     msg: format!("genarray expects 1 or 2 arguments, got {}", args.len()),
                 });
             }
-            let shape = args[0].as_shape().map_err(|e| SacError::Eval {
-                msg: format!("genarray shape: {e}"),
-            })?;
+            let shape = args[0]
+                .as_shape()
+                .map_err(|e| SacError::Eval { msg: format!("genarray shape: {e}") })?;
             let fill = match args.get(1) {
                 Some(v) => v.as_int()?,
                 None => 0,
@@ -95,9 +92,8 @@ fn mv(m: &Value, v: &Value) -> Result<Value, SacError> {
         });
     }
     let data = m.as_slice();
-    let out: Vec<i64> = (0..rows)
-        .map(|r| (0..cols).map(|c| data[r * cols + c] * vec[c]).sum())
-        .collect();
+    let out: Vec<i64> =
+        (0..rows).map(|r| (0..cols).map(|c| data[r * cols + c] * vec[c]).sum()).collect();
     Ok(Value::from_ivec(out))
 }
 
@@ -133,9 +129,7 @@ fn cat(a: &Value, b: &Value) -> Result<Value, SacError> {
                 out.extend_from_slice(&a.as_slice()[r * ca..(r + 1) * ca]);
                 out.extend_from_slice(&b.as_slice()[r * cb..(r + 1) * cb]);
             }
-            Ok(Value::Arr(
-                NdArray::from_vec([ra, ca + cb], out).expect("length matches"),
-            ))
+            Ok(Value::Arr(NdArray::from_vec([ra, ca + cb], out).expect("length matches")))
         }
         r => Err(SacError::Eval { msg: format!("CAT: unsupported rank {r}") }),
     }
@@ -152,7 +146,10 @@ mod tests {
     #[test]
     fn shape_and_dim() {
         let a = Value::Arr(NdArray::filled([4usize, 8], 0i64));
-        assert_eq!(call_builtin("shape", std::slice::from_ref(&a)).unwrap().as_ivec().unwrap(), vec![4, 8]);
+        assert_eq!(
+            call_builtin("shape", std::slice::from_ref(&a)).unwrap().as_ivec().unwrap(),
+            vec![4, 8]
+        );
         assert_eq!(call_builtin("dim", &[a]).unwrap(), Value::Int(2));
         assert_eq!(
             call_builtin("shape", &[Value::Int(3)]).unwrap().as_ivec().unwrap(),
@@ -172,16 +169,15 @@ mod tests {
     fn mv_validates_dimensions() {
         let p = mat(2, 2, vec![1, 0, 0, 8]);
         assert!(call_builtin("MV", &[p.clone(), Value::from_ivec(vec![1])]).is_err());
-        assert!(call_builtin("MV", &[Value::from_ivec(vec![1]), Value::from_ivec(vec![1])]).is_err());
+        assert!(
+            call_builtin("MV", &[Value::from_ivec(vec![1]), Value::from_ivec(vec![1])]).is_err()
+        );
     }
 
     #[test]
     fn cat_vectors_and_matrices() {
-        let v = call_builtin(
-            "CAT",
-            &[Value::from_ivec(vec![1, 2]), Value::from_ivec(vec![3])],
-        )
-        .unwrap();
+        let v = call_builtin("CAT", &[Value::from_ivec(vec![1, 2]), Value::from_ivec(vec![3])])
+            .unwrap();
         assert_eq!(v.as_ivec().unwrap(), vec![1, 2, 3]);
 
         // CAT(paving 2x2, fitting 2x1) = 2x3 — the tiler identity.
@@ -213,10 +209,7 @@ mod tests {
         assert_eq!(call_builtin("min", &[Value::Int(3), Value::Int(5)]).unwrap(), Value::Int(3));
         assert_eq!(call_builtin("max", &[Value::Int(3), Value::Int(5)]).unwrap(), Value::Int(5));
         assert_eq!(call_builtin("abs", &[Value::Int(-7)]).unwrap(), Value::Int(7));
-        assert_eq!(
-            call_builtin("sum", &[Value::from_ivec(vec![1, 2, 3])]).unwrap(),
-            Value::Int(6)
-        );
+        assert_eq!(call_builtin("sum", &[Value::from_ivec(vec![1, 2, 3])]).unwrap(), Value::Int(6));
     }
 
     #[test]

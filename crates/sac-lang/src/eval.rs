@@ -178,9 +178,7 @@ impl<'p> Interp<'p> {
                 let vals: Result<Vec<Value>, _> = elems.iter().map(|e| self.eval(e)).collect();
                 let vals = vals?;
                 if vals.iter().all(|v| matches!(v, Value::Int(_))) {
-                    Ok(Value::from_ivec(
-                        vals.iter().map(|v| v.as_int()).collect::<Result<_, _>>()?,
-                    ))
+                    Ok(Value::from_ivec(vals.iter().map(|v| v.as_int()).collect::<Result<_, _>>()?))
                 } else {
                     // Matrix literal: rows must be equal-length vectors.
                     let rows: Result<Vec<Vec<i64>>, _> = vals.iter().map(|v| v.as_ivec()).collect();
@@ -214,9 +212,7 @@ impl<'p> Interp<'p> {
                             msg: format!("unknown variable '{n}'"),
                         })?;
                         return Ok(if name == "shape" {
-                            Value::from_ivec(
-                                v.shape_vec().into_iter().map(|d| d as i64).collect(),
-                            )
+                            Value::from_ivec(v.shape_vec().into_iter().map(|d| d as i64).collect())
                         } else {
                             Value::Int(v.rank() as i64)
                         });
@@ -272,52 +268,55 @@ impl<'p> Interp<'p> {
             return self.eval_fold(w, fun, neutral);
         }
         // Determine the frame (index-space) shape.
-        let (frame, mut result, mut cell_dims): (Vec<usize>, Option<NdArray<i64>>, Option<Vec<usize>>) =
-            match &w.op {
-                WithOp::Genarray { shape, default } => {
-                    let frame = self.eval(shape)?.as_shape()?;
-                    match default {
-                        Some(d) => {
-                            let dv = self.eval(d)?;
-                            let cd = dv.shape_vec();
-                            let mut dims = frame.clone();
-                            dims.extend_from_slice(&cd);
-                            let fill = match &dv {
-                                Value::Int(v) => NdArray::filled(dims, *v),
-                                Value::Arr(cell) => {
-                                    let n: usize = frame.iter().product();
-                                    let mut data = Vec::with_capacity(n * cell.len());
-                                    for _ in 0..n {
-                                        data.extend_from_slice(cell.as_slice());
-                                    }
-                                    NdArray::from_vec(dims, data).expect("length matches")
+        let (frame, mut result, mut cell_dims): (
+            Vec<usize>,
+            Option<NdArray<i64>>,
+            Option<Vec<usize>>,
+        ) = match &w.op {
+            WithOp::Genarray { shape, default } => {
+                let frame = self.eval(shape)?.as_shape()?;
+                match default {
+                    Some(d) => {
+                        let dv = self.eval(d)?;
+                        let cd = dv.shape_vec();
+                        let mut dims = frame.clone();
+                        dims.extend_from_slice(&cd);
+                        let fill = match &dv {
+                            Value::Int(v) => NdArray::filled(dims, *v),
+                            Value::Arr(cell) => {
+                                let n: usize = frame.iter().product();
+                                let mut data = Vec::with_capacity(n * cell.len());
+                                for _ in 0..n {
+                                    data.extend_from_slice(cell.as_slice());
                                 }
-                            };
-                            (frame, Some(fill), Some(cd))
-                        }
-                        None => (frame, None, None),
+                                NdArray::from_vec(dims, data).expect("length matches")
+                            }
+                        };
+                        (frame, Some(fill), Some(cd))
                     }
+                    None => (frame, None, None),
                 }
-                WithOp::Modarray(src) => {
-                    let base = self.eval(src)?;
-                    let base = base.as_array()?.clone();
-                    let rank = self.infer_gen_rank(w)?.ok_or_else(|| SacError::Eval {
-                        msg: "cannot infer generator rank for modarray with-loop".into(),
-                    })?;
-                    if rank > base.rank() {
-                        return Err(SacError::Eval {
-                            msg: format!(
-                                "generator rank {rank} exceeds modarray base rank {}",
-                                base.rank()
-                            ),
-                        });
-                    }
-                    let frame = base.shape().dims()[..rank].to_vec();
-                    let cd = base.shape().dims()[rank..].to_vec();
-                    (frame, Some(base), Some(cd))
+            }
+            WithOp::Modarray(src) => {
+                let base = self.eval(src)?;
+                let base = base.as_array()?.clone();
+                let rank = self.infer_gen_rank(w)?.ok_or_else(|| SacError::Eval {
+                    msg: "cannot infer generator rank for modarray with-loop".into(),
+                })?;
+                if rank > base.rank() {
+                    return Err(SacError::Eval {
+                        msg: format!(
+                            "generator rank {rank} exceeds modarray base rank {}",
+                            base.rank()
+                        ),
+                    });
                 }
-                WithOp::Fold { .. } => unreachable!("fold handled by eval_fold"),
-            };
+                let frame = base.shape().dims()[..rank].to_vec();
+                let cd = base.shape().dims()[rank..].to_vec();
+                (frame, Some(base), Some(cd))
+            }
+            WithOp::Fold { .. } => unreachable!("fold handled by eval_fold"),
+        };
 
         for gen in &w.generators {
             let region = self.gen_region(gen, &frame)?;
@@ -393,9 +392,7 @@ impl<'p> Interp<'p> {
         };
         for gen in &w.generators {
             if gen.lower.is_none() || gen.upper.is_none() {
-                return Err(SacError::Eval {
-                    msg: "fold generators need explicit bounds".into(),
-                });
+                return Err(SacError::Eval { msg: "fold generators need explicit bounds".into() });
             }
             // Bound ranks are self-describing; use the lower bound's length.
             let rank = self.eval(gen.lower.as_ref().expect("checked"))?.as_ivec()?.len();

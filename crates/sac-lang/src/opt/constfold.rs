@@ -177,10 +177,9 @@ fn fold_expr(e: &Expr, env: &HashMap<String, Value>) -> Expr {
                     default: default.as_ref().map(|d| fold_expr(d, env)),
                 },
                 WithOp::Modarray(src) => WithOp::Modarray(fold_expr(src, env)),
-                WithOp::Fold { fun, neutral } => WithOp::Fold {
-                    fun: fun.clone(),
-                    neutral: fold_expr(neutral, env),
-                },
+                WithOp::Fold { fun, neutral } => {
+                    WithOp::Fold { fun: fun.clone(), neutral: fold_expr(neutral, env) }
+                }
             };
             Expr::With(Box::new(WithLoop { generators, op }))
         }
@@ -238,9 +237,9 @@ pub fn value_to_expr(v: &Value) -> Expr {
                 Expr::Int(*x)
             }
         }
-        Value::Arr(a) if a.rank() == 1 => Expr::VecLit(
-            a.as_slice().iter().map(|&x| value_to_expr(&Value::Int(x))).collect(),
-        ),
+        Value::Arr(a) if a.rank() == 1 => {
+            Expr::VecLit(a.as_slice().iter().map(|&x| value_to_expr(&Value::Int(x))).collect())
+        }
         Value::Arr(a) if a.rank() == 2 => {
             let cols = a.shape().dim(1);
             Expr::VecLit(

@@ -224,19 +224,16 @@ fn rename_expr(e: &Expr, locals: &HashSet<String>, rn: &impl Fn(&str) -> String)
                 e.clone()
             }
         }
-        Expr::VecLit(es) => {
-            Expr::VecLit(es.iter().map(|x| rename_expr(x, locals, rn)).collect())
-        }
+        Expr::VecLit(es) => Expr::VecLit(es.iter().map(|x| rename_expr(x, locals, rn)).collect()),
         Expr::Neg(x) => Expr::Neg(Box::new(rename_expr(x, locals, rn))),
         Expr::Bin(op, l, r) => Expr::Bin(
             *op,
             Box::new(rename_expr(l, locals, rn)),
             Box::new(rename_expr(r, locals, rn)),
         ),
-        Expr::Call(name, args) => Expr::Call(
-            name.clone(),
-            args.iter().map(|x| rename_expr(x, locals, rn)).collect(),
-        ),
+        Expr::Call(name, args) => {
+            Expr::Call(name.clone(), args.iter().map(|x| rename_expr(x, locals, rn)).collect())
+        }
         Expr::Select(a, ix) => Expr::Select(
             Box::new(rename_expr(a, locals, rn)),
             Box::new(rename_expr(ix, locals, rn)),
@@ -252,11 +249,9 @@ fn rename_expr(e: &Expr, locals: &HashSet<String>, rn: &impl Fn(&str) -> String)
                     step: g.step.as_ref().map(|x| rename_expr(x, locals, rn)),
                     width: g.width.as_ref().map(|x| rename_expr(x, locals, rn)),
                     var: match &g.var {
-                        GenVar::Name(n) => GenVar::Name(if locals.contains(n) {
-                            rn(n)
-                        } else {
-                            n.clone()
-                        }),
+                        GenVar::Name(n) => {
+                            GenVar::Name(if locals.contains(n) { rn(n) } else { n.clone() })
+                        }
                         GenVar::Components(ns) => GenVar::Components(
                             ns.iter()
                                 .map(|n| if locals.contains(n) { rn(n) } else { n.clone() })
@@ -273,10 +268,9 @@ fn rename_expr(e: &Expr, locals: &HashSet<String>, rn: &impl Fn(&str) -> String)
                     default: default.as_ref().map(|d| rename_expr(d, locals, rn)),
                 },
                 WithOp::Modarray(src) => WithOp::Modarray(rename_expr(src, locals, rn)),
-                WithOp::Fold { fun, neutral } => WithOp::Fold {
-                    fun: fun.clone(),
-                    neutral: rename_expr(neutral, locals, rn),
-                },
+                WithOp::Fold { fun, neutral } => {
+                    WithOp::Fold { fun: fun.clone(), neutral: rename_expr(neutral, locals, rn) }
+                }
             };
             Expr::With(Box::new(WithLoop { generators, op }))
         }
@@ -303,12 +297,11 @@ mod tests {
                 Expr::Bin(_, l, r) | Expr::Select(l, r) => walk_e(prog, l) || walk_e(prog, r),
                 Expr::Neg(x) => walk_e(prog, x),
                 Expr::VecLit(es) => es.iter().any(|x| walk_e(prog, x)),
-                Expr::With(w) => w.generators.iter().any(|g| {
-                    g.body.iter().any(|s| walk_s(prog, s)) || walk_e(prog, &g.yield_expr)
-                }),
-                Expr::Block(stmts, r) => {
-                    stmts.iter().any(|s| walk_s(prog, s)) || walk_e(prog, r)
-                }
+                Expr::With(w) => w
+                    .generators
+                    .iter()
+                    .any(|g| g.body.iter().any(|s| walk_s(prog, s)) || walk_e(prog, &g.yield_expr)),
+                Expr::Block(stmts, r) => stmts.iter().any(|s| walk_s(prog, s)) || walk_e(prog, r),
                 _ => false,
             }
         }

@@ -43,15 +43,14 @@ pub fn lower_function(entry: &FunDef, args: &[ArgDesc]) -> Result<FlatProgram, S
     if entry.params.len() != args.len() {
         return Err(SacError::NotLowerable {
             construct: "entry".into(),
-            msg: format!("expected {} argument descriptors, got {}", entry.params.len(), args.len()),
+            msg: format!(
+                "expected {} argument descriptors, got {}",
+                entry.params.len(),
+                args.len()
+            ),
         });
     }
-    let mut lw = Lowerer {
-        prog: FlatProgram::default(),
-        env: HashMap::new(),
-        ctx_rank: 0,
-        tmp: 0,
-    };
+    let mut lw = Lowerer { prog: FlatProgram::default(), env: HashMap::new(), ctx_rank: 0, tmp: 0 };
     for ((_, pname), desc) in entry.params.iter().zip(args) {
         match desc {
             ArgDesc::Array { name, shape } => {
@@ -161,9 +160,7 @@ impl Lowerer {
                         LV::Array(id) => Ok(id),
                         LV::Known(Value::Arr(a)) => {
                             // Materialise a constant result via a dense fill.
-                            let id = self
-                                .prog
-                                .declare("const_result", a.shape().dims().to_vec());
+                            let id = self.prog.declare("const_result", a.shape().dims().to_vec());
                             // One generator per element would be wasteful; a
                             // constant array result does not occur in the
                             // studied programs.
@@ -300,8 +297,7 @@ impl Lowerer {
                         )));
                     }
                     // Matrix literal.
-                    let rows: Result<Vec<Vec<i64>>, _> =
-                        vals.iter().map(|v| v.as_ivec()).collect();
+                    let rows: Result<Vec<Vec<i64>>, _> = vals.iter().map(|v| v.as_ivec()).collect();
                     let rows = rows.map_err(|e| not_lowerable("matrix literal", e.to_string()))?;
                     let cols = rows.first().map_or(0, |r| r.len());
                     if rows.iter().any(|r| r.len() != cols) {
@@ -358,10 +354,7 @@ impl Lowerer {
 
     fn lower_call(&mut self, fname: &str, args: &[Expr]) -> Result<LV, SacError> {
         if !is_builtin(fname) {
-            return Err(not_lowerable(
-                "call",
-                format!("user function '{fname}' was not inlined"),
-            ));
+            return Err(not_lowerable("call", format!("user function '{fname}' was not inlined")));
         }
         let lowered: Result<Vec<LV>, _> = args.iter().map(|a| self.lower_expr(a, None)).collect();
         let lowered = lowered?;
@@ -398,8 +391,8 @@ impl Lowerer {
                     _ => unreachable!(),
                 })
                 .collect();
-            let v = call_builtin(fname, &vals)
-                .map_err(|e| not_lowerable("builtin", e.to_string()))?;
+            let v =
+                call_builtin(fname, &vals).map_err(|e| not_lowerable("builtin", e.to_string()))?;
             return Ok(LV::Known(v));
         }
         match (fname, lowered.as_slice()) {
@@ -508,10 +501,10 @@ impl Lowerer {
             return Ok(LV::Vector(a));
         }
         // Vector-valued elementwise with broadcasting.
-        let l_is_vec = matches!(&l, LV::Vector(_))
-            || matches!(&l, LV::Known(Value::Arr(a)) if a.rank() == 1);
-        let r_is_vec = matches!(&r, LV::Vector(_))
-            || matches!(&r, LV::Known(Value::Arr(a)) if a.rank() == 1);
+        let l_is_vec =
+            matches!(&l, LV::Vector(_)) || matches!(&l, LV::Known(Value::Arr(a)) if a.rank() == 1);
+        let r_is_vec =
+            matches!(&r, LV::Vector(_)) || matches!(&r, LV::Known(Value::Arr(a)) if a.rank() == 1);
         match (l_is_vec, r_is_vec) {
             (true, true) => {
                 let a = self.as_vector(l)?;
@@ -520,10 +513,7 @@ impl Lowerer {
                     return Err(not_lowerable("binop", "vector length mismatch"));
                 }
                 Ok(LV::Vector(
-                    a.into_iter()
-                        .zip(b)
-                        .map(|(x, y)| SymExpr::bin(op, x, y).simplify())
-                        .collect(),
+                    a.into_iter().zip(b).map(|(x, y)| SymExpr::bin(op, x, y).simplify()).collect(),
                 ))
             }
             (true, false) => {
@@ -553,9 +543,7 @@ impl Lowerer {
             LV::Scalar(e) => vec![e.clone()],
             LV::Known(Value::Int(v)) => vec![SymExpr::Const(*v)],
             LV::Vector(_) | LV::Known(Value::Arr(_)) => self.as_vector(index.clone())?,
-            other => {
-                return Err(not_lowerable("select", format!("bad index value {other:?}")))
-            }
+            other => return Err(not_lowerable("select", format!("bad index value {other:?}"))),
         };
         match base {
             LV::Array(id) => self.select_into(id, Vec::new(), comps),
@@ -575,10 +563,7 @@ impl Lowerer {
                             .map_err(|e| not_lowerable("select", e.to_string()))?;
                         Ok(LV::Known(v))
                     }
-                    None => Err(not_lowerable(
-                        "select",
-                        "symbolic index into a constant array",
-                    )),
+                    None => Err(not_lowerable("select", "symbolic index into a constant array")),
                 }
             }
             LV::Vector(vs) => {
@@ -689,12 +674,7 @@ impl Lowerer {
                         body: e.clone(),
                     })
                     .collect();
-                let nw = NestedW {
-                    shape: vec![vs.len()],
-                    default: 0,
-                    gens,
-                    base: self.ctx_rank,
-                };
+                let nw = NestedW { shape: vec![vs.len()], default: 0, gens, base: self.ctx_rank };
                 self.env.insert(name.to_string(), LV::Nested(nw));
             }
             _ => {}
@@ -745,9 +725,7 @@ impl Lowerer {
                         LV::Known(v) => {
                             v.as_int().map_err(|e| not_lowerable("genarray", e.to_string()))?
                         }
-                        _ => {
-                            return Err(not_lowerable("genarray", "default must be constant"))
-                        }
+                        _ => return Err(not_lowerable("genarray", "default must be constant")),
                     },
                     None => 0,
                 };
@@ -756,10 +734,7 @@ impl Lowerer {
             WithOp::Modarray(src) => {
                 let sv = self.lower_expr(src, None)?;
                 let LV::Array(id) = sv else {
-                    return Err(not_lowerable(
-                        "modarray",
-                        "source must be a program-level array",
-                    ));
+                    return Err(not_lowerable("modarray", "source must be a program-level array"));
                 };
                 let shape = self.prog.arrays[id].shape.clone();
                 (shape, 0, Some(id))
@@ -785,28 +760,26 @@ impl Lowerer {
         }
         let mut lowered: Vec<LoweredGen> = Vec::new();
         for gen in &w.generators {
-            let eval_bound = |lw: &mut Self, e: &Option<Expr>, incl: bool, dotv: Vec<i64>| {
-                match e {
-                    None => Ok::<Vec<i64>, SacError>(dotv),
-                    Some(e) => {
-                        let v = lw.lower_expr(e, None)?;
-                        let LV::Known(v) = v else {
-                            return Err(not_lowerable("generator bound", "must be constant"));
-                        };
-                        let mut vec = match &v {
-                            Value::Int(x) if rank == 1 => vec![*x],
-                            _ => v
-                                .as_ivec()
-                                .map_err(|e| not_lowerable("generator bound", e.to_string()))?,
-                        };
-                        if incl {
-                            vec.iter_mut().for_each(|x| *x += 1);
-                        }
-                        if vec.len() != rank {
-                            return Err(not_lowerable("generator bound", "rank mismatch"));
-                        }
-                        Ok(vec)
+            let eval_bound = |lw: &mut Self, e: &Option<Expr>, incl: bool, dotv: Vec<i64>| match e {
+                None => Ok::<Vec<i64>, SacError>(dotv),
+                Some(e) => {
+                    let v = lw.lower_expr(e, None)?;
+                    let LV::Known(v) = v else {
+                        return Err(not_lowerable("generator bound", "must be constant"));
+                    };
+                    let mut vec = match &v {
+                        Value::Int(x) if rank == 1 => vec![*x],
+                        _ => v
+                            .as_ivec()
+                            .map_err(|e| not_lowerable("generator bound", e.to_string()))?,
+                    };
+                    if incl {
+                        vec.iter_mut().for_each(|x| *x += 1);
                     }
+                    if vec.len() != rank {
+                        return Err(not_lowerable("generator bound", "rank mismatch"));
+                    }
+                    Ok(vec)
                 }
             };
             let lower = eval_bound(self, &gen.lower, false, vec![0; rank])?;
@@ -1291,7 +1264,8 @@ int[*] main(int[2,6] zero, int[2,2,3] input)
 }
 "#;
         let zero = NdArray::filled([2usize, 6], -5i64);
-        let input = NdArray::from_fn([2usize, 2, 3], |ix| (ix[0] * 100 + ix[1] * 10 + ix[2]) as i64);
+        let input =
+            NdArray::from_fn([2usize, 2, 3], |ix| (ix[0] * 100 + ix[1] * 10 + ix[2]) as i64);
         let flat = check_equivalence(src, &[zero, input]);
         assert_eq!(flat.generator_count(), 3);
         match &flat.steps[0] {
@@ -1354,11 +1328,8 @@ int[*] main(int[4] a)
 "#;
         let prog = parse_program(src).unwrap();
         let inlined = inline_entry(&prog, prog.fun("main").unwrap());
-        let err = lower_function(
-            &inlined,
-            &[ArgDesc::Array { name: "a".into(), shape: vec![4] }],
-        )
-        .unwrap_err();
+        let err = lower_function(&inlined, &[ArgDesc::Array { name: "a".into(), shape: vec![4] }])
+            .unwrap_err();
         assert!(matches!(err, SacError::NotLowerable { .. }));
     }
 }

@@ -75,8 +75,7 @@ pub fn optimize(
         }
     }
     report.generators_after_split = flat.generator_count();
-    report.host_steps =
-        flat.steps.iter().filter(|s| matches!(s, Step::Host { .. })).count();
+    report.host_steps = flat.steps.iter().filter(|s| matches!(s, Step::Host { .. })).count();
     Ok((flat, report))
 }
 
@@ -182,9 +181,6 @@ int[*] main(int[2,16] frame)
         let prog = parse_program(MINI).unwrap();
         let args = [ArgDesc::Array { name: "frame".into(), shape: vec![2, 16] }];
         let (_, report) = optimize(&prog, "main", &args, &OptConfig::default()).unwrap();
-        assert!(
-            report.generators_after_split > report.generators_before_split,
-            "{report:?}"
-        );
+        assert!(report.generators_after_split > report.generators_before_split, "{report:?}");
     }
 }

@@ -84,9 +84,7 @@ fn first_unresolved_mod(e: &SymExpr, g: &FlatGen) -> Option<(SymExpr, i64)> {
             }
             first_unresolved_mod(r, g)
         }
-        SymExpr::Bin(_, l, r) => {
-            first_unresolved_mod(l, g).or_else(|| first_unresolved_mod(r, g))
-        }
+        SymExpr::Bin(_, l, r) => first_unresolved_mod(l, g).or_else(|| first_unresolved_mod(r, g)),
         SymExpr::Load { index, .. } => index.iter().find_map(|ix| first_unresolved_mod(ix, g)),
     }
 }
@@ -194,11 +192,7 @@ mod tests {
     use BinKind::*;
 
     fn affine(k: i64, d: usize, c: i64) -> SymExpr {
-        SymExpr::bin(
-            Add,
-            SymExpr::bin(Mul, SymExpr::Const(k), SymExpr::Idx(d)),
-            SymExpr::Const(c),
-        )
+        SymExpr::bin(Add, SymExpr::bin(Mul, SymExpr::Const(k), SymExpr::Idx(d)), SymExpr::Const(c))
     }
 
     fn modn(e: SymExpr, n: i64) -> SymExpr {
@@ -284,10 +278,7 @@ mod tests {
         // (t*t) % 7 — non-affine; interval [0, ...] crosses windows and the
         // scan cannot isolate single-window runs cheaply, but dims of size 1
         // make each point constant, so use two dims to defeat pinning.
-        let body = modn(
-            SymExpr::bin(Mul, SymExpr::Idx(0), SymExpr::Idx(1)),
-            7,
-        );
+        let body = modn(SymExpr::bin(Mul, SymExpr::Idx(0), SymExpr::Idx(1)), 7);
         let g = FlatGen {
             lower: vec![0, 0],
             upper: vec![100, 100],

@@ -141,8 +141,7 @@ pub fn interval(e: &SymExpr, g: &FlatGen) -> Option<Interval> {
                 }
                 BinKind::Mul => {
                     let b = interval(r, g)?;
-                    let corners =
-                        [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+                    let corners = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
                     Some(Interval {
                         lo: *corners.iter().min().unwrap(),
                         hi: *corners.iter().max().unwrap(),

@@ -39,10 +39,7 @@ pub fn fold_program(p: &mut FlatProgram) -> FoldStats {
     let mut stats = FoldStats::default();
     let mut rejected: Vec<(usize, usize)> = Vec::new(); // (producer target, consumer target)
     while let Some((prod_idx, cons_idx)) = find_candidate(p, &rejected) {
-        let key = (
-            step_target(&p.steps[prod_idx]),
-            step_target(&p.steps[cons_idx]),
-        );
+        let key = (step_target(&p.steps[prod_idx]), step_target(&p.steps[cons_idx]));
         match try_fold(p, prod_idx, cons_idx) {
             Some(splits) => {
                 stats.folds += 1;
@@ -97,18 +94,14 @@ fn find_candidate(p: &FlatProgram, rejected: &[(usize, usize)]) -> Option<(usize
                     }
                 }
                 Step::Host { bindings, .. } => {
-                    if bindings.iter().any(
-                        |b| matches!(b, HostBinding::Array(a) if a == target),
-                    ) {
+                    if bindings.iter().any(|b| matches!(b, HostBinding::Array(a) if a == target)) {
                         continue 'outer;
                     }
                 }
             }
         }
         if let Some(j) = consumer {
-            if load_count > 0
-                && !rejected.contains(&(*target, step_target(&p.steps[j])))
-            {
+            if load_count > 0 && !rejected.contains(&(*target, step_target(&p.steps[j]))) {
                 return Some((i, j));
             }
         }
@@ -161,8 +154,7 @@ fn fold_generator(
         };
         match choose_producer_gen(&img, &g, producer) {
             Choice::Gen(k) => {
-                let replacement =
-                    producer.generators[k].body.subst_idx(&img).simplify();
+                let replacement = producer.generators[k].body.subst_idx(&img).simplify();
                 g.body = replace_first_load(&g.body, target, &replacement).0;
             }
             Choice::Default => {
@@ -283,9 +275,7 @@ fn membership(img: &[SymExpr], g: &FlatGen, pg: &FlatGen) -> Tri {
 fn first_load_of(e: &SymExpr, target: usize) -> Option<Vec<SymExpr>> {
     match e {
         SymExpr::Const(_) | SymExpr::Idx(_) => None,
-        SymExpr::Bin(_, l, r) => {
-            first_load_of(l, target).or_else(|| first_load_of(r, target))
-        }
+        SymExpr::Bin(_, l, r) => first_load_of(l, target).or_else(|| first_load_of(r, target)),
         SymExpr::Load { array, index } => {
             for ix in index {
                 if let Some(found) = first_load_of(ix, target) {

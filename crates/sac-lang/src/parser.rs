@@ -184,7 +184,9 @@ impl Parser {
                         self.expect(Tok::Semi)?;
                         Ok(Stmt::Assign(LValue::Index(name, ix), e))
                     }
-                    other => self.err(format!("expected '=' or '[' after '{name}', found '{other}'")),
+                    other => {
+                        self.err(format!("expected '=' or '[' after '{name}', found '{other}'"))
+                    }
                 }
             }
             other => self.err(format!("expected statement, found '{other}'")),
@@ -491,9 +493,8 @@ impl Parser {
                     Tok::Star => "*".to_string(),
                     Tok::Ident(n) if n == "min" || n == "max" => n,
                     other => {
-                        return self.err(format!(
-                            "fold expects '+', '*', 'min' or 'max', found '{other}'"
-                        ))
+                        return self
+                            .err(format!("fold expects '+', '*', 'min' or 'max', found '{other}'"))
                     }
                 };
                 self.expect(Tok::Comma)?;
@@ -531,10 +532,8 @@ mod tests {
 
     #[test]
     fn parses_type_annotations() {
-        let p = parse_program(
-            "int[*] g(int[.] a, int[.,.] b, int[4,8] c) { return( a); }",
-        )
-        .unwrap();
+        let p =
+            parse_program("int[*] g(int[.] a, int[.,.] b, int[4,8] c) { return( a); }").unwrap();
         let f = &p.funs[0];
         assert_eq!(f.ret, TypeAnn::ArrAnyRank);
         assert_eq!(f.params[0].0, TypeAnn::ArrRank(1));
@@ -673,7 +672,8 @@ int[*] scatter(int[*] out_frame, int[*] input, int[.] repetition)
 
     #[test]
     fn rejects_return_in_generator_body() {
-        let src = "int f() { x = with { (.<=iv<=.) { return( 0); } : 1; } : genarray([2]); return( x); }";
+        let src =
+            "int f() { x = with { (.<=iv<=.) { return( 0); } : 1; } : genarray([2]); return( x); }";
         assert!(matches!(parse_program(src), Err(SacError::Parse { .. })));
     }
 

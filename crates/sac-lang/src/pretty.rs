@@ -20,8 +20,7 @@ pub fn print_program(p: &Program) -> String {
 /// Render one function definition.
 pub fn print_fundef(f: &FunDef) -> String {
     let mut out = String::new();
-    let params: Vec<String> =
-        f.params.iter().map(|(t, n)| format!("{t} {n}")).collect();
+    let params: Vec<String> = f.params.iter().map(|(t, n)| format!("{t} {n}")).collect();
     let _ = writeln!(out, "{} {}({})", f.ret, f.name, params.join(", "));
     out.push_str("{\n");
     for s in &f.body {
@@ -274,8 +273,7 @@ int[*] stepper(int[2,6] a)
         ] {
             let e1 = parse_expr(src).unwrap();
             let printed = print_expr(&e1);
-            let e2 = parse_expr(&printed)
-                .unwrap_or_else(|e| panic!("reparse of '{printed}': {e}"));
+            let e2 = parse_expr(&printed).unwrap_or_else(|e| panic!("reparse of '{printed}': {e}"));
             assert_eq!(e1, e2, "'{src}' -> '{printed}'");
         }
     }
@@ -290,13 +288,9 @@ int[*] stepper(int[2,6] a)
     #[test]
     fn full_downscaler_sources_roundtrip() {
         // The real generated sources, both variants.
-        let g = print_program(
-            &parse_program(&crate_test_sources(false)).unwrap(),
-        );
+        let g = print_program(&parse_program(&crate_test_sources(false)).unwrap());
         assert!(parse_program(&g).is_ok(), "{g}");
-        let ng = print_program(
-            &parse_program(&crate_test_sources(true)).unwrap(),
-        );
+        let ng = print_program(&parse_program(&crate_test_sources(true)).unwrap());
         assert!(parse_program(&ng).is_ok(), "{ng}");
     }
 

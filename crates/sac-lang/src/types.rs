@@ -27,10 +27,9 @@ pub fn check_value(ann: &TypeAnn, v: &Value) -> Result<(), String> {
             Err(format!("expected rank-{r} array, found rank-{}", other.rank()))
         }
         (TypeAnn::ArrShape(dims), Value::Arr(a)) if a.shape().dims() == dims.as_slice() => Ok(()),
-        (TypeAnn::ArrShape(dims), other) => Err(format!(
-            "expected array of shape {dims:?}, found shape {:?}",
-            other.shape_vec()
-        )),
+        (TypeAnn::ArrShape(dims), other) => {
+            Err(format!("expected array of shape {dims:?}, found shape {:?}", other.shape_vec()))
+        }
     }
 }
 
@@ -42,14 +41,11 @@ pub fn check_program(prog: &Program) -> Result<(), SacError> {
             return Err(SacError::Type { msg: format!("duplicate function '{}'", f.name) });
         }
         if is_builtin(&f.name) {
-            return Err(SacError::Type {
-                msg: format!("function '{}' shadows a builtin", f.name),
-            });
+            return Err(SacError::Type { msg: format!("function '{}' shadows a builtin", f.name) });
         }
     }
     for f in &prog.funs {
-        let mut defined: HashSet<String> =
-            f.params.iter().map(|(_, n)| n.clone()).collect();
+        let mut defined: HashSet<String> = f.params.iter().map(|(_, n)| n.clone()).collect();
         if !stmts_check(prog, &f.name, &f.body, &mut defined)? {
             return Err(SacError::Type {
                 msg: format!("function '{}' may fall off the end without returning", f.name),
@@ -236,8 +232,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_arity() {
-        let p = parse_program("int g(int x) { return( x); } int f() { return( g(1, 2)); }")
-            .unwrap();
+        let p =
+            parse_program("int g(int x) { return( x); } int f() { return( g(1, 2)); }").unwrap();
         assert!(matches!(check_program(&p), Err(SacError::Type { .. })));
     }
 

@@ -122,7 +122,11 @@ pub fn broadcast2(
         (Value::Arr(a), Value::Arr(b)) => {
             if a.shape() != b.shape() {
                 return Err(SacError::Eval {
-                    msg: format!("shape mismatch in elementwise op: {} vs {}", a.shape(), b.shape()),
+                    msg: format!(
+                        "shape mismatch in elementwise op: {} vs {}",
+                        a.shape(),
+                        b.shape()
+                    ),
                 });
             }
             let mut out = Vec::with_capacity(a.len());
@@ -196,10 +200,8 @@ pub fn assign_vec(a: &mut NdArray<i64>, index: &[i64], value: &Value) -> Result<
             // Contiguous block write at the prefix offset.
             let mut full = ix.clone();
             full.extend(std::iter::repeat_n(0, cell_rank));
-            let start = a
-                .shape()
-                .offset_of(&full)
-                .map_err(|e| SacError::Eval { msg: e.to_string() })?;
+            let start =
+                a.shape().offset_of(&full).map_err(|e| SacError::Eval { msg: e.to_string() })?;
             let len = cell.len();
             a.as_mut_slice()[start..start + len].copy_from_slice(cell.as_slice());
             Ok(())

@@ -92,10 +92,9 @@ impl SymExpr {
                     _ => SymExpr::Bin(op, Box::new(l), Box::new(r)),
                 }
             }
-            SymExpr::Load { array, index } => SymExpr::Load {
-                array,
-                index: index.into_iter().map(|e| e.simplify()).collect(),
-            },
+            SymExpr::Load { array, index } => {
+                SymExpr::Load { array, index: index.into_iter().map(|e| e.simplify()).collect() }
+            }
             other => other,
         }
     }
@@ -105,9 +104,7 @@ impl SymExpr {
         match self {
             SymExpr::Const(v) => SymExpr::Const(*v),
             SymExpr::Idx(d) => subst[*d].clone(),
-            SymExpr::Bin(op, l, r) => {
-                SymExpr::bin(*op, l.subst_idx(subst), r.subst_idx(subst))
-            }
+            SymExpr::Bin(op, l, r) => SymExpr::bin(*op, l.subst_idx(subst), r.subst_idx(subst)),
             SymExpr::Load { array, index } => SymExpr::Load {
                 array: *array,
                 index: index.iter().map(|e| e.subst_idx(subst)).collect(),
@@ -393,8 +390,7 @@ impl FlatProgram {
                             }
                             match gen.body.eval(iv, &store, ops) {
                                 Ok(v) => {
-                                    let ix: Vec<usize> =
-                                        iv.iter().map(|&x| x as usize).collect();
+                                    let ix: Vec<usize> = iv.iter().map(|&x| x as usize).collect();
                                     out.set_unchecked(&ix, v);
                                 }
                                 Err(e) => err = Some(e),
@@ -493,27 +489,20 @@ impl FlatProgram {
                         }
                         let chunk = points.len().div_ceil(workers.max(1));
                         let results: Vec<Result<Vec<(usize, i64)>, SacError>> =
-                            crossbeam::scope(|s| {
+                            std::thread::scope(|s| {
                                 let store = &store;
                                 let out_shape = &out_shape;
                                 points
                                     .chunks(chunk)
                                     .map(|slice| {
-                                        s.spawn(move |_| {
-                                            let mut local =
-                                                Vec::with_capacity(slice.len());
+                                        s.spawn(move || {
+                                            let mut local = Vec::with_capacity(slice.len());
                                             let mut ops = 0u64;
                                             for iv in slice {
-                                                let v =
-                                                    gen.body.eval(iv, store, &mut ops)?;
-                                                let ix: Vec<usize> = iv
-                                                    .iter()
-                                                    .map(|&x| x as usize)
-                                                    .collect();
-                                                local.push((
-                                                    out_shape.offset_unchecked(&ix),
-                                                    v,
-                                                ));
+                                                let v = gen.body.eval(iv, store, &mut ops)?;
+                                                let ix: Vec<usize> =
+                                                    iv.iter().map(|&x| x as usize).collect();
+                                                local.push((out_shape.offset_unchecked(&ix), v));
                                             }
                                             Ok(local)
                                         })
@@ -522,8 +511,7 @@ impl FlatProgram {
                                     .into_iter()
                                     .map(|h| h.join().expect("worker panicked"))
                                     .collect()
-                            })
-                            .expect("crossbeam scope failed");
+                            });
                         let slice = out.as_mut_slice();
                         for worker in results {
                             for (off, v) in worker? {
@@ -595,9 +583,7 @@ impl std::fmt::Display for FlatProgram {
                         writeln!(f, " ) : {};", self.fmt_sym(&g.body))?;
                     }
                     match with.modarray_src {
-                        Some(src) => {
-                            writeln!(f, "}} : modarray( {});", self.arrays[src].name)?
-                        }
+                        Some(src) => writeln!(f, "}} : modarray( {});", self.arrays[src].name)?,
                         None => writeln!(
                             f,
                             "}} : genarray( [{}], {});",
@@ -607,11 +593,7 @@ impl std::fmt::Display for FlatProgram {
                     }
                 }
                 Step::Host { target, reason, .. } => {
-                    writeln!(
-                        f,
-                        "{} = <host step: {}>;",
-                        self.arrays[*target].name, reason
-                    )?;
+                    writeln!(f, "{} = <host step: {}>;", self.arrays[*target].name, reason)?;
                 }
             }
         }
@@ -679,7 +661,8 @@ mod tests {
     #[test]
     fn subst_replaces_index_vars() {
         let body = SymExpr::bin(Add, SymExpr::Idx(0), SymExpr::Idx(1));
-        let s = body.subst_idx(&[SymExpr::Const(5), SymExpr::bin(Mul, SymExpr::Idx(0), SymExpr::Const(2))]);
+        let s = body
+            .subst_idx(&[SymExpr::Const(5), SymExpr::bin(Mul, SymExpr::Idx(0), SymExpr::Const(2))]);
         let v = s.eval(&[3], &[], &mut 0).unwrap();
         assert_eq!(v, 11);
     }
@@ -845,10 +828,7 @@ mod tests {
                     upper: vec![4, 8],
                     step: vec![1, 3],
                     width: vec![1, 1],
-                    body: SymExpr::Load {
-                        array: a,
-                        index: vec![SymExpr::Idx(0), SymExpr::Idx(1)],
-                    },
+                    body: SymExpr::Load { array: a, index: vec![SymExpr::Idx(0), SymExpr::Idx(1)] },
                 }],
             },
         });

@@ -21,6 +21,41 @@
 //!   (Tables I/II imply ≈5.4 GB/s H2D and ≈6.3 GB/s D2H effective).
 
 use crate::exec::LaunchStats;
+use crate::profiler::OpClass;
+
+/// The device resource an operation occupies while it runs.
+///
+/// A Fermi-class GPU exposes two DMA copy engines (one per PCIe direction)
+/// and the SM array; a blocking host step occupies the host CPU. Operations
+/// on *different* engines enqueued on *different* streams may overlap;
+/// operations on the same engine serialize in enqueue order regardless of
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Engine {
+    /// Host→device DMA copy engine.
+    H2D = 0,
+    /// The SM array executing kernels.
+    Compute = 1,
+    /// Device→host DMA copy engine.
+    D2H = 2,
+    /// The host CPU (fallback steps, blocking host work).
+    Host = 3,
+}
+
+/// Number of distinct engines.
+pub const ENGINE_COUNT: usize = 4;
+
+impl Engine {
+    /// The engine an operation class occupies.
+    pub fn of_class(class: OpClass) -> Engine {
+        match class {
+            OpClass::H2D => Engine::H2D,
+            OpClass::Kernel => Engine::Compute,
+            OpClass::D2H => Engine::D2H,
+            OpClass::Host => Engine::Host,
+        }
+    }
+}
 
 /// Transfer direction for [`Calibration::transfer_time_us`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

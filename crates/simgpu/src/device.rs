@@ -1,6 +1,7 @@
-//! The simulated device: configuration, memory, launches, simulated clock.
+//! The simulated device: configuration, memory, launches, simulated clock,
+//! and the asynchronous stream/engine timeline.
 
-use crate::cost::{Calibration, Direction};
+use crate::cost::{Calibration, Direction, Engine, ENGINE_COUNT};
 use crate::exec::{run_kernel, LaunchConfig, LaunchStats};
 use crate::kir::{Kernel, KernelArg};
 use crate::profiler::{OpClass, Profiler};
@@ -23,7 +24,16 @@ pub struct DeviceConfig {
     pub max_threads_per_block: usize,
     /// Global memory capacity, bytes.
     pub global_mem_bytes: usize,
+    /// Host threads used to *execute* simulated launches. Part of the config
+    /// (not probed from the machine) so identical runs produce identical
+    /// simulated timings everywhere; tune with [`Device::set_host_workers`]
+    /// when wall-clock throughput matters more than the default.
+    pub host_workers: usize,
 }
+
+/// Fixed default for [`DeviceConfig::host_workers`]: enough to exercise the
+/// multi-worker merge paths without oversubscribing small CI hosts.
+pub const DEFAULT_HOST_WORKERS: usize = 8;
 
 impl DeviceConfig {
     /// The paper's test device: Nvidia Fermi GTX480 — 15 SMs × 32 SPs at
@@ -37,6 +47,7 @@ impl DeviceConfig {
             warp_size: 32,
             max_threads_per_block: 1024,
             global_mem_bytes: 1536 * 1024 * 1024,
+            host_workers: DEFAULT_HOST_WORKERS,
         }
     }
 
@@ -49,6 +60,24 @@ impl DeviceConfig {
 /// Handle to a device buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufferId(pub usize);
+
+/// Handle to a command stream (CUDA stream / OpenCL in-order command queue).
+///
+/// Operations enqueued on one stream execute in enqueue order; operations on
+/// different streams may overlap when they occupy different engines. Stream
+/// 0 is the default stream every device starts with — the synchronous
+/// [`Device`] API is exactly the 1-stream special case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub usize);
+
+impl StreamId {
+    /// The default stream.
+    pub const DEFAULT: StreamId = StreamId(0);
+}
+
+/// Handle to a recorded timeline event (`cudaEventRecord` / `clEvent`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub usize);
 
 /// A simulated GPU: device memory, a kernel execution engine, a calibrated
 /// clock and a profiler.
@@ -87,7 +116,15 @@ pub struct Device {
     free_slots: Vec<usize>,
     allocated_bytes: usize,
     peak_allocated_bytes: usize,
+    /// Host-visible simulated clock: advanced by blocking (synchronous)
+    /// calls and by stream/device synchronisation, never by async enqueues.
     sim_time_us: f64,
+    /// Completion time of the last operation enqueued on each stream.
+    stream_tail_us: Vec<f64>,
+    /// Time each engine becomes free (engines serialize their operations).
+    engine_free_us: [f64; ENGINE_COUNT],
+    /// Completion timestamps of recorded events.
+    events: Vec<f64>,
     host_workers: usize,
     /// Profiling records for every operation this device executed.
     pub profiler: Profiler,
@@ -96,6 +133,7 @@ pub struct Device {
 impl Device {
     /// Create a device with explicit configuration and calibration.
     pub fn new(config: DeviceConfig, calib: Calibration) -> Self {
+        let host_workers = config.host_workers.max(1);
         Device {
             config,
             calib,
@@ -104,7 +142,10 @@ impl Device {
             allocated_bytes: 0,
             peak_allocated_bytes: 0,
             sim_time_us: 0.0,
-            host_workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            stream_tail_us: vec![0.0],
+            engine_free_us: [0.0; ENGINE_COUNT],
+            events: Vec::new(),
+            host_workers,
             profiler: Profiler::new(),
         }
     }
@@ -134,15 +175,113 @@ impl Device {
         self.host_workers = workers.max(1);
     }
 
-    /// The simulated clock, µs since device creation.
+    /// The host-visible simulated clock, µs since device creation.
+    ///
+    /// Blocking calls advance it; asynchronous enqueues do not until the
+    /// stream (or device) is synchronised.
     pub fn now_us(&self) -> f64 {
         self.sim_time_us
     }
 
-    /// Advance the simulated clock by a host-side cost and record it.
+    // ------------------------------------------------------------------
+    // Stream & event management
+    // ------------------------------------------------------------------
+
+    /// Create a new stream (`cudaStreamCreate` / `clCreateCommandQueue`).
+    pub fn create_stream(&mut self) -> StreamId {
+        self.stream_tail_us.push(self.sim_time_us);
+        StreamId(self.stream_tail_us.len() - 1)
+    }
+
+    /// Number of streams, including the default stream.
+    pub fn stream_count(&self) -> usize {
+        self.stream_tail_us.len()
+    }
+
+    fn stream_tail(&self, stream: StreamId) -> Result<f64, SimError> {
+        self.stream_tail_us.get(stream.0).copied().ok_or(SimError::UnknownStream { id: stream.0 })
+    }
+
+    /// Record an event capturing the completion of all work enqueued on
+    /// `stream` so far (`cudaEventRecord`).
+    pub fn record_event(&mut self, stream: StreamId) -> Result<EventId, SimError> {
+        let at = self.stream_tail(stream)?;
+        self.events.push(at);
+        Ok(EventId(self.events.len() - 1))
+    }
+
+    /// Make subsequent work on `stream` wait for `event`
+    /// (`cudaStreamWaitEvent`): the stream's clock is lifted to the event's
+    /// completion time.
+    pub fn wait_event(&mut self, stream: StreamId, event: EventId) -> Result<(), SimError> {
+        let at = *self.events.get(event.0).ok_or(SimError::UnknownEvent { id: event.0 })?;
+        let tail = self.stream_tail(stream)?;
+        self.stream_tail_us[stream.0] = tail.max(at);
+        Ok(())
+    }
+
+    /// Block the host until `stream` drains (`cudaStreamSynchronize`);
+    /// returns the new host clock.
+    pub fn sync_stream(&mut self, stream: StreamId) -> Result<f64, SimError> {
+        let tail = self.stream_tail(stream)?;
+        self.sim_time_us = self.sim_time_us.max(tail);
+        Ok(self.sim_time_us)
+    }
+
+    /// Block the host until every stream drains (`cudaDeviceSynchronize`);
+    /// returns the new host clock — the makespan of all enqueued work.
+    pub fn synchronize(&mut self) -> f64 {
+        for &tail in &self.stream_tail_us {
+            if tail > self.sim_time_us {
+                self.sim_time_us = tail;
+            }
+        }
+        self.sim_time_us
+    }
+
+    /// Schedule one operation of duration `us` on `stream`.
+    ///
+    /// The operation starts when its stream has drained, its engine is free,
+    /// and the host has enqueued it (`start = max(stream tail, engine free,
+    /// host clock)`); both the stream and the engine then advance to its
+    /// completion. With a single stream every `max` resolves to the stream
+    /// tail, so the timeline degenerates to exactly the serial clock the
+    /// synchronous API always had.
+    fn schedule_on(
+        &mut self,
+        name: &str,
+        class: OpClass,
+        stream: StreamId,
+        us: f64,
+    ) -> Result<f64, SimError> {
+        let tail = self.stream_tail(stream)?;
+        let engine = Engine::of_class(class) as usize;
+        let start = tail.max(self.engine_free_us[engine]).max(self.sim_time_us);
+        let end = start + us;
+        self.stream_tail_us[stream.0] = end;
+        self.engine_free_us[engine] = end;
+        self.profiler.record(name, class, us);
+        self.profiler.record_span(name, class, stream.0, start, us);
+        Ok(end)
+    }
+
+    /// Advance the simulated clock by a blocking host-side cost and record it.
     pub fn charge_host(&mut self, name: &str, us: f64) {
-        self.sim_time_us += us;
-        self.profiler.record(name, OpClass::Host, us);
+        self.charge_host_on(name, us, StreamId::DEFAULT).expect("default stream always exists");
+        self.sim_time_us = self.stream_tail_us[StreamId::DEFAULT.0];
+    }
+
+    /// Schedule host-side work of duration `us` on a stream's timeline
+    /// without blocking the enqueueing host clock (a host step inside a
+    /// pipelined frame).
+    pub fn charge_host_on(
+        &mut self,
+        name: &str,
+        us: f64,
+        stream: StreamId,
+    ) -> Result<(), SimError> {
+        self.schedule_on(name, OpClass::Host, stream, us)?;
+        Ok(())
     }
 
     /// Bytes of device memory currently allocated.
@@ -226,23 +365,30 @@ impl Device {
     }
 
     /// Copy host data into a device buffer — the `host2device` instruction
-    /// the SaC backend inserts, or OpenCL's `clEnqueueWriteBuffer`.
+    /// the SaC backend inserts, or OpenCL's `clEnqueueWriteBuffer`. Blocks
+    /// the host clock (the default-stream special case).
     ///
     /// Recorded under `memcpyHtoDasync` like the paper's profiles.
     pub fn host2device(&mut self, host: &[i32], id: BufferId) -> Result<(), SimError> {
-        let buf = self
-            .buffers
-            .get_mut(id.0)
-            .and_then(|b| b.as_mut())
-            .ok_or(SimError::UnknownBuffer { id: id.0 })?;
-        if buf.len() != host.len() {
-            return Err(SimError::TransferSize { host: host.len(), device: buf.len() });
-        }
-        buf.copy_from_slice(host);
-        let us = self.calib.transfer_time_us(host.len() * 4, Direction::HostToDevice);
-        self.sim_time_us += us;
-        self.profiler.record("memcpyHtoDasync", OpClass::H2D, us);
+        self.host2device_on(host, id, StreamId::DEFAULT)?;
+        self.sim_time_us = self.stream_tail_us[StreamId::DEFAULT.0];
         Ok(())
+    }
+
+    /// Asynchronous [`Device::host2device`]: enqueue the upload on `stream`
+    /// and return without advancing the host clock (`cudaMemcpyAsync`).
+    ///
+    /// The copy itself is performed eagerly — buffers always hold the result
+    /// of every enqueued operation in enqueue order, so correctness of an
+    /// overlapped schedule is the *timing* model's concern only, exactly as
+    /// when double-buffering keeps real streams race-free.
+    pub fn host2device_on(
+        &mut self,
+        host: &[i32],
+        id: BufferId,
+        stream: StreamId,
+    ) -> Result<(), SimError> {
+        self.host2device_chunked_on(host, id, 1, stream)
     }
 
     /// Like [`Device::host2device`] but performed (and profiled) as `chunks`
@@ -255,10 +401,21 @@ impl Device {
         id: BufferId,
         chunks: usize,
     ) -> Result<(), SimError> {
-        let chunks = chunks.max(1);
-        if chunks == 1 || !host.len().is_multiple_of(chunks) {
-            return self.host2device(host, id);
-        }
+        self.host2device_chunked_on(host, id, chunks, StreamId::DEFAULT)?;
+        self.sim_time_us = self.stream_tail_us[StreamId::DEFAULT.0];
+        Ok(())
+    }
+
+    /// Asynchronous chunked upload on `stream`.
+    pub fn host2device_chunked_on(
+        &mut self,
+        host: &[i32],
+        id: BufferId,
+        chunks: usize,
+        stream: StreamId,
+    ) -> Result<(), SimError> {
+        self.stream_tail(stream)?;
+        let chunks = if chunks > 1 && host.len().is_multiple_of(chunks) { chunks } else { 1 };
         let buf = self
             .buffers
             .get_mut(id.0)
@@ -271,8 +428,7 @@ impl Device {
         let bytes = host.len() * 4 / chunks;
         for _ in 0..chunks {
             let us = self.calib.transfer_time_us(bytes, Direction::HostToDevice);
-            self.sim_time_us += us;
-            self.profiler.record("memcpyHtoDasync", OpClass::H2D, us);
+            self.schedule_on("memcpyHtoDasync", OpClass::H2D, stream, us)?;
         }
         Ok(())
     }
@@ -283,11 +439,23 @@ impl Device {
         id: BufferId,
         chunks: usize,
     ) -> Result<Vec<i32>, SimError> {
-        let chunks = chunks.max(1);
+        let out = self.device2host_chunked_on(id, chunks, StreamId::DEFAULT)?;
+        self.sim_time_us = self.stream_tail_us[StreamId::DEFAULT.0];
+        Ok(out)
+    }
+
+    /// Asynchronous chunked readback on `stream`. The returned data is the
+    /// buffer contents at enqueue time; the host clock is not advanced —
+    /// synchronise the stream before *using* the data at a simulated time.
+    pub fn device2host_chunked_on(
+        &mut self,
+        id: BufferId,
+        chunks: usize,
+        stream: StreamId,
+    ) -> Result<Vec<i32>, SimError> {
+        self.stream_tail(stream)?;
         let len = self.buffer_len(id)?;
-        if chunks == 1 || len % chunks != 0 {
-            return self.device2host(id);
-        }
+        let chunks = if chunks > 1 && len % chunks == 0 { chunks } else { 1 };
         let out = self
             .buffers
             .get(id.0)
@@ -297,45 +465,73 @@ impl Device {
         let bytes = len * 4 / chunks;
         for _ in 0..chunks {
             let us = self.calib.transfer_time_us(bytes, Direction::DeviceToHost);
-            self.sim_time_us += us;
-            self.profiler.record("memcpyDtoHasync", OpClass::D2H, us);
+            self.schedule_on("memcpyDtoHasync", OpClass::D2H, stream, us)?;
         }
         Ok(out)
     }
 
     /// Copy a device buffer back to the host — `device2host` /
-    /// `clEnqueueReadBuffer`. Recorded under `memcpyDtoHasync`.
+    /// `clEnqueueReadBuffer`. Recorded under `memcpyDtoHasync`. Blocks the
+    /// host clock.
     pub fn device2host(&mut self, id: BufferId) -> Result<Vec<i32>, SimError> {
-        let buf = self
-            .buffers
-            .get(id.0)
-            .and_then(|b| b.as_ref())
-            .ok_or(SimError::UnknownBuffer { id: id.0 })?;
-        let out = buf.clone();
-        let us = self.calib.transfer_time_us(out.len() * 4, Direction::DeviceToHost);
-        self.sim_time_us += us;
-        self.profiler.record("memcpyDtoHasync", OpClass::D2H, us);
-        Ok(out)
+        self.device2host_chunked(id, 1)
+    }
+
+    /// Asynchronous [`Device::device2host`] on `stream`.
+    pub fn device2host_on(&mut self, id: BufferId, stream: StreamId) -> Result<Vec<i32>, SimError> {
+        self.device2host_chunked_on(id, 1, stream)
     }
 
     /// Launch a kernel. Execution is functional (buffers are updated) and the
     /// simulated clock advances by the cost model applied to the dynamic
-    /// counters. Stats are returned for inspection.
+    /// counters. Stats are returned for inspection. Blocks the host clock
+    /// (the default-stream special case).
     pub fn launch(
         &mut self,
         kernel: &Kernel,
         cfg: LaunchConfig,
         args: &[KernelArg],
     ) -> Result<LaunchStats, SimError> {
+        let stats = self.launch_on(kernel, cfg, args, StreamId::DEFAULT)?;
+        self.sim_time_us = self.stream_tail_us[StreamId::DEFAULT.0];
+        Ok(stats)
+    }
+
+    /// Asynchronous kernel launch on `stream` (`kernel<<<grid, block, 0,
+    /// stream>>>`): the kernel runs functionally now, its simulated time is
+    /// scheduled on the compute engine, and the host clock is not advanced.
+    pub fn launch_on(
+        &mut self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+        stream: StreamId,
+    ) -> Result<LaunchStats, SimError> {
+        self.stream_tail(stream)?;
         let block_threads = (cfg.block.0 as usize) * (cfg.block.1 as usize);
         if block_threads > self.config.max_threads_per_block {
             return Err(SimError::BadParam { kernel: kernel.name.clone(), index: usize::MAX });
         }
         let stats = run_kernel(kernel, cfg, args, &mut self.buffers, self.host_workers)?;
         let us = self.calib.kernel_time_us(&stats);
-        self.sim_time_us += us;
-        self.profiler.record(&kernel.name, OpClass::Kernel, us);
+        self.schedule_on(&kernel.name, OpClass::Kernel, stream, us)?;
         Ok(stats)
+    }
+
+    /// Replay a previously measured operation on the timeline without any
+    /// functional work: charge `us` of `class` time under `name` on
+    /// `stream`. Per-frame costs are content-independent under the cost
+    /// model, so executors use this to extend a measured frame schedule to
+    /// N-frame runs exactly.
+    pub fn replay_on(
+        &mut self,
+        name: &str,
+        class: OpClass,
+        us: f64,
+        stream: StreamId,
+    ) -> Result<(), SimError> {
+        self.schedule_on(name, class, stream, us)?;
+        Ok(())
     }
 }
 
@@ -394,10 +590,7 @@ mod tests {
     fn transfer_size_mismatch_rejected() {
         let mut d = Device::gtx480();
         let buf = d.malloc(10).unwrap();
-        assert!(matches!(
-            d.host2device(&[1, 2, 3], buf),
-            Err(SimError::TransferSize { .. })
-        ));
+        assert!(matches!(d.host2device(&[1, 2, 3], buf), Err(SimError::TransferSize { .. })));
     }
 
     #[test]
@@ -440,5 +633,150 @@ mod tests {
         d.charge_host("generic_output_tiler(host)", 123.0);
         assert_eq!(d.now_us(), 123.0);
         assert_eq!(d.profiler.class_total_us(OpClass::Host), 123.0);
+    }
+
+    #[test]
+    fn host_workers_come_from_config_not_machine() {
+        let cfg = DeviceConfig::gtx480();
+        assert_eq!(cfg.host_workers, super::DEFAULT_HOST_WORKERS);
+        let d = Device::gtx480();
+        // Two devices created anywhere agree on the execution worker count.
+        assert_eq!(d.config().host_workers, DeviceConfig::gtx480().host_workers);
+    }
+
+    #[test]
+    fn async_enqueue_does_not_advance_host_clock() {
+        let mut d = Device::gtx480();
+        let buf = d.malloc(1000).unwrap();
+        let s = d.create_stream();
+        d.host2device_on(&vec![7; 1000], buf, s).unwrap();
+        assert_eq!(d.now_us(), 0.0);
+        let t = d.sync_stream(s).unwrap();
+        assert!(t > 0.0);
+        assert_eq!(d.now_us(), t);
+    }
+
+    #[test]
+    fn different_streams_overlap_on_different_engines() {
+        let mut d = Device::gtx480();
+        let a = d.malloc(100_000).unwrap();
+        let b = d.malloc(100_000).unwrap();
+        let up = d.create_stream();
+        let down = d.create_stream();
+        let data = vec![1; 100_000];
+        // Serial baseline: same ops on one stream.
+        let mut serial = Device::gtx480();
+        let sa = serial.malloc(100_000).unwrap();
+        serial.host2device(&data, sa).unwrap();
+        serial.device2host(sa).unwrap();
+        let serial_total = serial.now_us();
+        // Overlapped: upload and download on different streams/engines.
+        d.host2device_on(&data, a, up).unwrap();
+        d.device2host_on(b, down).unwrap();
+        let makespan = d.synchronize();
+        assert!(makespan < serial_total, "{makespan} !< {serial_total}");
+        // Both engines were busy; makespan is the slower of the two.
+        let h2d = d.profiler.class_total_us(OpClass::H2D);
+        let d2h = d.profiler.class_total_us(OpClass::D2H);
+        assert!((makespan - h2d.max(d2h)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_engine_serializes_across_streams() {
+        let mut d = Device::gtx480();
+        let a = d.malloc(50_000).unwrap();
+        let b = d.malloc(50_000).unwrap();
+        let s1 = d.create_stream();
+        let s2 = d.create_stream();
+        let data = vec![3; 50_000];
+        d.host2device_on(&data, a, s1).unwrap();
+        d.host2device_on(&data, b, s2).unwrap();
+        let makespan = d.synchronize();
+        // Two uploads share the H2D engine: no overlap possible.
+        assert!((makespan - d.profiler.class_total_us(OpClass::H2D)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn events_order_cross_stream_work() {
+        let mut d = Device::new(DeviceConfig::gtx480(), Calibration::gtx480());
+        let s1 = d.create_stream();
+        let s2 = d.create_stream();
+        d.charge_host_on("producer", 100.0, s1).unwrap();
+        let ev = d.record_event(s1).unwrap();
+        // Without the wait, s2's op would start at t=0 on its own engine...
+        d.wait_event(s2, ev).unwrap();
+        let buf = d.malloc(10).unwrap();
+        d.host2device_on(&[0; 10], buf, s2).unwrap();
+        let spans: Vec<_> = d.profiler.spans().collect();
+        // ...but the event forces it to start at the producer's end.
+        assert!(spans[1].start_us >= 100.0);
+    }
+
+    #[test]
+    fn stream_and_event_ids_validated() {
+        let mut d = Device::gtx480();
+        assert!(matches!(d.record_event(StreamId(9)), Err(SimError::UnknownStream { id: 9 })));
+        assert!(matches!(
+            d.wait_event(StreamId::DEFAULT, EventId(3)),
+            Err(SimError::UnknownEvent { id: 3 })
+        ));
+        let buf = d.malloc(4).unwrap();
+        assert!(matches!(
+            d.host2device_on(&[1, 2, 3, 4], buf, StreamId(5)),
+            Err(SimError::UnknownStream { id: 5 })
+        ));
+    }
+
+    #[test]
+    fn sync_api_is_one_stream_special_case() {
+        // The synchronous calls must produce the exact same clock as the
+        // explicit schedule on the default stream.
+        let k = inc_kernel();
+        let data: Vec<i32> = (0..256).collect();
+
+        let mut sync = Device::gtx480();
+        let sb = sync.malloc(256).unwrap();
+        sync.host2device(&data, sb).unwrap();
+        sync.launch(
+            &k,
+            LaunchConfig::cover_1d(256, 64),
+            &[KernelArg::Buffer(sb.0), KernelArg::Scalar(256)],
+        )
+        .unwrap();
+        let sync_back = sync.device2host(sb).unwrap();
+
+        let mut strm = Device::gtx480();
+        let ab = strm.malloc(256).unwrap();
+        strm.host2device_on(&data, ab, StreamId::DEFAULT).unwrap();
+        strm.launch_on(
+            &k,
+            LaunchConfig::cover_1d(256, 64),
+            &[KernelArg::Buffer(ab.0), KernelArg::Scalar(256)],
+            StreamId::DEFAULT,
+        )
+        .unwrap();
+        let strm_back = strm.device2host_on(ab, StreamId::DEFAULT).unwrap();
+        strm.synchronize();
+
+        assert_eq!(sync_back, strm_back);
+        assert_eq!(sync.now_us(), strm.now_us());
+        let a: Vec<_> = sync.profiler.records().collect();
+        let b: Vec<_> = strm.profiler.records().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_matches_measured_schedule() {
+        let mut real = Device::gtx480();
+        let buf = real.malloc(1024).unwrap();
+        real.host2device(&vec![1; 1024], buf).unwrap();
+        let spans: Vec<(String, OpClass, f64)> =
+            real.profiler.spans().map(|s| (s.name.clone(), s.class, s.duration_us())).collect();
+
+        let mut replayed = Device::gtx480();
+        for (name, class, us) in &spans {
+            replayed.replay_on(name, *class, *us, StreamId::DEFAULT).unwrap();
+        }
+        assert_eq!(replayed.synchronize(), real.now_us());
     }
 }

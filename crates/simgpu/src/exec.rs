@@ -10,7 +10,7 @@
 //!   (block-major, then thread-major) rank wins — deterministic, though
 //!   well-formed kernels never rely on it.
 //!
-//! Blocks are distributed over crossbeam scoped threads. Each worker keeps a
+//! Blocks are distributed over std::thread scoped threads. Each worker keeps a
 //! private write log and private access bitsets; the coordinator applies the
 //! logs in block order and merges the bitsets, so execution is deterministic
 //! and data-race-free while the dynamic counters remain exact.
@@ -135,9 +135,7 @@ pub fn run_kernel(
                 bound.push(Bound::Buf { buf_index: *id, data, writable: *writable });
             }
             (Param::Scalar { .. }, KernelArg::Scalar(v)) => bound.push(Bound::Scalar(*v)),
-            _ => {
-                return Err(SimError::ArgKindMismatch { kernel: kernel.name.clone(), index: i })
-            }
+            _ => return Err(SimError::ArgKindMismatch { kernel: kernel.name.clone(), index: i }),
         }
     }
 
@@ -159,15 +157,7 @@ pub fn run_kernel(
             let by = (blk / cfg.grid.0 as u64) as i64;
             for ty in 0..cfg.block.1 as i64 {
                 for tx in 0..cfg.block.0 as i64 {
-                    let ctx = ThreadCtx {
-                        kernel,
-                        bound: &bound,
-                        cfg,
-                        bx,
-                        by,
-                        tx,
-                        ty,
-                    };
+                    let ctx = ThreadCtx { kernel, bound: &bound, cfg, bx, by, tx, ty };
                     regs.iter_mut().for_each(|r| *r = 0);
                     exec_block(&kernel.body, &ctx, &mut regs, &mut st)?;
                 }
@@ -179,18 +169,17 @@ pub fn run_kernel(
     let states: Vec<Result<WorkerState, SimError>> = if workers <= 1 {
         vec![run_range(0, total_blocks)]
     } else {
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers as u64)
                 .map(|w| {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(total_blocks);
                     let run_range = &run_range;
-                    s.spawn(move |_| run_range(lo, hi))
+                    s.spawn(move || run_range(lo, hi))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("kernel worker panicked")).collect()
         })
-        .expect("crossbeam scope failed")
     };
 
     // Merge counters and bitsets; apply write logs in block order.
@@ -444,10 +433,7 @@ mod tests {
     #[test]
     fn kernel_computes_and_guards_tail() {
         let k = scale_kernel();
-        let mut bufs = vec![
-            Some((0..100).collect::<Vec<_>>()),
-            Some(vec![0i32; 100]),
-        ];
+        let mut bufs = vec![Some((0..100).collect::<Vec<_>>()), Some(vec![0i32; 100])];
         let cfg = LaunchConfig::cover_1d(100, 32);
         let args = [KernelArg::Buffer(0), KernelArg::Buffer(1), KernelArg::Scalar(100)];
         let stats = run_kernel(&k, cfg, &args, &mut bufs, 1).unwrap();
@@ -524,14 +510,9 @@ mod tests {
         b.store(x, gid, gid);
         let k = b.finish();
         let mut bufs = vec![Some(vec![0i32; 4])];
-        let err = run_kernel(
-            &k,
-            LaunchConfig::cover_1d(4, 4),
-            &[KernelArg::Buffer(0)],
-            &mut bufs,
-            1,
-        )
-        .unwrap_err();
+        let err =
+            run_kernel(&k, LaunchConfig::cover_1d(4, 4), &[KernelArg::Buffer(0)], &mut bufs, 1)
+                .unwrap_err();
         assert!(matches!(err, SimError::ReadOnlyStore { .. }));
     }
 

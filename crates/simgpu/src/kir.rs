@@ -380,10 +380,8 @@ impl KernelBuilder {
     /// `dst = lhs <op> rhs` (value-numbered; commutative operands are
     /// canonicalised so `a+b` and `b+a` share a register).
     pub fn bin(&mut self, op: BinOp, lhs: Reg, rhs: Reg) -> Reg {
-        let commutative = matches!(
-            op,
-            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::Eq | BinOp::Ne
-        );
+        let commutative =
+            matches!(op, BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::Eq | BinOp::Ne);
         let (a, b) = if commutative && rhs < lhs { (rhs, lhs) } else { (lhs, rhs) };
         let key = (Self::bin_tag(op), a, b);
         if let Some(&r) = self.memo_bin.get(&key) {

@@ -19,7 +19,7 @@
 //!   many kernels "hinders effective data reuse",
 //! * compute throughput proportional to dynamic instruction count.
 //!
-//! Execution is parallel on the host (blocks are distributed over crossbeam
+//! Execution is parallel on the host (blocks are distributed over std::thread
 //! scoped threads) yet deterministic: each block's stores are collected in a
 //! write log and applied in block order.
 //!
@@ -34,11 +34,11 @@ pub mod kir;
 pub mod profiler;
 pub mod runtime;
 
-pub use cost::Calibration;
-pub use device::{BufferId, Device, DeviceConfig};
+pub use cost::{Calibration, Engine};
+pub use device::{BufferId, Device, DeviceConfig, EventId, StreamId};
 pub use exec::{LaunchConfig, LaunchStats};
 pub use kir::{BinOp, Instr, Kernel, KernelArg, KernelFlavor, Param, Reg, Special};
-pub use profiler::{OpClass, Profiler, Record};
+pub use profiler::{OpClass, Profiler, Record, Span};
 pub use runtime::GpuRuntime;
 
 /// Errors raised by the simulator.
@@ -61,6 +61,10 @@ pub enum SimError {
     OutOfMemory { requested: usize, available: usize },
     /// Host/device size mismatch on a transfer.
     TransferSize { host: usize, device: usize },
+    /// A stream id was never created on this device.
+    UnknownStream { id: usize },
+    /// An event id was never recorded on this device.
+    UnknownEvent { id: usize },
 }
 
 impl std::fmt::Display for SimError {
@@ -87,6 +91,8 @@ impl std::fmt::Display for SimError {
             SimError::TransferSize { host, device } => {
                 write!(f, "transfer size mismatch: host {host} elements, device {device}")
             }
+            SimError::UnknownStream { id } => write!(f, "unknown device stream {id}"),
+            SimError::UnknownEvent { id } => write!(f, "unknown device event {id}"),
         }
     }
 }

@@ -77,10 +77,45 @@ pub struct TableRow {
     pub percent: f64,
 }
 
+/// One scheduled interval on the device timeline: operation `name` occupied
+/// its engine from `start_us` to `end_us`, enqueued on `stream`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Operation name (kernel name or transfer label).
+    pub name: String,
+    /// Operation kind, which determines the engine it occupied.
+    pub class: OpClass,
+    /// Index of the stream the operation was enqueued on.
+    pub stream: usize,
+    /// Simulated start time, µs.
+    pub start_us: f64,
+    /// Simulated duration, µs. Stored directly (rather than an end time) so
+    /// the exact charged cost survives — `end − start` can differ from the
+    /// charge by an ulp, which would make timing replay inexact.
+    pub dur_us: f64,
+}
+
+impl Span {
+    /// Span duration, µs.
+    pub fn duration_us(&self) -> f64 {
+        self.dur_us
+    }
+
+    /// Simulated completion time, µs.
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.dur_us
+    }
+}
+
 /// Collects operation records for one experiment run.
+///
+/// Records are keyed by `(name, class)` so an operation name reused across
+/// classes yields two visible entries instead of silently merging into the
+/// class of whichever record came first.
 #[derive(Debug, Clone, Default)]
 pub struct Profiler {
-    records: BTreeMap<String, Record>,
+    records: BTreeMap<(String, OpClass), Record>,
+    spans: Vec<Span>,
 }
 
 impl Profiler {
@@ -91,20 +126,37 @@ impl Profiler {
 
     /// Record one invocation of `name` taking `us` simulated microseconds.
     pub fn record(&mut self, name: &str, class: OpClass, us: f64) {
-        let r = self.records.entry(name.to_string()).or_insert_with(|| Record {
+        let r = self.records.entry((name.to_string(), class)).or_insert_with(|| Record {
             name: name.to_string(),
             class,
             calls: 0,
             total_us: 0.0,
         });
-        debug_assert_eq!(r.class, class, "operation '{name}' recorded under two classes");
         r.calls += 1;
         r.total_us += us;
     }
 
-    /// All records, sorted by name.
+    /// Record a scheduled timeline interval (engine occupancy of one op).
+    pub fn record_span(
+        &mut self,
+        name: &str,
+        class: OpClass,
+        stream: usize,
+        start_us: f64,
+        dur_us: f64,
+    ) {
+        self.spans.push(Span { name: name.to_string(), class, stream, start_us, dur_us });
+    }
+
+    /// All records, sorted by name (then class, for colliding names).
     pub fn records(&self) -> impl Iterator<Item = &Record> {
         self.records.values()
+    }
+
+    /// All timeline spans in enqueue order (empty unless the device's
+    /// stream-aware entry points were used).
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
     }
 
     /// Total simulated time across all records, µs.
@@ -120,16 +172,122 @@ impl Profiler {
     /// Forget everything.
     pub fn reset(&mut self) {
         self.records.clear();
+        self.spans.clear();
     }
 
     /// Multiply every record's call count and time by `factor` — used to
     /// extrapolate a single simulated frame to an N-frame run (per-frame cost
-    /// is content-independent under the cost model, so this is exact).
+    /// is content-independent under the cost model, so this is exact for
+    /// *serialized* runs). Timeline spans are left untouched: extrapolating
+    /// an overlapped timeline requires rescheduling, not scaling — use the
+    /// executors' replay support for that.
     pub fn scale(&mut self, factor: u64) {
         for r in self.records.values_mut() {
             r.calls *= factor;
             r.total_us *= factor as f64;
         }
+    }
+
+    /// Timeline makespan: the latest span completion time, µs (0 when no
+    /// spans were recorded).
+    pub fn makespan_us(&self) -> f64 {
+        self.spans.iter().map(|s| s.end_us()).fold(0.0, f64::max)
+    }
+
+    /// Busy time of the engine serving `class` — the summed duration of its
+    /// spans, µs. Engines never run two spans at once, so this is also its
+    /// occupied wall-clock.
+    pub fn engine_busy_us(&self, class: OpClass) -> f64 {
+        // fold from +0.0: `Sum for f64` starts at -0.0, which renders as "-0".
+        self.spans
+            .iter()
+            .filter(|s| s.class == class)
+            .map(|s| s.duration_us())
+            .fold(0.0, |a, b| a + b)
+    }
+
+    /// How much engine busy time the timeline hid by overlapping, percent:
+    /// `100·(Σ durations − makespan)/Σ durations`. A fully serialized
+    /// timeline scores 0; perfect three-way overlap approaches 66.7.
+    pub fn overlap_percent(&self) -> f64 {
+        let total: f64 = self.spans.iter().map(|s| s.duration_us()).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        ((total - self.makespan_us()) / total * 100.0).max(0.0)
+    }
+
+    /// The chain of spans that determines the makespan: starting from the
+    /// last span to finish, repeatedly steps to a span finishing exactly when
+    /// the current one starts (same stream preferred, then same engine) until
+    /// no predecessor abuts. Returned in execution order.
+    pub fn critical_path(&self) -> Vec<&Span> {
+        const EPS: f64 = 1e-9;
+        let mut chain: Vec<&Span> = Vec::new();
+        let Some(mut cur) = self.spans.iter().max_by(|a, b| a.end_us().total_cmp(&b.end_us()))
+        else {
+            return chain;
+        };
+        chain.push(cur);
+        loop {
+            let abuts = |s: &&Span| {
+                (s.end_us() - cur.start_us).abs() < EPS
+                    && s.duration_us() >= 0.0
+                    && !std::ptr::eq(*s, cur)
+            };
+            let pred = self
+                .spans
+                .iter()
+                .filter(abuts)
+                .max_by_key(|s| (s.stream == cur.stream, s.class == cur.class));
+            match pred {
+                Some(p) => {
+                    chain.push(p);
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Render the timeline summary: per-engine busy time and utilisation,
+    /// overlap percentage, and the critical path.
+    pub fn timeline_table(&self) -> String {
+        let makespan = self.makespan_us();
+        let mut out = String::new();
+        out.push_str(&format!("{:<10} {:>14} {:>10}\n", "Engine", "busy(usec)", "busy(%)"));
+        for (label, class) in [
+            ("H2D", OpClass::H2D),
+            ("Compute", OpClass::Kernel),
+            ("D2H", OpClass::D2H),
+            ("Host", OpClass::Host),
+        ] {
+            let busy = self.engine_busy_us(class);
+            let pct = if makespan > 0.0 { busy / makespan * 100.0 } else { 0.0 };
+            out.push_str(&format!("{label:<10} {busy:>14.0} {pct:>10.2}\n"));
+        }
+        out.push_str(&format!(
+            "makespan {:.0} usec, overlap {:.2}%\n",
+            makespan,
+            self.overlap_percent()
+        ));
+        let path = self.critical_path();
+        if !path.is_empty() {
+            out.push_str(&format!("critical path ({} ops): ", path.len()));
+            let mut names: Vec<String> =
+                path.iter().map(|s| format!("{}@s{}", s.name, s.stream)).collect();
+            if names.len() > 8 {
+                let tail = names.split_off(names.len() - 3);
+                names.truncate(3);
+                names.push("...".into());
+                names.extend(tail);
+            }
+            out.push_str(&names.join(" -> "));
+            out.push('\n');
+        }
+        out
     }
 
     /// Aggregate records into the given groups.
@@ -159,7 +317,9 @@ impl Profiler {
                 };
                 TableRow {
                     label,
-                    calls: calls_total / distinct,
+                    // Round, don't truncate: groups whose members were called
+                    // unevenly report the nearest per-op count.
+                    calls: (calls_total as f64 / distinct as f64).round() as u64,
                     time_us,
                     percent: if total > 0.0 { time_us / total * 100.0 } else { 0.0 },
                 }
@@ -255,5 +415,79 @@ mod tests {
         let rows = p.rows(&[Group::kernels("X", "x_")]);
         assert_eq!(rows[0].time_us, 0.0);
         assert_eq!(rows[0].percent, 0.0);
+    }
+
+    #[test]
+    fn name_reused_across_classes_keeps_both_records() {
+        let mut p = Profiler::new();
+        p.record("tiler", OpClass::Kernel, 10.0);
+        p.record("tiler", OpClass::Host, 90.0);
+        let recs: Vec<&Record> = p.records().collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(p.class_total_us(OpClass::Kernel), 10.0);
+        assert_eq!(p.class_total_us(OpClass::Host), 90.0);
+    }
+
+    #[test]
+    fn uneven_group_calls_round_to_nearest() {
+        // Two kernels called 2 and 3 times: 5/2 = 2.5 rounds to 3 (the old
+        // code truncated to 2).
+        let mut p = Profiler::new();
+        p.record("k_a", OpClass::Kernel, 1.0);
+        p.record("k_a", OpClass::Kernel, 1.0);
+        for _ in 0..3 {
+            p.record("k_b", OpClass::Kernel, 1.0);
+        }
+        let rows = p.rows(&[Group::kernels("K", "k_")]);
+        assert_eq!(rows[0].calls, 3);
+    }
+
+    fn timeline() -> Profiler {
+        let mut p = Profiler::new();
+        // Two-stream double buffer: uploads on the H2D engine back-to-back,
+        // kernels overlap the next upload.
+        p.record_span("up0", OpClass::H2D, 0, 0.0, 100.0);
+        p.record_span("k0", OpClass::Kernel, 0, 100.0, 150.0);
+        p.record_span("up1", OpClass::H2D, 1, 100.0, 100.0);
+        p.record_span("k1", OpClass::Kernel, 1, 250.0, 150.0);
+        p.record_span("down1", OpClass::D2H, 1, 400.0, 80.0);
+        p
+    }
+
+    #[test]
+    fn timeline_metrics_reflect_overlap() {
+        let p = timeline();
+        assert_eq!(p.makespan_us(), 480.0);
+        assert_eq!(p.engine_busy_us(OpClass::H2D), 200.0);
+        assert_eq!(p.engine_busy_us(OpClass::Kernel), 300.0);
+        // Σ durations = 580, makespan 480 ⇒ 100·100/580 ≈ 17.24 % hidden.
+        assert!((p.overlap_percent() - 100.0 * 100.0 / 580.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_path_follows_abutting_spans() {
+        let p = timeline();
+        let names: Vec<&str> = p.critical_path().iter().map(|s| s.name.as_str()).collect();
+        // down1 starts when k1 ends, k1 when k0 ends, k0 when up0 ends.
+        assert_eq!(names, vec!["up0", "k0", "k1", "down1"]);
+    }
+
+    #[test]
+    fn timeline_table_renders_engines_and_path() {
+        let p = timeline();
+        let t = p.timeline_table();
+        assert!(t.contains("Engine"), "{t}");
+        assert!(t.contains("makespan 480 usec"), "{t}");
+        assert!(t.contains("critical path (4 ops): up0@s0 -> k0@s0 -> k1@s1 -> down1@s1"), "{t}");
+    }
+
+    #[test]
+    fn scale_multiplies_records_but_not_spans() {
+        let mut p = timeline();
+        p.record("k0", OpClass::Kernel, 150.0);
+        p.scale(10);
+        assert_eq!(p.total_us(), 1500.0);
+        assert_eq!(p.spans().count(), 5);
+        assert_eq!(p.makespan_us(), 480.0);
     }
 }

@@ -5,7 +5,7 @@
 //! buffers, mirroring the thin host runtimes that `sac2c`'s CUDA backend and
 //! GASPARD2's generated OpenCL host code link against.
 
-use crate::device::{BufferId, Device};
+use crate::device::{BufferId, Device, EventId, StreamId};
 use crate::exec::{LaunchConfig, LaunchStats};
 use crate::kir::{Kernel, KernelArg};
 use crate::SimError;
@@ -79,6 +79,53 @@ impl GpuRuntime {
     /// Simulated time elapsed, µs.
     pub fn elapsed_us(&self) -> f64 {
         self.device.now_us()
+    }
+
+    // ------------------------------------------------------------------
+    // Stream-aware variants (the multi-queue host runtime)
+    // ------------------------------------------------------------------
+
+    /// Create a new command stream.
+    pub fn create_stream(&mut self) -> StreamId {
+        self.device.create_stream()
+    }
+
+    /// Allocate and upload asynchronously on `stream`.
+    pub fn upload_on(&mut self, data: &[i32], stream: StreamId) -> Result<BufferId, SimError> {
+        let buf = self.device.malloc(data.len())?;
+        self.device.host2device_on(data, buf, stream)?;
+        Ok(buf)
+    }
+
+    /// Download a buffer asynchronously on `stream`.
+    pub fn download_on(&mut self, buf: BufferId, stream: StreamId) -> Result<Vec<i32>, SimError> {
+        self.device.device2host_on(buf, stream)
+    }
+
+    /// Launch a kernel asynchronously on `stream`.
+    pub fn launch_on(
+        &mut self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+        stream: StreamId,
+    ) -> Result<LaunchStats, SimError> {
+        self.device.launch_on(kernel, cfg, args, stream)
+    }
+
+    /// Record an event on `stream`.
+    pub fn record_event(&mut self, stream: StreamId) -> Result<EventId, SimError> {
+        self.device.record_event(stream)
+    }
+
+    /// Make `stream` wait for `event`.
+    pub fn wait_event(&mut self, stream: StreamId, event: EventId) -> Result<(), SimError> {
+        self.device.wait_event(stream, event)
+    }
+
+    /// Drain every stream; returns the makespan in µs.
+    pub fn synchronize(&mut self) -> f64 {
+        self.device.synchronize()
     }
 }
 

@@ -16,8 +16,8 @@ use gpu_abstractions::{arrayol, gaspard, mdarray, simgpu};
 use arrayol::exec::{execute, ExecOptions};
 use arrayol::{ApplicationGraph, IMat, Port, RepetitiveTask, TaskBody, Tiler};
 use gaspard::model::{
-    Allocation, Component, ComponentKind, Connection, ElementaryOp, Model, PartRef,
-    Platform, Port as MPort, PortDir, Stereotype, TilerSpec,
+    Allocation, Component, ComponentKind, Connection, ElementaryOp, Model, PartRef, Platform,
+    Port as MPort, PortDir, Stereotype, TilerSpec,
 };
 use gaspard::transform::{deploy, schedule};
 use mdarray::{NdArray, Shape};
@@ -163,7 +163,8 @@ fn main() {
     println!("{}", opencl.emit_opencl_source());
 
     let mut device = Device::gtx480();
-    let outs = gaspard::run_opencl(&opencl, &mut device, std::slice::from_ref(&image)).expect("GPU run");
+    let outs =
+        gaspard::run_opencl(&opencl, &mut device, std::slice::from_ref(&image)).expect("GPU run");
 
     // Row sums on the device must agree with a direct computation.
     for i in 0..N {
@@ -172,8 +173,5 @@ fn main() {
             assert_eq!(*outs[0].get(&[i, t]).unwrap(), direct);
         }
     }
-    println!(
-        "device result verified; simulated GPU time {:.1} us",
-        device.now_us()
-    );
+    println!("device result verified; simulated GPU time {:.1} us", device.now_us());
 }

@@ -2,41 +2,57 @@
 //! the same video stream, and the profiles are printed side by side.
 //!
 //! ```sh
-//! cargo run --release --example downscaler_race [-- frames]
+//! cargo run --release --example downscaler_race [-- frames] [--streams N]
 //! ```
 //!
 //! Uses the CIF-sized scenario (288×352 → 128×132) so it runs in seconds;
 //! `cargo run --release -p bench --bin reproduce` does the full HD version.
+//! With `--streams 2` each route double-buffers its frames over async
+//! streams/command queues, so uploads, kernels, and downloads overlap on the
+//! simulated copy and compute engines; `--streams 1` (the default) is the
+//! serialized baseline and reproduces the classic profile exactly.
 
-use gpu_abstractions::{downscaler, gaspard, mdarray, sac_cuda, simgpu};
+use gpu_abstractions::{downscaler, mdarray, simgpu};
 
 use downscaler::frames::{FrameGenerator, FrameSink};
-use downscaler::pipelines::{build_gaspard, build_sac, reference_downscale};
+use downscaler::pipelines::{
+    build_gaspard, build_sac, reference_downscale, run_gaspard_batch, run_sac_batch, BatchOptions,
+};
 use downscaler::sac_src::{Part, Variant};
 use downscaler::Scenario;
-use sac_cuda::exec::{run_on_device_opts, ExecOptions};
 use simgpu::device::Device;
 use simgpu::profiler::{Group, OpClass};
 
 fn main() {
-    let frames: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4);
+    let mut frames: usize = 4;
+    let mut streams: usize = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--streams" {
+            streams = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--streams needs a positive integer");
+        } else if let Ok(n) = a.parse() {
+            frames = n;
+        }
+    }
     let mut s = Scenario::cif();
     s.frames = frames;
     println!(
-        "downscaling {} frames of {}x{} video to {}x{} on the simulated GTX480\n",
+        "downscaling {} frames of {}x{} video to {}x{} on the simulated GTX480 ({} stream{})\n",
         s.frames,
         s.rows,
         s.cols,
         s.out_shape().0,
-        s.out_shape().1
+        s.out_shape().1,
+        streams.max(1),
+        if streams.max(1) == 1 { "" } else { "s" }
     );
 
     // Compile both routes once (the paper's design/compile time).
-    let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default())
-        .expect("SaC route");
+    let sac =
+        build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default()).expect("SaC route");
     let gasp = build_gaspard(&s).expect("GASPARD2 route");
     println!(
         "SaC route:      {} kernels/frame after WITH-loop folding ({} folds, {} boundary splits)",
@@ -44,32 +60,31 @@ fn main() {
         sac.report.fold.folds,
         sac.report.generators_after_split - sac.report.generators_before_split
     );
-    println!("GASPARD2 route: {} kernels/frame (one per channel task)\n", gasp.opencl.kernels.len());
+    println!(
+        "GASPARD2 route: {} kernels/frame (one per channel task)\n",
+        gasp.opencl.kernels.len()
+    );
 
-    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 42);
+    let seed = 42;
+    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, seed);
     let mut sac_device = Device::gtx480();
     let mut gasp_device = Device::gtx480();
     let mut sac_sink = FrameSink::new();
     let mut gasp_sink = FrameSink::new();
-    let opts = ExecOptions { channel_chunks: s.channels, ..Default::default() };
+    let batch = BatchOptions { streams, ..Default::default() };
 
-    for f in 0..s.frames {
-        let channels = gen.frame_channels(f);
-        let stacked = FrameGenerator::stack(&channels);
+    let sac_outs = run_sac_batch(&s, &sac, &mut sac_device, seed, batch).expect("SaC batch");
+    let gasp_outs =
+        run_gaspard_batch(&s, &gasp, &mut gasp_device, seed, batch).expect("Gaspard batch");
 
-        let (sac_out, _) =
-            run_on_device_opts(&sac.cuda, &mut sac_device, std::slice::from_ref(&stacked), opts)
-                .expect("SaC run");
-        sac_sink.consume(&FrameGenerator::unstack(&sac_out));
-
-        let gasp_out =
-            gaspard::run_opencl(&gasp.opencl, &mut gasp_device, &channels).expect("Gaspard run");
-        gasp_sink.consume(&gasp_out);
+    for (f, (sac_out, gasp_out)) in sac_outs.iter().zip(&gasp_outs).enumerate() {
+        sac_sink.consume(&FrameGenerator::unstack(sac_out));
+        gasp_sink.consume(gasp_out);
 
         // Every frame is also checked against the golden CPU filters.
-        let expect = reference_downscale(&s, &stacked);
-        assert_eq!(sac_out, expect, "SaC diverged on frame {f}");
-        assert_eq!(FrameGenerator::stack(&gasp_out), expect, "Gaspard diverged on frame {f}");
+        let expect = reference_downscale(&s, &gen.frame_rank3(f));
+        assert_eq!(sac_out, &expect, "SaC diverged on frame {f}");
+        assert_eq!(FrameGenerator::stack(gasp_out), expect, "Gaspard diverged on frame {f}");
     }
     assert_eq!(sac_sink.digest, gasp_sink.digest);
     println!(
@@ -85,6 +100,10 @@ fn main() {
     ];
     println!("--- SaC -> CUDA profile ---\n{}", sac_device.profiler.table(&groups));
     println!("--- GASPARD2 -> OpenCL profile ---\n{}", gasp_device.profiler.table(&groups));
+    if streams > 1 {
+        println!("--- SaC -> CUDA timeline ---\n{}", sac_device.profiler.timeline_table());
+        println!("--- GASPARD2 -> OpenCL timeline ---\n{}", gasp_device.profiler.timeline_table());
+    }
     println!(
         "simulated totals: SaC {:.1} ms vs Gaspard2 {:.1} ms per {} frames",
         sac_device.now_us() / 1e3,

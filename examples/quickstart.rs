@@ -37,8 +37,7 @@ fn main() {
     //    into one, and the result is lowered to the flat data-parallel form.
     let prog = sac_lang::parse_program(SRC).expect("parse");
     let args = [ArgDesc::Array { name: "img".into(), shape: vec![64, 64] }];
-    let (flat, report) =
-        optimize(&prog, "main", &args, &OptConfig::default()).expect("optimise");
+    let (flat, report) = optimize(&prog, "main", &args, &OptConfig::default()).expect("optimise");
     println!("WITH-loop folding performed {} fusion(s);", report.fold.folds);
     println!("the program compiles to {} CUDA kernel(s):\n", flat.generator_count());
 

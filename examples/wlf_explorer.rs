@@ -42,12 +42,17 @@ fn main() {
     println!("{}", folded.flat);
 
     println!("=== WITH-loop folding: OFF ===");
-    println!("kernels: {} (three separate passes with intermediate arrays)\n", unfolded.cuda.launches_per_run());
+    println!(
+        "kernels: {} (three separate passes with intermediate arrays)\n",
+        unfolded.cuda.launches_per_run()
+    );
     for (i, step) in unfolded.flat.steps.iter().enumerate() {
         if let sac_lang::wir::Step::With { target, with } = step {
             println!(
                 "  step {i}: {} = with-loop over {:?} ({} generators)",
-                unfolded.flat.arrays[*target].name, with.shape, with.generators.len()
+                unfolded.flat.arrays[*target].name,
+                with.shape,
+                with.generators.len()
             );
         }
     }
@@ -56,10 +61,10 @@ fn main() {
     // Execute both on fresh devices and compare simulated time + memory.
     let mut d1 = Device::gtx480();
     let (out1, _) =
-        run_on_device(&folded.cuda, &mut d1, std::slice::from_ref(&frame), HostCost::default()).unwrap();
+        run_on_device(&folded.cuda, &mut d1, std::slice::from_ref(&frame), HostCost::default())
+            .unwrap();
     let mut d2 = Device::gtx480();
-    let (out2, _) =
-        run_on_device(&unfolded.cuda, &mut d2, &[frame], HostCost::default()).unwrap();
+    let (out2, _) = run_on_device(&unfolded.cuda, &mut d2, &[frame], HostCost::default()).unwrap();
     assert_eq!(out1, out2, "folding must not change results");
 
     println!("simulated GPU time per frame:");
@@ -67,7 +72,10 @@ fn main() {
     println!("  unfolded: {:>9.1} us ({} launches)", d2.now_us(), unfolded.cuda.launches_per_run());
     println!("peak device memory:");
     println!("  folded:   {:>9.1} KiB", d1.peak_allocated_bytes() as f64 / 1024.0);
-    println!("  unfolded: {:>9.1} KiB (intermediate tile arrays materialised)", d2.peak_allocated_bytes() as f64 / 1024.0);
+    println!(
+        "  unfolded: {:>9.1} KiB (intermediate tile arrays materialised)",
+        d2.peak_allocated_bytes() as f64 / 1024.0
+    );
     println!(
         "\nWLF avoids materialising the intermediate tile arrays ({} fewer arrays on the device)\nand saves {:.1}% of simulated time — the paper's \"avoids expensive data copy and\nenables better data reuse\".",
         unfolded.flat.arrays.len() - folded.flat.arrays.len(),

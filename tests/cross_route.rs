@@ -84,13 +84,9 @@ fn multi_frame_stream_is_deterministic() {
         let mut sink = FrameSink::new();
         for f in 0..3 {
             let frame = gen.frame_rank3(f);
-            let (out, _) = run_on_device_opts(
-                &route.cuda,
-                &mut device,
-                &[frame],
-                ExecOptions::default(),
-            )
-            .unwrap();
+            let (out, _) =
+                run_on_device_opts(&route.cuda, &mut device, &[frame], ExecOptions::default())
+                    .unwrap();
             sink.consume(&FrameGenerator::unstack(&out));
         }
         (sink.digest, device.now_us())

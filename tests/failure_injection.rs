@@ -18,7 +18,8 @@ fn device_oom_is_reported() {
     let frame = FrameGenerator::new(s.channels, s.rows, s.cols, 1).frame_rank3(0);
     // Frame alone needs 3*18*32*4 = 6912 bytes; give the device less.
     let mut device = Device::new(DeviceConfig::toy(4096), Calibration::gtx480());
-    let err = run_on_device(&route.cuda, &mut device, std::slice::from_ref(&frame), HostCost::default());
+    let err =
+        run_on_device(&route.cuda, &mut device, std::slice::from_ref(&frame), HostCost::default());
     match err {
         Err(sac_cuda::CudaError::Sim(simgpu::SimError::OutOfMemory { .. })) => {}
         other => panic!("expected OutOfMemory, got {other:?}"),
@@ -76,10 +77,7 @@ fn kernel_oob_load_faults() {
     let mut device = Device::gtx480();
     let err = run_on_device(&cuda, &mut device, &[frame], HostCost::default());
     assert!(
-        matches!(
-            err,
-            Err(sac_cuda::CudaError::Sim(simgpu::SimError::OutOfBounds { .. }))
-        ),
+        matches!(err, Err(sac_cuda::CudaError::Sim(simgpu::SimError::OutOfBounds { .. }))),
         "{err:?}"
     );
 }
@@ -118,9 +116,7 @@ int[*] main(int[4] a)
 
     // Interpreter.
     let mut interp = sac_lang::Interp::new(&prog);
-    assert!(interp
-        .call("main", vec![sac_lang::value::Value::Arr(frame.clone())])
-        .is_err());
+    assert!(interp.call("main", vec![sac_lang::value::Value::Arr(frame.clone())]).is_err());
 
     // Flat evaluator and device.
     let args = [sac_lang::opt::ArgDesc::Array { name: "a".into(), shape: vec![4] }];
@@ -146,8 +142,5 @@ fn bad_allocation_rejected_at_deploy() {
         .allocate("HFilterChannel", "tpu9000")
         .allocate("VFilterChannel", "gtx480");
     let err = gaspard::transform::deploy(model, gaspard::Platform::cpu_gpu(), alloc);
-    assert!(
-        matches!(err, Err(gaspard::GaspardError::UnknownElement { .. })),
-        "{err:?}"
-    );
+    assert!(matches!(err, Err(gaspard::GaspardError::UnknownElement { .. })), "{err:?}");
 }

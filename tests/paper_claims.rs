@@ -70,10 +70,7 @@ fn figure9_orderings() {
         assert!(dim(cn) < dim(sn), "GPU beats sequential");
         assert!(dim(cg) > 2.0 * dim(cn), "generic pays for the host round-trip");
         let seq_ratio = dim(sg) / dim(sn);
-        assert!(
-            (0.8..1.6).contains(&seq_ratio),
-            "sequential variants comparable, got {seq_ratio}"
-        );
+        assert!((0.8..1.6).contains(&seq_ratio), "sequential variants comparable, got {seq_ratio}");
     }
 }
 
@@ -126,10 +123,8 @@ fn wlf_shrinks_device_footprint() {
     let s = scenario();
     let frame = downscaler::FrameGenerator::new(s.channels, s.rows, s.cols, 1).frame_rank3(0);
     let mut peaks = Vec::new();
-    for cfg in [
-        OptConfig::default(),
-        OptConfig { with_loop_folding: false, resolve_modulo: true },
-    ] {
+    for cfg in [OptConfig::default(), OptConfig { with_loop_folding: false, resolve_modulo: true }]
+    {
         let route = build_sac(&s, Variant::NonGeneric, Part::Full, &cfg).unwrap();
         let mut device = simgpu::device::Device::gtx480();
         sac_cuda::exec::run_on_device(

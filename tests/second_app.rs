@@ -225,8 +225,8 @@ fn gaspard_route_thumbnailer() {
     let g = to_arrayol(&scheduled).unwrap();
     let mut inputs = std::collections::HashMap::new();
     inputs.insert(g.external_inputs[0], frame);
-    let seq = arrayol::exec::execute(&g, &inputs, &arrayol::exec::ExecOptions::sequential())
-        .unwrap();
+    let seq =
+        arrayol::exec::execute(&g, &inputs, &arrayol::exec::ExecOptions::sequential()).unwrap();
     assert_eq!(seq[&g.external_outputs[0]], expect);
 
     // Host artefacts generate too.
