@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p bench --bin reproduce [-- <command>] [--scenario hd1080|cif|tiny]
 //!
-//! commands: fig8 fig9 fig11 fig12 table1 table2 cuda-src summary ablations streams all
+//! commands: fig8 fig9 fig11 fig12 table1 table2 cuda-src summary ablations streams memory all
 //! ```
 
 use bench::experiments as exp;
@@ -13,7 +13,7 @@ use simgpu::Calibration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|sweep|emit-artifacts|all] \
+        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|sweep|emit-artifacts|all] \
          [--scenario hd1080|cif|tiny]"
     );
     std::process::exit(2);
@@ -36,7 +36,7 @@ fn main() {
             }
             "--help" | "-h" => usage(),
             cmd if !cmd.starts_with('-') => {
-                const KNOWN: [&str; 14] = [
+                const KNOWN: [&str; 15] = [
                     "all",
                     "fig3",
                     "fig8",
@@ -49,6 +49,7 @@ fn main() {
                     "summary",
                     "ablations",
                     "streams",
+                    "memory",
                     "sweep",
                     "emit-artifacts",
                 ];
@@ -140,6 +141,16 @@ fn main() {
         match exp::streams_ablation(s, &[1, 2, 4]) {
             Ok(rows) => println!("{}", report::render_streams(&rows)),
             Err(e) => eprintln!("streams ablation failed: {e}"),
+        }
+    }
+    if run("memory") {
+        match exp::memory_ablation(s) {
+            Ok(rows) => println!("{}", report::render_memory(&rows)),
+            Err(e) => eprintln!("memory ablation failed: {e}"),
+        }
+        match exp::oom_degradation_demo(s) {
+            Ok(d) => println!("{}", report::render_degradation(&d)),
+            Err(e) => eprintln!("degradation demo failed: {e}"),
         }
     }
     if run("sweep") {

@@ -1,6 +1,6 @@
 //! Text rendering of experiment results (ASCII bars and the paper's tables).
 
-use crate::experiments::{Fig12, Fig9Row, ProfileTable, StreamsRow};
+use crate::experiments::{DegradationDemo, Fig12, Fig9Row, MemoryRow, ProfileTable, StreamsRow};
 
 /// Render Figure 9 as labelled ASCII bars.
 pub fn render_fig9(rows: &[Fig9Row]) -> String {
@@ -77,6 +77,57 @@ pub fn render_streams(rows: &[StreamsRow]) -> String {
     out
 }
 
+/// Render the memory-allocator ablation (naive vs pooled).
+pub fn render_memory(rows: &[MemoryRow]) -> String {
+    let mut out = String::from(
+        "Ablation: device memory allocation, naive vs pooled\n\
+         (whole run; serial per-frame executors under the allocation-costed\n\
+         calibration — cudaMalloc device-synchronizes, as on Fermi)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12} {:>10} {:>10}\n",
+        "alloc", "SaC", "mallocs", "hit rate", "Gaspard2", "mallocs", "hit rate"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:>9.3}s {:>10} {:>9.1}% {:>11.3}s {:>10} {:>9.1}%\n",
+            r.config,
+            r.sac_s,
+            r.sac_driver_mallocs,
+            r.sac_hit_rate,
+            r.gaspard_s,
+            r.gaspard_driver_mallocs,
+            r.gaspard_hit_rate,
+        ));
+    }
+    if let (Some(naive), Some(pooled)) = (rows.first(), rows.last()) {
+        out.push_str(&format!(
+            "\npooling saves {:.3}s (SaC) / {:.3}s (Gaspard2) over the run\n",
+            naive.sac_s - pooled.sac_s,
+            naive.gaspard_s - pooled.gaspard_s,
+        ));
+    }
+    out
+}
+
+/// Render the OOM graceful-degradation demonstration.
+pub fn render_degradation(d: &DegradationDemo) -> String {
+    let mut out = format!(
+        "Graceful OOM degradation (device capped at {} B, {} streams requested)\n\n\
+         naive:    error: {}\n\
+         degraded: completed in {:.3}s, outputs {} the 1-stream baseline\n",
+        d.capacity_bytes,
+        d.streams,
+        d.naive_error,
+        d.degraded_s,
+        if d.outputs_match_baseline { "bit-identical to" } else { "DIFFER from" },
+    );
+    for n in &d.notes {
+        out.push_str(&format!("          {n}\n"));
+    }
+    out
+}
+
 /// Render Figure 12's grouped comparison.
 pub fn render_fig12(f: &Fig12) -> String {
     let groups = [
@@ -135,6 +186,46 @@ mod tests {
         assert!(text.contains("H. Filter (3 kernels)"));
         assert!(text.contains("844185"));
         assert!(text.contains("2.86s"));
+    }
+
+    #[test]
+    fn memory_and_degradation_render() {
+        let rows = vec![
+            MemoryRow {
+                config: "naive".into(),
+                sac_s: 4.2,
+                gaspard_s: 3.1,
+                sac_driver_mallocs: 1200,
+                gaspard_driver_mallocs: 900,
+                sac_hit_rate: 0.0,
+                gaspard_hit_rate: 0.0,
+            },
+            MemoryRow {
+                config: "pooled".into(),
+                sac_s: 3.7,
+                gaspard_s: 2.8,
+                sac_driver_mallocs: 4,
+                gaspard_driver_mallocs: 3,
+                sac_hit_rate: 99.7,
+                gaspard_hit_rate: 99.7,
+            },
+        ];
+        let text = render_memory(&rows);
+        assert!(text.contains("naive"), "{text}");
+        assert!(text.contains("pooled"));
+        assert!(text.contains("pooling saves 0.500s"), "{text}");
+
+        let d = DegradationDemo {
+            capacity_bytes: 4096,
+            streams: 4,
+            naive_error: "device out of memory: requested 1024 B, available 0 B".into(),
+            degraded_s: 1.25,
+            notes: vec!["degraded: out of device memory at 4 stream lanes".into()],
+            outputs_match_baseline: true,
+        };
+        let text = render_degradation(&d);
+        assert!(text.contains("bit-identical"), "{text}");
+        assert!(text.contains("4 stream lanes"), "{text}");
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub enum PipelineError {
     Cuda(sac_cuda::CudaError),
     /// MDE chain failure.
     Gaspard(gaspard::GaspardError),
+    /// Invalid batch configuration, rejected before reaching an executor.
+    Config(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -30,6 +32,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Sac(e) => write!(f, "sac: {e}"),
             PipelineError::Cuda(e) => write!(f, "cuda backend: {e}"),
             PipelineError::Gaspard(e) => write!(f, "gaspard: {e}"),
+            PipelineError::Config(msg) => write!(f, "bad batch options: {msg}"),
         }
     }
 }
@@ -114,11 +117,25 @@ pub struct BatchOptions {
     pub executed: usize,
     /// Host-fallback cost (SaC route only).
     pub host_ns_per_op: f64,
+    /// Enable the device's size-class memory pool for this batch: freed
+    /// buffers are cached and reused instead of going back to the driver.
+    /// Off by default — the naive allocator is what the paper's profiles
+    /// were calibrated against.
+    pub pool: bool,
+    /// On `OutOfMemory`, retry the batch with half the stream lanes instead
+    /// of failing (see `PipelineOptions::degrade_on_oom`). Off by default.
+    pub degrade_on_oom: bool,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        BatchOptions { streams: 1, executed: 0, host_ns_per_op: HostCost::default().ns_per_op }
+        BatchOptions {
+            streams: 1,
+            executed: 0,
+            host_ns_per_op: HostCost::default().ns_per_op,
+            pool: false,
+            degrade_on_oom: false,
+        }
     }
 }
 
@@ -129,6 +146,18 @@ impl BatchOptions {
         } else {
             self.executed.min(s.frames)
         }
+    }
+
+    /// Reject configurations the executors cannot honour: `streams: 0`
+    /// previously slipped through and hit `streams.max(1)` deep inside the
+    /// executor, silently meaning something different from what was asked.
+    fn validate(&self) -> Result<(), PipelineError> {
+        if self.streams == 0 {
+            return Err(PipelineError::Config(
+                "streams must be >= 1 (1 = the serialized baseline)".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -142,6 +171,8 @@ pub fn run_sac_batch(
     seed: u64,
     opts: BatchOptions,
 ) -> Result<Vec<NdArray<i64>>, PipelineError> {
+    opts.validate()?;
+    device.set_pool_enabled(opts.pool);
     let gen = FrameGenerator::new(s.channels, s.rows, s.cols, seed);
     let frames: Vec<Vec<NdArray<i64>>> =
         (0..opts.executed_frames(s)).map(|f| vec![gen.frame_rank3(f)]).collect();
@@ -156,6 +187,7 @@ pub fn run_sac_batch(
             },
             streams: opts.streams,
             total_frames: s.frames,
+            degrade_on_oom: opts.degrade_on_oom,
         },
     )?;
     Ok(outs)
@@ -171,6 +203,8 @@ pub fn run_gaspard_batch(
     seed: u64,
     opts: BatchOptions,
 ) -> Result<Vec<Vec<NdArray<i64>>>, PipelineError> {
+    opts.validate()?;
+    device.set_pool_enabled(opts.pool);
     let gen = FrameGenerator::new(s.channels, s.rows, s.cols, seed);
     let frames: Vec<Vec<NdArray<i64>>> =
         (0..opts.executed_frames(s)).map(|f| gen.frame_channels(f)).collect();
@@ -178,7 +212,11 @@ pub fn run_gaspard_batch(
         &route.opencl,
         device,
         &frames,
-        OpenClPipelineOptions { queues: opts.streams, total_frames: s.frames },
+        OpenClPipelineOptions {
+            queues: opts.streams,
+            total_frames: s.frames,
+            degrade_on_oom: opts.degrade_on_oom,
+        },
     )?;
     Ok(outs)
 }
@@ -329,6 +367,52 @@ mod tests {
         .unwrap();
         assert_eq!(g_db_outs, g_sync_outs);
         assert!(g_db.now_us() < g_sync.now_us());
+    }
+
+    #[test]
+    fn zero_streams_is_a_typed_config_error() {
+        let s = Scenario::tiny();
+        let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &OptConfig::default()).unwrap();
+        let gasp = build_gaspard(&s).unwrap();
+        let bad = BatchOptions { streams: 0, ..Default::default() };
+
+        let mut d = Device::gtx480();
+        let err = run_sac_batch(&s, &sac, &mut d, 1, bad);
+        assert!(matches!(err, Err(PipelineError::Config(_))), "{err:?}");
+        let err = run_gaspard_batch(&s, &gasp, &mut d, 1, bad);
+        assert!(matches!(err, Err(PipelineError::Config(_))), "{err:?}");
+        // Rejected before anything touched the device.
+        assert_eq!(d.now_us(), 0.0);
+        assert_eq!(d.profiler.records().count(), 0);
+    }
+
+    #[test]
+    fn pooled_batch_matches_naive_results() {
+        // Pooling changes allocator behaviour, never results or (at the
+        // default zero-allocation-cost calibration) timing.
+        let s = Scenario::tiny();
+        let seed = 5;
+        let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &OptConfig::default()).unwrap();
+
+        let mut naive = Device::gtx480();
+        let naive_outs =
+            run_sac_batch(&s, &sac, &mut naive, seed, BatchOptions::default()).unwrap();
+        let mut pooled = Device::gtx480();
+        let pooled_outs = run_sac_batch(
+            &s,
+            &sac,
+            &mut pooled,
+            seed,
+            BatchOptions { pool: true, ..Default::default() },
+        )
+        .unwrap();
+
+        assert_eq!(pooled_outs, naive_outs);
+        assert_eq!(pooled.now_us(), naive.now_us());
+        // The batch's end-of-run frees were cached, not returned.
+        assert_eq!(pooled.allocated_bytes(), 0);
+        assert!(pooled.pool().cached_bytes() > 0);
+        assert_eq!(naive.pool().cached_bytes(), 0);
     }
 
     #[test]

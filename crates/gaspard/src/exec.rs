@@ -134,6 +134,13 @@ pub struct OpenClPipelineOptions {
     /// durations (exact under the cost model: per-frame cost is
     /// content-independent for fixed shapes). `0` means `frames.len()`.
     pub total_frames: usize,
+    /// When a batch attempt fails with [`simgpu::SimError::OutOfMemory`],
+    /// release that attempt's device buffers, halve the number of command
+    /// queues and retry the whole batch instead of failing — the degradation
+    /// ladder `queues → queues/2 → … → 1`. Each downgrade is surfaced as a
+    /// profiler note and the failed attempt's simulated time stays charged.
+    /// Results are bit-identical at any queue count. Off by default.
+    pub degrade_on_oom: bool,
 }
 
 /// Execute a batch of frames with multi-queue double buffering.
@@ -153,7 +160,34 @@ pub fn run_opencl_frames(
     if frames.is_empty() {
         return Ok(Vec::new());
     }
-    let lanes = opts.queues.max(1);
+    let mut lanes = opts.queues.max(1);
+    loop {
+        match run_frames_attempt(prog, device, frames, opts, lanes) {
+            Err(GaspardError::Sim(simgpu::SimError::OutOfMemory { .. }))
+                if opts.degrade_on_oom && lanes > 1 =>
+            {
+                let next = lanes / 2;
+                device.profiler.note(format!(
+                    "degraded: out of device memory at {lanes} command queues, \
+                     retrying batch with {next}"
+                ));
+                lanes = next;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// One batch attempt at a fixed queue count. Buffer sets are released on
+/// success *and* failure so an aborted attempt never leaks device memory
+/// into a degraded retry.
+fn run_frames_attempt(
+    prog: &OpenClProgram,
+    device: &mut Device,
+    frames: &[Vec<NdArray<i64>>],
+    opts: OpenClPipelineOptions,
+    lanes: usize,
+) -> Result<Vec<Vec<NdArray<i64>>>, GaspardError> {
     let mut queues = vec![StreamId::DEFAULT];
     while queues.len() < lanes {
         queues.push(device.create_stream());
@@ -161,6 +195,34 @@ pub fn run_opencl_frames(
     let mut buffer_sets: Vec<Vec<Option<BufferId>>> =
         vec![vec![None; prog.model.arrays.len()]; lanes];
 
+    let run = exec_frames_on_queues(prog, device, frames, opts, lanes, &queues, &mut buffer_sets);
+
+    for set in buffer_sets {
+        for buf in set.into_iter().flatten() {
+            let freed = device.free(buf);
+            if run.is_ok() {
+                // On the error path the original failure wins; frees of
+                // just-allocated buffers cannot themselves fail.
+                freed?;
+            }
+        }
+    }
+    device.synchronize();
+    run
+}
+
+/// The frame loop of one attempt: execute the supplied frames round-robin
+/// over `lanes` buffer sets, then replay frame 0's measured spans out to
+/// `total_frames`.
+fn exec_frames_on_queues(
+    prog: &OpenClProgram,
+    device: &mut Device,
+    frames: &[Vec<NdArray<i64>>],
+    opts: OpenClPipelineOptions,
+    lanes: usize,
+    queues: &[StreamId],
+    buffer_sets: &mut [Vec<Option<BufferId>>],
+) -> Result<Vec<Vec<NdArray<i64>>>, GaspardError> {
     let mut outputs = Vec::with_capacity(frames.len());
     let mut frame_ops: Vec<(String, OpClass, f64)> = Vec::new();
     for (f, inputs) in frames.iter().enumerate() {
@@ -185,13 +247,6 @@ pub fn run_opencl_frames(
             device.replay_on(name, *class, *us, queues[lane])?;
         }
     }
-
-    for set in buffer_sets {
-        for buf in set.into_iter().flatten() {
-            device.free(buf)?;
-        }
-    }
-    device.synchronize();
     Ok(outputs)
 }
 
@@ -340,13 +395,58 @@ mod tests {
             &prog,
             &mut replay,
             &queue_frames(2),
-            OpenClPipelineOptions { queues: 2, total_frames: 6 },
+            OpenClPipelineOptions { queues: 2, total_frames: 6, ..Default::default() },
         )
         .unwrap();
 
         assert_eq!(outs.len(), 2);
         assert_eq!(replay.now_us(), full.now_us());
         assert_eq!(replay.profiler.spans().count(), full.profiler.spans().count());
+    }
+
+    #[test]
+    fn oom_batch_degrades_queues_and_completes() {
+        let prog = compiled();
+        let frames = queue_frames(6);
+
+        // Per-queue footprint, measured on an unconstrained device.
+        let mut probe = Device::gtx480();
+        let expect = run_opencl_frames(
+            &prog,
+            &mut probe,
+            &frames,
+            OpenClPipelineOptions { queues: 1, ..Default::default() },
+        )
+        .unwrap();
+        let per_queue = probe.peak_allocated_bytes();
+        assert!(per_queue > 0);
+
+        // Room for two queues but not four: naive fails, degrading completes
+        // with bit-identical outputs and a recorded downgrade.
+        let cfg = simgpu::DeviceConfig::toy(per_queue * 2);
+        let mut naive = Device::new(cfg.clone(), simgpu::Calibration::gtx480());
+        let err = run_opencl_frames(
+            &prog,
+            &mut naive,
+            &frames,
+            OpenClPipelineOptions { queues: 4, ..Default::default() },
+        );
+        assert!(
+            matches!(err, Err(GaspardError::Sim(simgpu::SimError::OutOfMemory { .. }))),
+            "{err:?}"
+        );
+
+        let mut degraded = Device::new(cfg, simgpu::Calibration::gtx480());
+        let outs = run_opencl_frames(
+            &prog,
+            &mut degraded,
+            &frames,
+            OpenClPipelineOptions { queues: 4, degrade_on_oom: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(outs, expect);
+        assert_eq!(degraded.allocated_bytes(), 0);
+        assert!(degraded.profiler.notes().any(|n| n.contains("degraded")));
     }
 
     #[test]

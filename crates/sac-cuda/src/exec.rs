@@ -242,6 +242,15 @@ pub struct PipelineOptions {
     /// which holds for every pipeline in this workspace. `0` means
     /// `frames.len()`.
     pub total_frames: usize,
+    /// When a batch attempt fails with [`simgpu::SimError::OutOfMemory`],
+    /// release that attempt's device buffers, halve the number of stream
+    /// lanes and retry the whole batch instead of failing — the degradation
+    /// ladder `streams → streams/2 → … → 1`. Each downgrade is surfaced as a
+    /// profiler note, and the failed attempt's simulated time stays charged
+    /// (a real runtime pays for the work it abandons). Results are
+    /// bit-identical at any lane count, so degradation only trades makespan
+    /// for footprint. Off by default.
+    pub degrade_on_oom: bool,
 }
 
 /// Execute a batch of frames with multi-stream double buffering.
@@ -258,6 +267,10 @@ pub struct PipelineOptions {
 /// covering all `total_frames` (replayed frames contribute their counters
 /// and profiler records but no arrays). The device is synchronized on
 /// return, so `device.now_us()` is the batch makespan.
+///
+/// With [`PipelineOptions::degrade_on_oom`] set, an `OutOfMemory` failure
+/// restarts the batch at half the stream lanes (down to 1) instead of
+/// propagating; the downgrade is recorded as a profiler note.
 pub fn run_frames_pipelined(
     prog: &CudaProgram,
     device: &mut Device,
@@ -267,7 +280,34 @@ pub fn run_frames_pipelined(
     if frames.is_empty() {
         return Ok((Vec::new(), RunStats::default()));
     }
-    let lanes = opts.streams.max(1);
+    let mut lanes = opts.streams.max(1);
+    loop {
+        match run_frames_attempt(prog, device, frames, opts, lanes) {
+            Err(CudaError::Sim(simgpu::SimError::OutOfMemory { .. }))
+                if opts.degrade_on_oom && lanes > 1 =>
+            {
+                let next = lanes / 2;
+                device.profiler.note(format!(
+                    "degraded: out of device memory at {lanes} stream lanes, \
+                     retrying batch with {next}"
+                ));
+                lanes = next;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// One batch attempt at a fixed lane count. Buffer sets are released on
+/// success *and* failure so an aborted attempt never leaks device memory
+/// into a degraded retry.
+fn run_frames_attempt(
+    prog: &CudaProgram,
+    device: &mut Device,
+    frames: &[Vec<NdArray<i64>>],
+    opts: PipelineOptions,
+    lanes: usize,
+) -> Result<(Vec<NdArray<i64>>, RunStats), CudaError> {
     let mut streams = vec![StreamId::DEFAULT];
     while streams.len() < lanes {
         streams.push(device.create_stream());
@@ -275,6 +315,34 @@ pub fn run_frames_pipelined(
     let mut buffer_sets: Vec<Vec<Option<BufferId>>> =
         vec![vec![None; prog.flat.arrays.len()]; lanes];
 
+    let run = exec_frames_on_lanes(prog, device, frames, opts, lanes, &streams, &mut buffer_sets);
+
+    for set in buffer_sets {
+        for buf in set.into_iter().flatten() {
+            let freed = device.free(buf);
+            if run.is_ok() {
+                // On the error path the original failure wins; frees of
+                // just-allocated buffers cannot themselves fail.
+                freed?;
+            }
+        }
+    }
+    device.synchronize();
+    run
+}
+
+/// The frame loop of one attempt: execute the supplied frames round-robin
+/// over `lanes` buffer sets, then replay frame 0's measured spans out to
+/// `total_frames`.
+fn exec_frames_on_lanes(
+    prog: &CudaProgram,
+    device: &mut Device,
+    frames: &[Vec<NdArray<i64>>],
+    opts: PipelineOptions,
+    lanes: usize,
+    streams: &[StreamId],
+    buffer_sets: &mut [Vec<Option<BufferId>>],
+) -> Result<(Vec<NdArray<i64>>, RunStats), CudaError> {
     let mut outputs = Vec::with_capacity(frames.len());
     let mut stats = RunStats::default();
     let mut frame_ops: Vec<(String, OpClass, f64)> = Vec::new();
@@ -305,13 +373,6 @@ pub fn run_frames_pipelined(
         }
         stats.accumulate(&frame_stats);
     }
-
-    for set in buffer_sets {
-        for buf in set.into_iter().flatten() {
-            device.free(buf)?;
-        }
-    }
-    device.synchronize();
     Ok((outputs, stats))
 }
 
@@ -589,6 +650,54 @@ int[*] main(int[8,16] a)
         assert_eq!(stats.launches, 6);
         assert_eq!(replay.now_us(), full.now_us());
         assert_eq!(replay.profiler.spans().count(), full.profiler.spans().count());
+    }
+
+    #[test]
+    fn oom_batch_degrades_lanes_and_completes() {
+        let prog = compile(PIPE_SRC, &[vec![8, 16]]);
+        let frames = pipe_frames(6);
+
+        // Measure the per-lane device footprint on an unconstrained device.
+        let mut probe = Device::gtx480();
+        let (expect, _) = run_frames_pipelined(
+            &prog,
+            &mut probe,
+            &frames,
+            PipelineOptions { streams: 1, ..Default::default() },
+        )
+        .unwrap();
+        let per_lane = probe.peak_allocated_bytes();
+        assert!(per_lane > 0);
+
+        // A device with room for two lanes but not four: the naive 4-stream
+        // batch dies with OutOfMemory...
+        let cfg = simgpu::DeviceConfig::toy(per_lane * 2);
+        let mut naive = Device::new(cfg.clone(), simgpu::Calibration::gtx480());
+        let err = run_frames_pipelined(
+            &prog,
+            &mut naive,
+            &frames,
+            PipelineOptions { streams: 4, ..Default::default() },
+        );
+        assert!(
+            matches!(err, Err(CudaError::Sim(simgpu::SimError::OutOfMemory { .. }))),
+            "{err:?}"
+        );
+
+        // ...while the degrading batch completes at reduced lanes with
+        // bit-identical outputs, and reports the downgrade.
+        let mut degraded = Device::new(cfg, simgpu::Calibration::gtx480());
+        let (outs, _) = run_frames_pipelined(
+            &prog,
+            &mut degraded,
+            &frames,
+            PipelineOptions { streams: 4, degrade_on_oom: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(outs, expect);
+        assert_eq!(degraded.allocated_bytes(), 0);
+        let notes: Vec<&str> = degraded.profiler.notes().collect();
+        assert!(notes.iter().any(|n| n.contains("degraded")), "{notes:?}");
     }
 
     #[test]

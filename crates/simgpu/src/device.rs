@@ -6,6 +6,7 @@ use crate::exec::{run_kernel, LaunchConfig, LaunchStats};
 use crate::kir::{Kernel, KernelArg};
 use crate::profiler::{OpClass, Profiler};
 use crate::SimError;
+use std::collections::BTreeMap;
 
 /// Static description of a simulated GPU.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +80,75 @@ impl StreamId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(pub usize);
 
+/// Size-class pooling allocator over device memory.
+///
+/// Freed buffers are cached in bins keyed by their power-of-two size class
+/// instead of returning to the (simulated) driver; a later allocation of the
+/// same class pops a cached block — a host-side pointer swap that costs no
+/// simulated time and skips the Fermi `cudaMalloc` device-sync entirely. The
+/// price is internal fragmentation (a request is charged its class size, not
+/// its exact size) and a cache that still occupies device memory: under
+/// memory pressure the device evicts cached blocks back to the driver,
+/// largest class first, before declaring out-of-memory.
+///
+/// Disabled by default — the naive allocate/free behaviour (and with it,
+/// every previously calibrated experiment) is untouched until
+/// [`Device::set_pool_enabled`] opts in.
+#[derive(Debug, Clone, Default)]
+pub struct MemPool {
+    enabled: bool,
+    /// Cached blocks keyed by size class (elements; always a power of two).
+    bins: BTreeMap<usize, Vec<Vec<i32>>>,
+    cached_bytes: usize,
+}
+
+impl MemPool {
+    /// Size class (in elements) serving a request of `len` elements: the next
+    /// power of two. `None` when the class overflows `usize`.
+    pub fn class_len(len: usize) -> Option<usize> {
+        len.max(1).checked_next_power_of_two()
+    }
+
+    /// Whether pooling is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Bytes held by cached (freed, not yet evicted) blocks.
+    pub fn cached_bytes(&self) -> usize {
+        self.cached_bytes
+    }
+
+    /// Number of cached blocks across all bins.
+    pub fn cached_blocks(&self) -> usize {
+        self.bins.values().map(Vec::len).sum()
+    }
+
+    /// Pop a cached block of exactly `class_len` elements, if any.
+    fn take(&mut self, class_len: usize) -> Option<Vec<i32>> {
+        let bin = self.bins.get_mut(&class_len)?;
+        let block = bin.pop()?;
+        if bin.is_empty() {
+            self.bins.remove(&class_len);
+        }
+        self.cached_bytes -= class_len * 4;
+        Some(block)
+    }
+
+    /// Cache a freed block under `class_len`.
+    fn put(&mut self, class_len: usize, block: Vec<i32>) {
+        self.cached_bytes += class_len * 4;
+        self.bins.entry(class_len).or_default().push(block);
+    }
+
+    /// Evict one cached block, largest class first; returns its byte size.
+    fn evict_one(&mut self) -> Option<usize> {
+        let &class_len = self.bins.keys().next_back()?;
+        self.take(class_len)?;
+        Some(class_len * 4)
+    }
+}
+
 /// A simulated GPU: device memory, a kernel execution engine, a calibrated
 /// clock and a profiler.
 ///
@@ -113,7 +183,11 @@ pub struct Device {
     config: DeviceConfig,
     calib: Calibration,
     buffers: Vec<Option<Vec<i32>>>,
+    /// Bytes charged against device memory per slot (the size class with
+    /// pooling on, the exact size otherwise).
+    buffer_bytes: Vec<usize>,
     free_slots: Vec<usize>,
+    pool: MemPool,
     allocated_bytes: usize,
     peak_allocated_bytes: usize,
     /// Host-visible simulated clock: advanced by blocking (synchronous)
@@ -138,7 +212,9 @@ impl Device {
             config,
             calib,
             buffers: Vec::new(),
+            buffer_bytes: Vec::new(),
             free_slots: Vec::new(),
+            pool: MemPool::default(),
             allocated_bytes: 0,
             peak_allocated_bytes: 0,
             sim_time_us: 0.0,
@@ -284,48 +360,162 @@ impl Device {
         Ok(())
     }
 
-    /// Bytes of device memory currently allocated.
+    /// Bytes of device memory held by live buffers.
     pub fn allocated_bytes(&self) -> usize {
         self.allocated_bytes
     }
 
-    /// High-water mark of device memory over the device's lifetime — the
-    /// footprint measure behind WLF's "renders allocation of intermediate
-    /// arrays in memory unnecessary".
+    /// Bytes of device memory occupied overall: live buffers plus blocks the
+    /// pool has cached for reuse (cached blocks are real device memory — the
+    /// driver has not seen them freed).
+    pub fn footprint_bytes(&self) -> usize {
+        self.allocated_bytes + self.pool.cached_bytes
+    }
+
+    /// High-water mark of [`Device::footprint_bytes`] over the device's
+    /// lifetime — the footprint measure behind WLF's "renders allocation of
+    /// intermediate arrays in memory unnecessary".
     pub fn peak_allocated_bytes(&self) -> usize {
         self.peak_allocated_bytes
     }
 
-    /// Allocate a buffer of `len` 32-bit elements (zero-initialised, as a
-    /// deterministic stand-in for `cudaMalloc`).
-    pub fn malloc(&mut self, len: usize) -> Result<BufferId, SimError> {
-        let bytes = len * 4;
-        if self.allocated_bytes + bytes > self.config.global_mem_bytes {
-            return Err(SimError::OutOfMemory {
-                requested: bytes,
-                available: self.config.global_mem_bytes - self.allocated_bytes,
-            });
+    /// The pooling allocator (read-only).
+    pub fn pool(&self) -> &MemPool {
+        &self.pool
+    }
+
+    /// Enable or disable the size-class pooling allocator. Disabling first
+    /// trims every cached block back to the driver (charging per-block
+    /// `cudaFree` when calibrated), so naive and pooled runs never share
+    /// hidden state.
+    pub fn set_pool_enabled(&mut self, enabled: bool) {
+        if !enabled {
+            self.trim_pool();
         }
+        self.pool.enabled = enabled;
+    }
+
+    /// Release every pool-cached block back to the driver.
+    pub fn trim_pool(&mut self) {
+        self.trim_pool_to(0);
+    }
+
+    /// Evict cached blocks (largest class first) until at most
+    /// `target_bytes` remain cached, charging one `cudaFree` per eviction.
+    fn trim_pool_to(&mut self, target_bytes: usize) {
+        while self.pool.cached_bytes > target_bytes {
+            if self.pool.evict_one().is_none() {
+                break;
+            }
+            self.profiler.alloc.evictions += 1;
+            self.charge_driver_call("cudaFree", self.calib.free_us);
+        }
+        self.note_footprint();
+    }
+
+    /// A synchronizing driver call (Fermi `cudaMalloc`/`cudaFree`): when the
+    /// calibrated cost is non-zero, every stream is drained — malloc on Fermi
+    /// is an implicit `cudaDeviceSynchronize` — and the call blocks the host
+    /// for `us`. At zero cost the call is free *and invisible*: no sync, no
+    /// profiler record, so zero-cost calibrations reproduce the pre-costed
+    /// timelines bit-for-bit.
+    fn charge_driver_call(&mut self, name: &str, us: f64) {
+        if us > 0.0 {
+            self.synchronize();
+            self.charge_host(name, us);
+        }
+    }
+
+    /// Update footprint watermarks (device + profiler observation window).
+    fn note_footprint(&mut self) {
+        let footprint = self.footprint_bytes();
+        self.peak_allocated_bytes = self.peak_allocated_bytes.max(footprint);
+        self.profiler.alloc.current_bytes = footprint;
+        self.profiler.alloc.peak_bytes = self.profiler.alloc.peak_bytes.max(footprint);
+    }
+
+    /// Place `data` in a buffer slot, charging `bytes` against device memory.
+    fn install(&mut self, data: Vec<i32>, bytes: usize) -> BufferId {
         self.allocated_bytes += bytes;
-        self.peak_allocated_bytes = self.peak_allocated_bytes.max(self.allocated_bytes);
-        let data = vec![0i32; len];
         let id = if let Some(slot) = self.free_slots.pop() {
             self.buffers[slot] = Some(data);
+            self.buffer_bytes[slot] = bytes;
             slot
         } else {
             self.buffers.push(Some(data));
+            self.buffer_bytes.push(bytes);
             self.buffers.len() - 1
         };
-        Ok(BufferId(id))
+        self.note_footprint();
+        BufferId(id)
+    }
+
+    /// Allocate a buffer of `len` 32-bit elements (zero-initialised, as a
+    /// deterministic stand-in for `cudaMalloc`).
+    ///
+    /// With pooling enabled the request is rounded up to its power-of-two
+    /// size class and served from the cache when a block of that class is
+    /// available — a pool hit is a host-side pointer pop that charges no
+    /// simulated time. Requests that reach the (simulated) driver charge
+    /// [`Calibration::malloc_us`] and device-synchronize all streams first,
+    /// as `cudaMalloc` does on Fermi; under memory pressure, pool-cached
+    /// blocks are evicted (largest class first) before giving up with
+    /// [`SimError::OutOfMemory`].
+    pub fn malloc(&mut self, len: usize) -> Result<BufferId, SimError> {
+        let bytes = if self.pool.enabled {
+            MemPool::class_len(len).and_then(|class| class.checked_mul(4))
+        } else {
+            len.checked_mul(4)
+        }
+        .ok_or(SimError::AllocTooLarge { len })?;
+
+        if self.pool.enabled {
+            if let Some(mut block) = self.pool.take(bytes / 4) {
+                // Recycled blocks come back zeroed, exactly like a fresh
+                // malloc, so pooled and naive runs stay bit-identical.
+                block.clear();
+                block.resize(len, 0);
+                self.profiler.alloc.pool_hits += 1;
+                return Ok(self.install(block, bytes));
+            }
+            self.profiler.alloc.pool_misses += 1;
+        }
+
+        if self.footprint_bytes() + bytes > self.config.global_mem_bytes {
+            let target = self.config.global_mem_bytes.saturating_sub(self.allocated_bytes + bytes);
+            self.trim_pool_to(target);
+        }
+        if self.footprint_bytes() + bytes > self.config.global_mem_bytes {
+            return Err(SimError::OutOfMemory {
+                requested: bytes,
+                available: self.config.global_mem_bytes.saturating_sub(self.footprint_bytes()),
+            });
+        }
+        self.charge_driver_call("cudaMalloc", self.calib.malloc_us);
+        self.profiler.alloc.mallocs += 1;
+        Ok(self.install(vec![0i32; len], bytes))
     }
 
     /// Release a buffer.
+    ///
+    /// With pooling enabled the block is cached in its size-class bin for
+    /// reuse — no driver call, no simulated time. Otherwise it returns to
+    /// the driver, charging [`Calibration::free_us`] (with the Fermi device
+    /// sync) when calibrated.
     pub fn free(&mut self, id: BufferId) -> Result<(), SimError> {
         match self.buffers.get_mut(id.0) {
             Some(slot @ Some(_)) => {
-                self.allocated_bytes -= slot.as_ref().unwrap().len() * 4;
-                *slot = None;
+                let block = slot.take().expect("matched Some above");
+                let bytes = self.buffer_bytes[id.0];
+                self.allocated_bytes -= bytes;
                 self.free_slots.push(id.0);
+                self.profiler.alloc.frees += 1;
+                if self.pool.enabled {
+                    self.pool.put(bytes / 4, block);
+                } else {
+                    self.charge_driver_call("cudaFree", self.calib.free_us);
+                }
+                self.note_footprint();
                 Ok(())
             }
             _ => Err(SimError::UnknownBuffer { id: id.0 }),
@@ -407,6 +597,12 @@ impl Device {
     }
 
     /// Asynchronous chunked upload on `stream`.
+    ///
+    /// Chunking rule: `chunks` is honoured only when it is greater than 1
+    /// *and* divides `host.len()` exactly; any other request degrades to a
+    /// single chunk. Because that changes the profiled op count, the
+    /// downgrade is recorded as a profiler note rather than happening
+    /// silently.
     pub fn host2device_chunked_on(
         &mut self,
         host: &[i32],
@@ -415,22 +611,36 @@ impl Device {
         stream: StreamId,
     ) -> Result<(), SimError> {
         self.stream_tail(stream)?;
-        let chunks = if chunks > 1 && host.len().is_multiple_of(chunks) { chunks } else { 1 };
-        let buf = self
-            .buffers
-            .get_mut(id.0)
-            .and_then(|b| b.as_mut())
-            .ok_or(SimError::UnknownBuffer { id: id.0 })?;
-        if buf.len() != host.len() {
-            return Err(SimError::TransferSize { host: host.len(), device: buf.len() });
+        let dev_len = self.buffer_len(id)?;
+        if dev_len != host.len() {
+            return Err(SimError::TransferSize { host: host.len(), device: dev_len });
         }
-        buf.copy_from_slice(host);
+        let chunks = self.effective_chunks(host.len(), chunks);
         let bytes = host.len() * 4 / chunks;
         for _ in 0..chunks {
             let us = self.calib.transfer_time_us(bytes, Direction::HostToDevice);
             self.schedule_on("memcpyHtoDasync", OpClass::H2D, stream, us)?;
         }
+        // Commit the functional copy only after every check and schedule
+        // succeeded: a failed upload never leaves the buffer contents and the
+        // charged timeline disagreeing.
+        self.buffers[id.0].as_mut().expect("validated above").copy_from_slice(host);
         Ok(())
+    }
+
+    /// The chunking rule shared by both chunked transfers, with the
+    /// `chunks -> 1` downgrade surfaced as a profiler note.
+    fn effective_chunks(&mut self, len: usize, chunks: usize) -> usize {
+        if chunks <= 1 {
+            1
+        } else if len.is_multiple_of(chunks) {
+            chunks
+        } else {
+            self.profiler.note(format!(
+                "chunked transfer fell back to 1 chunk: length {len} is not divisible by {chunks}"
+            ));
+            1
+        }
     }
 
     /// Chunked counterpart of [`Device::device2host`].
@@ -447,6 +657,10 @@ impl Device {
     /// Asynchronous chunked readback on `stream`. The returned data is the
     /// buffer contents at enqueue time; the host clock is not advanced —
     /// synchronise the stream before *using* the data at a simulated time.
+    ///
+    /// Chunking follows the same rule as [`Device::host2device_chunked_on`]:
+    /// honoured only when `chunks > 1` divides the length exactly, with the
+    /// downgrade to a single chunk recorded as a profiler note.
     pub fn device2host_chunked_on(
         &mut self,
         id: BufferId,
@@ -455,7 +669,7 @@ impl Device {
     ) -> Result<Vec<i32>, SimError> {
         self.stream_tail(stream)?;
         let len = self.buffer_len(id)?;
-        let chunks = if chunks > 1 && len % chunks == 0 { chunks } else { 1 };
+        let chunks = self.effective_chunks(len, chunks);
         let out = self
             .buffers
             .get(id.0)
@@ -571,6 +785,133 @@ mod tests {
         d.free(b).unwrap();
         d.free(c).unwrap();
         assert!(d.free(c).is_err());
+    }
+
+    #[test]
+    fn overflowing_malloc_is_rejected_not_wrapped() {
+        // len * 4 would wrap in release mode and pass the capacity check; the
+        // checked path must reject it before `vec![0; len]` aborts.
+        let mut d = Device::new(DeviceConfig::toy(1024), Calibration::zero());
+        let err = d.malloc(usize::MAX / 2);
+        assert!(matches!(err, Err(SimError::AllocTooLarge { .. })), "{err:?}");
+        assert_eq!(d.allocated_bytes(), 0);
+        // Same guard with pooling (the size class itself can overflow).
+        d.set_pool_enabled(true);
+        assert!(matches!(d.malloc(usize::MAX - 1), Err(SimError::AllocTooLarge { .. })));
+    }
+
+    #[test]
+    fn pool_reuses_freed_blocks() {
+        let mut d = Device::new(DeviceConfig::toy(4096), Calibration::zero());
+        d.set_pool_enabled(true);
+        let a = d.malloc(100).unwrap(); // class 128 -> 512 B charged
+        assert_eq!(d.allocated_bytes(), 512);
+        d.poke(a, &vec![7; 100]).unwrap();
+        d.free(a).unwrap();
+        // Freed block is cached, not returned to the driver.
+        assert_eq!(d.allocated_bytes(), 0);
+        assert_eq!(d.pool().cached_bytes(), 512);
+        assert_eq!(d.footprint_bytes(), 512);
+        // Same class (even a different length) is a hit and comes back zeroed.
+        let b = d.malloc(128).unwrap();
+        assert!(d.peek(b).unwrap().iter().all(|&v| v == 0));
+        assert_eq!(d.pool().cached_bytes(), 0);
+        let st = &d.profiler.alloc;
+        assert_eq!((st.mallocs, st.frees, st.pool_hits, st.pool_misses), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn pool_evicts_under_pressure_before_oom() {
+        let mut d = Device::new(DeviceConfig::toy(2048), Calibration::zero());
+        d.set_pool_enabled(true);
+        let a = d.malloc(256).unwrap(); // 1024 B
+        d.free(a).unwrap(); // cached
+        assert_eq!(d.pool().cached_bytes(), 1024);
+        // 512 elements = 2048 B: only fits if the cached block is evicted.
+        let b = d.malloc(512).unwrap();
+        assert_eq!(d.pool().cached_bytes(), 0);
+        assert_eq!(d.profiler.alloc.evictions, 1);
+        assert_eq!(d.allocated_bytes(), 2048);
+        // And a request that cannot fit even after trimming still errors.
+        assert!(matches!(d.malloc(1), Err(SimError::OutOfMemory { .. })));
+        d.free(b).unwrap();
+    }
+
+    #[test]
+    fn malloc_charges_calibrated_cost_and_synchronizes() {
+        let mut d = Device::new(DeviceConfig::gtx480(), Calibration::gtx480_alloc());
+        let malloc_us = d.calibration().malloc_us;
+        // Pending async work on a second stream...
+        let s = d.create_stream();
+        d.charge_host_on("producer", 500.0, s).unwrap();
+        assert_eq!(d.now_us(), 0.0);
+        // ...is drained by the Fermi-style device-sync in cudaMalloc.
+        let buf = d.malloc(16).unwrap();
+        assert_eq!(d.now_us(), 500.0 + malloc_us);
+        let rec = d.profiler.records().find(|r| r.name == "cudaMalloc").unwrap();
+        assert_eq!(rec.calls, 1);
+        // cudaFree charges and records too.
+        d.free(buf).unwrap();
+        assert_eq!(d.now_us(), 500.0 + malloc_us + d.calibration().free_us);
+        assert!(d.profiler.records().any(|r| r.name == "cudaFree"));
+    }
+
+    #[test]
+    fn pool_hits_charge_nothing() {
+        let mut d = Device::new(DeviceConfig::gtx480(), Calibration::gtx480_alloc());
+        d.set_pool_enabled(true);
+        let a = d.malloc(64).unwrap(); // miss: pays cudaMalloc
+        let after_miss = d.now_us();
+        assert!(after_miss > 0.0);
+        d.free(a).unwrap(); // cached: no cudaFree
+        assert_eq!(d.now_us(), after_miss);
+        let b = d.malloc(64).unwrap(); // hit: free
+        assert_eq!(d.now_us(), after_miss);
+        assert_eq!(d.profiler.alloc.pool_hits, 1);
+        d.free(b).unwrap();
+    }
+
+    #[test]
+    fn zero_cost_allocation_is_invisible() {
+        // The paper calibration charges no allocation: no clock movement, no
+        // profiler records, exactly the pre-costed behaviour.
+        let mut d = Device::gtx480();
+        let buf = d.malloc(100).unwrap();
+        d.free(buf).unwrap();
+        assert_eq!(d.now_us(), 0.0);
+        assert_eq!(d.profiler.records().count(), 0);
+        // Events are still counted for observability.
+        assert_eq!(d.profiler.alloc.mallocs, 1);
+        assert_eq!(d.profiler.alloc.frees, 1);
+    }
+
+    #[test]
+    fn failed_upload_leaves_buffer_and_timeline_untouched() {
+        let mut d = Device::gtx480();
+        let buf = d.malloc(4).unwrap();
+        d.poke(buf, &[9, 9, 9, 9]).unwrap();
+        // Size mismatch and unknown stream both fail before any mutation.
+        assert!(d.host2device(&[1, 2, 3], buf).is_err());
+        assert!(d.host2device_on(&[1, 2, 3, 4], buf, StreamId(7)).is_err());
+        assert_eq!(d.peek(buf).unwrap(), &[9, 9, 9, 9]);
+        assert_eq!(d.profiler.records().count(), 0);
+        assert_eq!(d.now_us(), 0.0);
+    }
+
+    #[test]
+    fn chunk_fallback_is_noted_not_silent() {
+        let mut d = Device::gtx480();
+        let buf = d.malloc(10).unwrap();
+        // 10 elements cannot split into 3 equal chunks: one transfer, one note.
+        d.host2device_chunked(&[0; 10], buf, 3).unwrap();
+        let rec = d.profiler.records().find(|r| r.name == "memcpyHtoDasync").unwrap();
+        assert_eq!(rec.calls, 1);
+        let notes: Vec<&str> = d.profiler.notes().collect();
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("fell back to 1 chunk"), "{notes:?}");
+        // The divisible case is honoured without a note.
+        d.device2host_chunked(buf, 2).unwrap();
+        assert_eq!(d.profiler.notes().count(), 1);
     }
 
     #[test]

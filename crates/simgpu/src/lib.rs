@@ -35,10 +35,10 @@ pub mod profiler;
 pub mod runtime;
 
 pub use cost::{Calibration, Engine};
-pub use device::{BufferId, Device, DeviceConfig, EventId, StreamId};
+pub use device::{BufferId, Device, DeviceConfig, EventId, MemPool, StreamId};
 pub use exec::{LaunchConfig, LaunchStats};
 pub use kir::{BinOp, Instr, Kernel, KernelArg, KernelFlavor, Param, Reg, Special};
-pub use profiler::{OpClass, Profiler, Record, Span};
+pub use profiler::{AllocStats, OpClass, Profiler, Record, Span};
 pub use runtime::GpuRuntime;
 
 /// Errors raised by the simulator.
@@ -59,6 +59,10 @@ pub enum SimError {
     DivByZero { kernel: String },
     /// Device memory exhausted.
     OutOfMemory { requested: usize, available: usize },
+    /// An allocation request so large its byte size (or size class) does not
+    /// fit the address space — caught before it can wrap and masquerade as a
+    /// small allocation.
+    AllocTooLarge { len: usize },
     /// Host/device size mismatch on a transfer.
     TransferSize { host: usize, device: usize },
     /// A stream id was never created on this device.
@@ -87,6 +91,9 @@ impl std::fmt::Display for SimError {
             SimError::DivByZero { kernel } => write!(f, "kernel '{kernel}': division by zero"),
             SimError::OutOfMemory { requested, available } => {
                 write!(f, "device out of memory: requested {requested} B, available {available} B")
+            }
+            SimError::AllocTooLarge { len } => {
+                write!(f, "allocation of {len} elements overflows the address space")
             }
             SimError::TransferSize { host, device } => {
                 write!(f, "transfer size mismatch: host {host} elements, device {device}")

@@ -107,6 +107,45 @@ impl Span {
     }
 }
 
+/// Device-memory allocation counters for one run.
+///
+/// The device updates these on every `malloc`/`free`; [`Profiler::reset`]
+/// clears them for a fresh run without touching the device's own allocation
+/// accounting (memory stays allocated across a stat reset — only the
+/// observation window restarts).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AllocStats {
+    /// Allocations that reached the (simulated) driver: naive mallocs plus
+    /// pool misses. Pool hits are *not* counted here.
+    pub mallocs: u64,
+    /// Buffer releases: driver frees plus returns to the pool.
+    pub frees: u64,
+    /// Allocation requests served from the pool cache.
+    pub pool_hits: u64,
+    /// Allocation requests the pool could not serve (fell through to the
+    /// driver). Zero when pooling is disabled — misses only count against an
+    /// active pool.
+    pub pool_misses: u64,
+    /// Pool-cached blocks evicted back to the driver under memory pressure.
+    pub evictions: u64,
+    /// Device footprint (live + pool-cached bytes) after the last event.
+    pub current_bytes: usize,
+    /// High-water footprint over the observation window.
+    pub peak_bytes: usize,
+}
+
+impl AllocStats {
+    /// Pool hit rate in percent (0 when no pooled request was seen).
+    pub fn hit_rate_percent(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64 * 100.0
+        }
+    }
+}
+
 /// Collects operation records for one experiment run.
 ///
 /// Records are keyed by `(name, class)` so an operation name reused across
@@ -116,6 +155,9 @@ impl Span {
 pub struct Profiler {
     records: BTreeMap<(String, OpClass), Record>,
     spans: Vec<Span>,
+    /// Allocation counters for the current run (see [`AllocStats`]).
+    pub alloc: AllocStats,
+    notes: Vec<String>,
 }
 
 impl Profiler {
@@ -169,23 +211,45 @@ impl Profiler {
         self.records.values().filter(|r| r.class == class).map(|r| r.total_us).sum()
     }
 
-    /// Forget everything.
+    /// Attach a free-form observation to the run (a degraded transfer, an
+    /// OOM retry). Notes are part of the run's report, not of its timing:
+    /// recording one never changes any simulated clock or record.
+    pub fn note(&mut self, msg: impl Into<String>) {
+        self.notes.push(msg.into());
+    }
+
+    /// Notes recorded this run, in order.
+    pub fn notes(&self) -> impl Iterator<Item = &str> {
+        self.notes.iter().map(String::as_str)
+    }
+
+    /// Forget everything (records, spans, allocation stats, notes) — the
+    /// per-run stat reset.
     pub fn reset(&mut self) {
         self.records.clear();
         self.spans.clear();
+        self.alloc = AllocStats::default();
+        self.notes.clear();
     }
 
     /// Multiply every record's call count and time by `factor` — used to
     /// extrapolate a single simulated frame to an N-frame run (per-frame cost
     /// is content-independent under the cost model, so this is exact for
-    /// *serialized* runs). Timeline spans are left untouched: extrapolating
-    /// an overlapped timeline requires rescheduling, not scaling — use the
-    /// executors' replay support for that.
+    /// *serialized* runs). Allocation event counters scale the same way;
+    /// byte watermarks do not (the footprint of one frame is the footprint
+    /// of N). Timeline spans are left untouched: extrapolating an overlapped
+    /// timeline requires rescheduling, not scaling — use the executors'
+    /// replay support for that.
     pub fn scale(&mut self, factor: u64) {
         for r in self.records.values_mut() {
             r.calls *= factor;
             r.total_us *= factor as f64;
         }
+        self.alloc.mallocs *= factor;
+        self.alloc.frees *= factor;
+        self.alloc.pool_hits *= factor;
+        self.alloc.pool_misses *= factor;
+        self.alloc.evictions *= factor;
     }
 
     /// Timeline makespan: the latest span completion time, µs (0 when no
@@ -273,6 +337,14 @@ impl Profiler {
             makespan,
             self.overlap_percent()
         ));
+        if self.alloc.mallocs + self.alloc.pool_hits > 0 {
+            out.push_str(&format!(
+                "alloc: {} mallocs, pool hit {:.1}%, peak {} B\n",
+                self.alloc.mallocs,
+                self.alloc.hit_rate_percent(),
+                self.alloc.peak_bytes
+            ));
+        }
         let path = self.critical_path();
         if !path.is_empty() {
             out.push_str(&format!("critical path ({} ops): ", path.len()));
@@ -286,6 +358,31 @@ impl Profiler {
             }
             out.push_str(&names.join(" -> "));
             out.push('\n');
+        }
+        out
+    }
+
+    /// Render the allocation report: event counters, pool hit rate,
+    /// current/peak footprint, and any notes recorded during the run.
+    pub fn memory_table(&self) -> String {
+        let a = &self.alloc;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+            "Alloc", "mallocs", "frees", "hits", "misses", "evicted"
+        ));
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+            "", a.mallocs, a.frees, a.pool_hits, a.pool_misses, a.evictions
+        ));
+        out.push_str(&format!(
+            "pool hit rate {:.1}%, current {} B, peak {} B\n",
+            a.hit_rate_percent(),
+            a.current_bytes,
+            a.peak_bytes
+        ));
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
         }
         out
     }
@@ -489,5 +586,51 @@ mod tests {
         assert_eq!(p.total_us(), 1500.0);
         assert_eq!(p.spans().count(), 5);
         assert_eq!(p.makespan_us(), 480.0);
+    }
+
+    #[test]
+    fn alloc_stats_scale_and_reset() {
+        let mut p = Profiler::new();
+        p.alloc = AllocStats {
+            mallocs: 3,
+            frees: 3,
+            pool_hits: 6,
+            pool_misses: 2,
+            evictions: 1,
+            current_bytes: 4096,
+            peak_bytes: 8192,
+        };
+        assert!((p.alloc.hit_rate_percent() - 75.0).abs() < 1e-12);
+        p.scale(10);
+        assert_eq!(p.alloc.mallocs, 30);
+        assert_eq!(p.alloc.pool_hits, 60);
+        // Byte watermarks are footprints, not event counts.
+        assert_eq!(p.alloc.peak_bytes, 8192);
+        p.note("degraded");
+        p.reset();
+        assert_eq!(p.alloc, AllocStats::default());
+        assert_eq!(p.notes().count(), 0);
+    }
+
+    #[test]
+    fn memory_table_renders_counters_and_notes() {
+        let mut p = Profiler::new();
+        p.alloc = AllocStats {
+            mallocs: 4,
+            pool_hits: 12,
+            pool_misses: 4,
+            peak_bytes: 1024,
+            ..AllocStats::default()
+        };
+        p.note("chunked transfer fell back to 1 chunk");
+        let t = p.memory_table();
+        assert!(t.contains("mallocs"), "{t}");
+        assert!(t.contains("pool hit rate 75.0%"), "{t}");
+        assert!(t.contains("note: chunked transfer fell back"), "{t}");
+    }
+
+    #[test]
+    fn empty_alloc_stats_have_zero_hit_rate() {
+        assert_eq!(AllocStats::default().hit_rate_percent(), 0.0);
     }
 }

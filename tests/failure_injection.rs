@@ -1,13 +1,17 @@
 //! Failure injection: every layer must surface faults as typed errors, never
 //! panics or silent corruption.
 
-use downscaler::pipelines::{build_gaspard, build_sac};
+use downscaler::pipelines::{
+    build_gaspard, build_sac, run_gaspard_batch, run_sac_batch, BatchOptions, PipelineError,
+};
 use downscaler::sac_src::{Part, Variant};
 use downscaler::{FrameGenerator, Scenario};
+use proptest::prelude::*;
 use sac_cuda::exec::{run_on_device, HostCost};
 use sac_lang::wir::{FlatGen, FlatProgram, FlatWith, Step, SymExpr};
-use simgpu::device::{Device, DeviceConfig};
+use simgpu::device::{BufferId, Device, DeviceConfig};
 use simgpu::Calibration;
+use std::collections::HashMap;
 
 /// A device too small for the frames: the run must fail with OutOfMemory and
 /// leave no partial simulated-time record inconsistencies.
@@ -38,6 +42,139 @@ fn gaspard_oom_is_reported() {
         matches!(err, Err(gaspard::GaspardError::Sim(simgpu::SimError::OutOfMemory { .. }))),
         "{err:?}"
     );
+}
+
+/// Double free: the second `free` returns `UnknownBuffer` and the allocated
+/// byte accounting stays exact — with the pool off and on.
+#[test]
+fn double_free_is_rejected_with_exact_accounting() {
+    for pool in [false, true] {
+        let mut d = Device::new(DeviceConfig::toy(1 << 20), Calibration::gtx480());
+        d.set_pool_enabled(pool);
+        let a = d.malloc(100).unwrap();
+        let b = d.malloc(100).unwrap();
+        let bytes_per = d.allocated_bytes() / 2;
+        assert!(bytes_per >= 400, "pool={pool}");
+
+        d.free(a).unwrap();
+        assert_eq!(d.allocated_bytes(), bytes_per, "pool={pool}");
+        let err = d.free(a);
+        assert!(matches!(err, Err(simgpu::SimError::UnknownBuffer { .. })), "pool={pool}: {err:?}");
+        // The rejected free changed no accounting.
+        assert_eq!(d.allocated_bytes(), bytes_per, "pool={pool}");
+        assert_eq!(d.profiler.alloc.frees, 1, "pool={pool}");
+
+        d.free(b).unwrap();
+        assert_eq!(d.allocated_bytes(), 0, "pool={pool}");
+        assert_eq!(d.profiler.alloc.frees, 2, "pool={pool}");
+    }
+}
+
+/// Mid-batch OOM with degradation enabled: the batch that dies under plain
+/// multi-stream settings completes at reduced lanes with results
+/// bit-identical to the 1-stream run, and reports the downgrade.
+#[test]
+fn mid_batch_oom_degrades_to_fewer_lanes() {
+    let s = Scenario::tiny(); // 2 frames: the second frame's lane OOMs
+    let seed = 9;
+    let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default()).unwrap();
+    let gasp = build_gaspard(&s).unwrap();
+
+    // SaC route.
+    let mut base = Device::gtx480();
+    let baseline = run_sac_batch(&s, &sac, &mut base, seed, BatchOptions::default()).unwrap();
+    let cfg = DeviceConfig::toy(base.peak_allocated_bytes()); // one lane fits
+    let two = BatchOptions { streams: 2, ..Default::default() };
+
+    let mut naive = Device::new(cfg.clone(), Calibration::gtx480());
+    let err = run_sac_batch(&s, &sac, &mut naive, seed, two);
+    assert!(
+        matches!(
+            err,
+            Err(PipelineError::Cuda(sac_cuda::CudaError::Sim(
+                simgpu::SimError::OutOfMemory { .. }
+            )))
+        ),
+        "{err:?}"
+    );
+
+    let mut deg = Device::new(cfg, Calibration::gtx480());
+    let outs =
+        run_sac_batch(&s, &sac, &mut deg, seed, BatchOptions { degrade_on_oom: true, ..two })
+            .unwrap();
+    assert_eq!(outs, baseline);
+    assert_eq!(deg.allocated_bytes(), 0);
+    assert!(deg.profiler.notes().any(|n| n.contains("degraded")));
+
+    // GASPARD route.
+    let mut base = Device::gtx480();
+    let baseline = run_gaspard_batch(&s, &gasp, &mut base, seed, BatchOptions::default()).unwrap();
+    let cfg = DeviceConfig::toy(base.peak_allocated_bytes());
+
+    let mut naive = Device::new(cfg.clone(), Calibration::gtx480());
+    let err = run_gaspard_batch(&s, &gasp, &mut naive, seed, two);
+    assert!(
+        matches!(
+            err,
+            Err(PipelineError::Gaspard(gaspard::GaspardError::Sim(
+                simgpu::SimError::OutOfMemory { .. }
+            )))
+        ),
+        "{err:?}"
+    );
+
+    let mut deg = Device::new(cfg, Calibration::gtx480());
+    let outs =
+        run_gaspard_batch(&s, &gasp, &mut deg, seed, BatchOptions { degrade_on_oom: true, ..two })
+            .unwrap();
+    assert_eq!(outs, baseline);
+    assert!(deg.profiler.notes().any(|n| n.contains("degraded")));
+}
+
+proptest! {
+    /// Pool hit/miss/cached-bytes accounting matches a naive replay of the
+    /// same malloc/free sequence over power-of-two size classes.
+    #[test]
+    fn pool_accounting_matches_naive_replay(
+        ops in proptest::collection::vec((1usize..64, any::<bool>()), 1..40)
+    ) {
+        // Huge capacity (no eviction interference), free timing.
+        let mut d = Device::new(DeviceConfig::toy(1 << 30), Calibration::zero());
+        d.set_pool_enabled(true);
+
+        let mut live: Vec<(BufferId, usize)> = Vec::new(); // (id, class_len)
+        let mut bins: HashMap<usize, usize> = HashMap::new(); // class_len -> cached
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let mut cached = 0usize;
+        for (len, free_oldest) in ops {
+            if free_oldest && !live.is_empty() {
+                let (id, class) = live.remove(0);
+                d.free(id).unwrap();
+                *bins.entry(class).or_insert(0) += 1;
+                cached += class * 4;
+            }
+            let class = len.next_power_of_two();
+            let id = d.malloc(len).unwrap();
+            match bins.get_mut(&class) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    cached -= class * 4;
+                    hits += 1;
+                }
+                _ => misses += 1,
+            }
+            live.push((id, class));
+        }
+
+        prop_assert_eq!(d.profiler.alloc.pool_hits, hits);
+        prop_assert_eq!(d.profiler.alloc.pool_misses, misses);
+        prop_assert_eq!(d.profiler.alloc.mallocs, misses);
+        prop_assert_eq!(d.pool().cached_bytes(), cached);
+        // Charged bytes equal the sum of live buffers' class sizes.
+        let expect_live: usize = live.iter().map(|(_, c)| c * 4).sum();
+        prop_assert_eq!(d.allocated_bytes(), expect_live);
+        prop_assert_eq!(d.footprint_bytes(), expect_live + cached);
+    }
 }
 
 /// A hand-built flat program with an out-of-bounds load: the kernel must
