@@ -14,6 +14,8 @@
 //! * [`linalg`] — small integer vectors/matrices used by tiler algebra,
 //! * [`tiler`] — the tiler (`origin`, `fitting`, `paving`) and its gather /
 //!   scatter semantics, `e_i = o + F·i mod s_array`, `ref_r = o + P·r mod s_array`,
+//! * [`compose`] — tiler composition: fusing producer→consumer task pairs
+//!   into one task that never materialises the intermediate array,
 //! * [`task`] — elementary, repetitive and hierarchical tasks with tiled ports,
 //! * [`graph`] — application graphs, single-assignment validation and
 //!   dependence-respecting schedules,
@@ -29,6 +31,7 @@
 //! [`graph::ApplicationGraph::validate`] statically enforces the single
 //! assignment property that makes this safe.
 
+pub mod compose;
 pub mod dot;
 pub mod exec;
 pub mod graph;
@@ -37,6 +40,7 @@ pub mod task;
 pub mod tiler;
 pub mod validate;
 
+pub use compose::{compose, ComposeError, FusedTiling, StagePorts};
 pub use graph::{ApplicationGraph, ArrayDecl, ArrayId, TaskId};
 pub use linalg::{IMat, IVec};
 pub use task::{ElementaryFn, Port, RepetitiveTask, Task, TaskBody};

@@ -98,6 +98,22 @@ impl IMat {
         m
     }
 
+    /// Matrix–matrix product `self · other`; panics if `self.cols != other.rows`.
+    ///
+    /// Tiler composition chains index maps: if `other` maps a fused repetition
+    /// index to a producer repetition index and `self` is the producer's paving,
+    /// the product paves the array directly from the fused repetition space.
+    pub fn matmul(&self, other: &IMat) -> IMat {
+        assert_eq!(self.cols, other.rows, "IMat::matmul dimension mismatch");
+        let mut m = IMat::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for c in 0..other.cols {
+                *m.at_mut(r, c) = (0..self.cols).map(|k| self.at(r, k) * other.at(k, c)).sum();
+            }
+        }
+        m
+    }
+
     /// Rows of the matrix as slices.
     pub fn row(&self, r: usize) -> &[i64] {
         &self.data[r * self.cols..(r + 1) * self.cols]
@@ -160,6 +176,18 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn mv_rejects_wrong_length() {
         IMat::identity(2).mv(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn matmul_composes_index_maps() {
+        let p = IMat::from_rows(&[&[1, 0], &[0, 8]]);
+        let b = IMat::from_rows(&[&[9, 0], &[0, 1]]);
+        let composed = p.matmul(&b);
+        assert_eq!(composed, IMat::from_rows(&[&[9, 0], &[0, 8]]));
+        // (P·B)·v == P·(B·v) for any repetition index v.
+        let v = [3i64, -2];
+        assert_eq!(composed.mv(&v), p.mv(&b.mv(&v)));
+        assert_eq!(p.matmul(&IMat::identity(2)), p);
     }
 
     #[test]

@@ -13,8 +13,8 @@ use simgpu::Calibration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|sweep|emit-artifacts|all] \
-         [--scenario hd1080|cif|tiny]"
+        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|fusion|sweep|emit-artifacts|all] \
+         [--scenario hd1080|cif|tiny] [--json <path>]"
     );
     std::process::exit(2);
 }
@@ -22,6 +22,7 @@ fn usage() -> ! {
 fn main() {
     let mut command = "all".to_string();
     let mut scenario = Scenario::hd1080();
+    let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -34,9 +35,10 @@ fn main() {
                     _ => usage(),
                 };
             }
+            "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             cmd if !cmd.starts_with('-') => {
-                const KNOWN: [&str; 15] = [
+                const KNOWN: [&str; 16] = [
                     "all",
                     "fig3",
                     "fig8",
@@ -50,6 +52,7 @@ fn main() {
                     "ablations",
                     "streams",
                     "memory",
+                    "fusion",
                     "sweep",
                     "emit-artifacts",
                 ];
@@ -151,6 +154,21 @@ fn main() {
         match exp::oom_degradation_demo(s) {
             Ok(d) => println!("{}", report::render_degradation(&d)),
             Err(e) => eprintln!("degradation demo failed: {e}"),
+        }
+    }
+    if run("fusion") {
+        match exp::fusion_ablation(s) {
+            Ok(a) => {
+                println!("{}", report::render_fusion(&a));
+                if let Some(path) = &json_path {
+                    let record = bench::json::fusion_json(s, &a);
+                    match std::fs::write(path, record) {
+                        Ok(()) => println!("wrote {path}"),
+                        Err(e) => eprintln!("writing {path} failed: {e}"),
+                    }
+                }
+            }
+            Err(e) => eprintln!("fusion ablation failed: {e}"),
         }
     }
     if run("sweep") {

@@ -1,0 +1,181 @@
+//! Minimal hand-rolled JSON rendering for `reproduce --json` — the workspace
+//! deliberately carries no serde dependency, and the benchmark records are
+//! small flat tables, so a tiny value tree with an escaping writer is enough.
+
+use crate::experiments::FusionAblation;
+use downscaler::Scenario;
+
+/// A JSON value. Construct with the variant constructors and render with
+/// [`Json::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept apart from [`Json::Num`] so counts render exactly).
+    Int(i64),
+    /// A float; non-finite values render as `null` since JSON has no NaN.
+    Num(f64),
+    /// A string, escaped on render.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Render to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(n) if n.is_finite() => out.push_str(&n.to_string()),
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn scenario_json(s: &Scenario) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(s.name.clone())),
+        ("channels".into(), Json::Int(s.channels as i64)),
+        ("rows".into(), Json::Int(s.rows as i64)),
+        ("cols".into(), Json::Int(s.cols as i64)),
+        ("frames".into(), Json::Int(s.frames as i64)),
+    ])
+}
+
+/// The machine-readable record `reproduce fusion --json <path>` writes:
+/// scenario, then one row per (configuration × option set) with the simulated
+/// makespan, launch count and peak device residency.
+pub fn fusion_json(s: &Scenario, a: &FusionAblation) -> String {
+    let rows = a
+        .rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("config".into(), Json::Str(r.config.clone())),
+                (
+                    "route".into(),
+                    Json::Str(if r.config.starts_with("SaC") { "sac" } else { "gaspard" }.into()),
+                ),
+                ("fused".into(), Json::Bool(r.fused)),
+                (
+                    "options".into(),
+                    Json::Obj(vec![
+                        ("streams".into(), Json::Int(r.streams as i64)),
+                        ("pool".into(), Json::Bool(r.pool)),
+                    ]),
+                ),
+                ("simulated_s".into(), Json::Num(r.total_s)),
+                ("launches_per_frame".into(), Json::Int(r.launches_per_frame as i64)),
+                ("peak_bytes".into(), Json::Int(r.peak_bytes as i64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("fusion".into())),
+        ("scenario".into(), scenario_json(s)),
+        ("fused_outputs_match".into(), Json::Bool(a.fused_outputs_match)),
+        ("rows".into(), Json::Arr(rows)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::FusionRow;
+
+    #[test]
+    fn values_render_as_json() {
+        let v = Json::Obj(vec![
+            ("s".into(), Json::Str("a\"b\\c\nd".into())),
+            ("i".into(), Json::Int(-3)),
+            ("f".into(), Json::Num(2.5)),
+            ("nan".into(), Json::Num(f64::NAN)),
+            ("a".into(), Json::Arr(vec![Json::Bool(true), Json::Bool(false)])),
+        ]);
+        assert_eq!(v.render(), r#"{"s":"a\"b\\c\nd","i":-3,"f":2.5,"nan":null,"a":[true,false]}"#);
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn fusion_record_has_all_fields() {
+        let s = Scenario::tiny();
+        let a = FusionAblation {
+            rows: vec![FusionRow {
+                config: "Gaspard2 fused".into(),
+                fused: true,
+                streams: 2,
+                pool: true,
+                total_s: 1.25,
+                launches_per_frame: 3,
+                peak_bytes: 4096,
+            }],
+            fused_outputs_match: true,
+        };
+        let text = fusion_json(&s, &a);
+        for needle in [
+            r#""experiment":"fusion""#,
+            r#""scenario":{"name":"#,
+            r#""route":"gaspard""#,
+            r#""options":{"streams":2,"pool":true}"#,
+            r#""simulated_s":1.25"#,
+            r#""launches_per_frame":3"#,
+            r#""peak_bytes":4096"#,
+            r#""fused_outputs_match":true"#,
+        ] {
+            assert!(text.contains(needle), "{needle} missing from {text}");
+        }
+    }
+}

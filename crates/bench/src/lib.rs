@@ -16,6 +16,7 @@
 
 pub mod calibration;
 pub mod experiments;
+pub mod json;
 pub mod report;
 
 pub use experiments::*;

@@ -1,6 +1,8 @@
 //! Text rendering of experiment results (ASCII bars and the paper's tables).
 
-use crate::experiments::{DegradationDemo, Fig12, Fig9Row, MemoryRow, ProfileTable, StreamsRow};
+use crate::experiments::{
+    DegradationDemo, Fig12, Fig9Row, FusionAblation, MemoryRow, ProfileTable, StreamsRow,
+};
 
 /// Render Figure 9 as labelled ASCII bars.
 pub fn render_fig9(rows: &[Fig9Row]) -> String {
@@ -107,6 +109,46 @@ pub fn render_memory(rows: &[MemoryRow]) -> String {
             naive.gaspard_s - pooled.gaspard_s,
         ));
     }
+    out
+}
+
+/// Render the cross-route kernel-fusion ablation.
+pub fn render_fusion(a: &FusionAblation) -> String {
+    let mut out = String::from(
+        "Ablation: kernel fusion across routes\n\
+         (whole run; SaC fuses via WITH-loop folding, Gaspard2 via the\n\
+         tiler-composition pass; each also run under 2 streams + pooled allocator)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<18} {:>7} {:>5} {:>10} {:>16} {:>14}\n",
+        "config", "streams", "pool", "total", "launches/frame", "peak bytes"
+    ));
+    for r in &a.rows {
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>5} {:>9.3}s {:>16} {:>14}\n",
+            r.config,
+            r.streams,
+            if r.pool { "on" } else { "off" },
+            r.total_s,
+            r.launches_per_frame,
+            r.peak_bytes,
+        ));
+    }
+    let pick = |config: &str, streams: usize| {
+        a.rows.iter().find(|r| r.config == config && r.streams == streams)
+    };
+    if let (Some(unf), Some(fus)) = (pick("Gaspard2 unfused", 1), pick("Gaspard2 fused", 1)) {
+        out.push_str(&format!(
+            "\nfusion saves {:.3}s, {} launches/frame and {} peak bytes (Gaspard2, serialized)\n",
+            unf.total_s - fus.total_s,
+            unf.launches_per_frame - fus.launches_per_frame,
+            unf.peak_bytes.saturating_sub(fus.peak_bytes),
+        ));
+    }
+    out.push_str(&format!(
+        "fused outputs {} the unfused route\n",
+        if a.fused_outputs_match { "bit-identical to" } else { "DIFFER from" },
+    ));
     out
 }
 
@@ -226,6 +268,34 @@ mod tests {
         let text = render_degradation(&d);
         assert!(text.contains("bit-identical"), "{text}");
         assert!(text.contains("4 stream lanes"), "{text}");
+    }
+
+    #[test]
+    fn fusion_renders_savings() {
+        use crate::experiments::FusionRow;
+        let row = |config: &str, fused: bool, total_s: f64, launches: u64, peak: usize| FusionRow {
+            config: config.into(),
+            fused,
+            streams: 1,
+            pool: false,
+            total_s,
+            launches_per_frame: launches,
+            peak_bytes: peak,
+        };
+        let a = FusionAblation {
+            rows: vec![
+                row("Gaspard2 unfused", false, 2.8, 6, 1000),
+                row("Gaspard2 fused", true, 2.1, 3, 600),
+            ],
+            fused_outputs_match: true,
+        };
+        let text = render_fusion(&a);
+        assert!(text.contains("Gaspard2 fused"), "{text}");
+        assert!(
+            text.contains("fusion saves 0.700s, 3 launches/frame and 400 peak bytes"),
+            "{text}"
+        );
+        assert!(text.contains("bit-identical"), "{text}");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::sac_src::{program_src, Part, Variant};
 use crate::scenario::Scenario;
 use gaspard::codegen::{generate_opencl, OpenClProgram};
 use gaspard::exec::{run_opencl_frames, OpenClPipelineOptions};
+use gaspard::fusion::{generate_opencl_fused, FusionReport};
 use gaspard::transform::{deploy, schedule, ScheduledModel};
 use gaspard::Platform;
 use mdarray::NdArray;
@@ -90,19 +91,33 @@ pub fn build_sac(
 /// A compiled GASPARD2 route: scheduled model and generated OpenCL.
 #[derive(Debug, Clone)]
 pub struct GaspardRoute {
-    /// The flattened, scheduled model.
+    /// The flattened, scheduled model (pre-fusion).
     pub scheduled: ScheduledModel,
     /// The generated OpenCL program.
     pub opencl: OpenClProgram,
+    /// What the fusion pass did, if it ran (empty for the faithful route).
+    pub fusion: FusionReport,
 }
 
-/// Run the full MDE chain for a scenario.
+/// Run the full MDE chain for a scenario — the paper-faithful route: no
+/// fusion, one kernel per elementary task.
 pub fn build_gaspard(s: &Scenario) -> Result<GaspardRoute, PipelineError> {
     let (model, alloc) = crate::model::downscaler_model(s);
     let deployed = deploy(model, Platform::cpu_gpu(), alloc)?;
     let scheduled = schedule(&deployed)?;
     let opencl = generate_opencl(&scheduled)?;
-    Ok(GaspardRoute { scheduled, opencl })
+    Ok(GaspardRoute { scheduled, opencl, fusion: FusionReport::default() })
+}
+
+/// Run the MDE chain with the tiler-composition fusion pass: per-channel
+/// H-filter→V-filter pipelines merge into single kernels, skipping the
+/// intermediate device arrays.
+pub fn build_gaspard_fused(s: &Scenario) -> Result<GaspardRoute, PipelineError> {
+    let (model, alloc) = crate::model::downscaler_model(s);
+    let deployed = deploy(model, Platform::cpu_gpu(), alloc)?;
+    let scheduled = schedule(&deployed)?;
+    let (opencl, fusion) = generate_opencl_fused(&scheduled)?;
+    Ok(GaspardRoute { scheduled, opencl, fusion })
 }
 
 /// How a scenario's frame batch is driven through a pipelined executor.
@@ -320,6 +335,29 @@ mod tests {
         let channels = gen.frame_channels(0);
         let mut device = Device::gtx480();
         let outs = gaspard::run_opencl(&route.opencl, &mut device, &channels).unwrap();
+        for (c, ch) in channels.iter().enumerate() {
+            let expect = crate::filter::downscale_channel(ch, &s.h, &s.v);
+            assert_eq!(outs[c], expect, "channel {c}");
+        }
+    }
+
+    #[test]
+    fn fused_gaspard_route_matches_reference_with_fewer_kernels() {
+        let s = Scenario::tiny();
+        let unfused = build_gaspard(&s).unwrap();
+        let fused = build_gaspard_fused(&s).unwrap();
+        // One fused kernel per channel instead of an H/V pair.
+        assert_eq!(unfused.opencl.kernels.len(), 2 * s.channels);
+        assert_eq!(fused.opencl.kernels.len(), s.channels, "{:?}", fused.fusion.refused);
+        assert_eq!(fused.fusion.fused.len(), s.channels);
+        assert!(fused.fusion.refused.is_empty(), "{:?}", fused.fusion.refused);
+        // The intermediate per-channel arrays are gone from the fused model.
+        assert_eq!(fused.opencl.model.arrays.len(), unfused.opencl.model.arrays.len() - s.channels);
+
+        let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 321);
+        let channels = gen.frame_channels(0);
+        let mut device = Device::gtx480();
+        let outs = gaspard::run_opencl(&fused.opencl, &mut device, &channels).unwrap();
         for (c, ch) in channels.iter().enumerate() {
             let expect = crate::filter::downscale_channel(ch, &s.h, &s.v);
             assert_eq!(outs[c], expect, "channel {c}");

@@ -160,6 +160,11 @@ pub fn run_opencl_frames(
     if frames.is_empty() {
         return Ok(Vec::new());
     }
+    // Surface pass-level observations (fusion decisions, refusal fallbacks)
+    // once per batch, so ablation reports can show them next to the timings.
+    for note in &prog.notes {
+        device.profiler.note(note.clone());
+    }
     let mut lanes = opts.queues.max(1);
     loop {
         match run_frames_attempt(prog, device, frames, opts, lanes) {

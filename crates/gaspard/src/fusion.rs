@@ -1,0 +1,323 @@
+//! Kernel fusion over the scheduled model.
+//!
+//! The paper's GASPARD2 chain performs no optimising transformation: every
+//! elementary task becomes one OpenCL kernel, with intermediate arrays making
+//! round trips through device memory — the very gap SaC's WITH-loop folding
+//! exploits on the downscaler. This opt-in pass closes it: for each
+//! producer→consumer pair of scheduled kernels it asks the tiler-composition
+//! algebra ([`arrayol::compose`]) for a fused tiling and, when legal, replaces
+//! the pair with a single kernel whose intermediate values live in registers.
+//! Arrays that no longer have readers or writers are pruned from the model,
+//! so the executor never allocates device buffers for them.
+//!
+//! Fusion **refuses** — leaving the pair unfused and recording why — when the
+//! intermediate array is also a model sink, feeds more than one consumer, the
+//! tilings do not compose, or the fused pattern would exceed the code
+//! generator's unroll budget. Refusals become profiler notes so ablations can
+//! see the fallback.
+
+use crate::codegen::{generate_opencl, OpenClProgram, MAX_PATTERN_UNROLL};
+use crate::model::{ElementaryOp, TilerSpec};
+use crate::transform::{ScheduledKernel, ScheduledModel};
+use crate::GaspardError;
+use arrayol::compose::{compose, StagePorts};
+use arrayol::Tiler;
+use mdarray::Shape;
+use std::collections::BTreeSet;
+
+/// What the fusion pass did: which kernel pairs fused, which were refused and
+/// why. Stored on the route so benchmarks can report it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FusionReport {
+    /// Fused kernel names, one per merged producer→consumer pair.
+    pub fused: Vec<String>,
+    /// Refused pairs, formatted as `producer→consumer: reason`.
+    pub refused: Vec<String>,
+}
+
+impl FusionReport {
+    /// Render the report as profiler notes (one per event).
+    pub fn profiler_notes(&self) -> Vec<String> {
+        let mut notes: Vec<String> =
+            self.fused.iter().map(|f| format!("fused kernel pair into '{f}'")).collect();
+        notes.extend(
+            self.refused
+                .iter()
+                .map(|r| format!("fusion refused: {r}; falling back to unfused kernels")),
+        );
+        notes
+    }
+}
+
+fn spec_of(t: &Tiler) -> TilerSpec {
+    TilerSpec {
+        origin: t.origin.clone(),
+        fitting: (0..t.fitting.rows()).map(|r| t.fitting.row(r).to_vec()).collect(),
+        paving: (0..t.paving.rows()).map(|r| t.paving.row(r).to_vec()).collect(),
+    }
+}
+
+/// Fuse every legal producer→consumer kernel pair in `sm`, pruning arrays the
+/// fused kernels no longer touch. Infallible: anything that cannot fuse stays
+/// unfused and is recorded in the report.
+pub fn fuse_model(sm: &ScheduledModel) -> (ScheduledModel, FusionReport) {
+    let mut model = sm.clone();
+    let mut report = FusionReport::default();
+    let mut seen_refusals: BTreeSet<String> = BTreeSet::new();
+    let refuse = |report: &mut FusionReport, seen: &mut BTreeSet<String>, msg: String| {
+        if seen.insert(msg.clone()) {
+            report.refused.push(msg);
+        }
+    };
+
+    loop {
+        let mut fused_one = false;
+        'scan: for i in 0..model.kernels.len() {
+            let mid = model.kernels[i].output;
+            let consumers: Vec<usize> = (0..model.kernels.len())
+                .filter(|&j| j != i && model.kernels[j].input == mid)
+                .collect();
+            if consumers.is_empty() {
+                continue;
+            }
+            let p_name = model.kernels[i].name.clone();
+            let mid_name = model.arrays[mid].name.clone();
+            if consumers.len() > 1 {
+                refuse(
+                    &mut report,
+                    &mut seen_refusals,
+                    format!(
+                        "{p_name}→*: intermediate '{mid_name}' feeds {} consumers",
+                        consumers.len()
+                    ),
+                );
+                continue;
+            }
+            let j = consumers[0];
+            let c_name = model.kernels[j].name.clone();
+            let edge = format!("{p_name}→{c_name}");
+            if model.outputs.contains(&mid) {
+                refuse(
+                    &mut report,
+                    &mut seen_refusals,
+                    format!("{edge}: intermediate '{mid_name}' is also a model sink"),
+                );
+                continue;
+            }
+
+            let (p, c) = (&model.kernels[i], &model.kernels[j]);
+            let (p_in, p_out) = (p.in_tiler.to_tiler(), p.out_tiler.to_tiler());
+            let (c_in, c_out) = (c.in_tiler.to_tiler(), c.out_tiler.to_tiler());
+            let producer = StagePorts {
+                in_tiler: &p_in,
+                in_pattern: &p.in_pattern,
+                out_tiler: &p_out,
+                out_pattern: &p.out_pattern,
+                repetition: &p.repetition,
+            };
+            let consumer = StagePorts {
+                in_tiler: &c_in,
+                in_pattern: &c.in_pattern,
+                out_tiler: &c_out,
+                out_pattern: &c.out_pattern,
+                repetition: &c.repetition,
+            };
+            let in_shape = Shape::new(model.arrays[p.input].shape.clone());
+            let mid_shape = Shape::new(model.arrays[mid].shape.clone());
+            let out_shape = Shape::new(model.arrays[c.output].shape.clone());
+            let fused = match compose(&producer, &consumer, &in_shape, &mid_shape, &out_shape) {
+                Ok(f) => f,
+                Err(e) => {
+                    refuse(&mut report, &mut seen_refusals, format!("{edge}: {e}"));
+                    continue;
+                }
+            };
+
+            let gather_len: usize = fused.gather_pattern.iter().product();
+            let scatter_len: usize = fused.scatter_pattern.iter().product();
+            if gather_len > MAX_PATTERN_UNROLL || scatter_len > MAX_PATTERN_UNROLL {
+                refuse(
+                    &mut report,
+                    &mut seen_refusals,
+                    format!(
+                        "{edge}: fused pattern too large to unroll \
+                         ({gather_len} in, {scatter_len} out)"
+                    ),
+                );
+                continue;
+            }
+            if p.op.out_len(fused.inner_in_len) != fused.inner_out_len {
+                refuse(
+                    &mut report,
+                    &mut seen_refusals,
+                    format!("{edge}: producer op output disagrees with its pattern"),
+                );
+                continue;
+            }
+
+            let name = format!("{p_name}_{c_name}");
+            let kernel = ScheduledKernel {
+                name: name.clone(),
+                repetition: fused.repetition,
+                input: p.input,
+                in_pattern: fused.gather_pattern,
+                in_tiler: spec_of(&fused.gather),
+                output: c.output,
+                out_pattern: fused.scatter_pattern,
+                out_tiler: spec_of(&fused.scatter),
+                op: ElementaryOp::Composed {
+                    inner: Box::new(p.op.clone()),
+                    inner_count: fused.inner_count,
+                    inner_in_len: fused.inner_in_len,
+                    outer: Box::new(c.op.clone()),
+                    outer_gathers: fused.outer_gathers,
+                },
+            };
+            model.kernels[i] = kernel;
+            model.kernels.remove(j);
+            report.fused.push(name);
+            fused_one = true;
+            break 'scan;
+        }
+        if !fused_one {
+            break;
+        }
+    }
+
+    prune_arrays(&mut model);
+    (model, report)
+}
+
+/// Drop arrays no kernel or model port references any more, renumbering ids.
+fn prune_arrays(model: &mut ScheduledModel) {
+    let mut used = vec![false; model.arrays.len()];
+    for &a in model.inputs.iter().chain(&model.outputs) {
+        used[a] = true;
+    }
+    for k in &model.kernels {
+        used[k.input] = true;
+        used[k.output] = true;
+    }
+    if used.iter().all(|&u| u) {
+        return;
+    }
+    let mut remap = vec![usize::MAX; model.arrays.len()];
+    let mut kept = Vec::with_capacity(model.arrays.len());
+    for (old, array) in model.arrays.drain(..).enumerate() {
+        if used[old] {
+            remap[old] = kept.len();
+            kept.push(array);
+        }
+    }
+    model.arrays = kept;
+    for k in &mut model.kernels {
+        k.input = remap[k.input];
+        k.output = remap[k.output];
+    }
+    for a in model.inputs.iter_mut().chain(model.outputs.iter_mut()) {
+        *a = remap[*a];
+    }
+}
+
+/// Fuse the model, then generate OpenCL kernels for what remains. The
+/// report's events ride along as program notes so batch runs surface them in
+/// the profiler.
+pub fn generate_opencl_fused(
+    sm: &ScheduledModel,
+) -> Result<(OpenClProgram, FusionReport), GaspardError> {
+    let (fused, report) = fuse_model(sm);
+    let mut prog = generate_opencl(&fused)?;
+    prog.notes = report.profiler_notes();
+    Ok((prog, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::mini_two_stage_model;
+    use crate::model::Platform;
+    use crate::transform::{deploy, schedule, to_arrayol};
+    use arrayol::exec::{execute, ExecOptions};
+    use mdarray::NdArray;
+
+    fn scheduled() -> ScheduledModel {
+        let (model, alloc) = mini_two_stage_model();
+        let dep = deploy(model, Platform::cpu_gpu(), alloc).unwrap();
+        schedule(&dep).unwrap()
+    }
+
+    #[test]
+    fn two_stage_chain_fuses_to_one_kernel() {
+        let sm = scheduled();
+        let (fused, report) = fuse_model(&sm);
+        assert_eq!(fused.kernels.len(), 1, "refused: {:?}", report.refused);
+        assert_eq!(report.fused, vec!["s1_s2".to_string()]);
+        assert!(report.refused.is_empty());
+        // The intermediate array is gone; model inputs/outputs survive.
+        assert_eq!(fused.arrays.len(), sm.arrays.len() - 1);
+        assert_eq!(fused.kernels[0].input, fused.inputs[0]);
+        assert_eq!(fused.kernels[0].output, fused.outputs[0]);
+    }
+
+    #[test]
+    fn fused_model_matches_unfused_on_cpu() {
+        let sm = scheduled();
+        let (fused, _) = fuse_model(&sm);
+        let frame = NdArray::from_fn([4usize, 16], |ix| (ix[0] * 16 + ix[1]) as i64 % 29);
+        let run = |m: &ScheduledModel| {
+            let g = to_arrayol(m).unwrap();
+            let mut inputs = std::collections::HashMap::new();
+            inputs.insert(g.external_inputs[0], frame.clone());
+            let env = execute(&g, &inputs, &ExecOptions::sequential()).unwrap();
+            env[&g.external_outputs[0]].clone()
+        };
+        let unfused = run(&sm);
+        let fused_out = run(&fused);
+        assert_eq!(unfused.as_slice(), fused_out.as_slice());
+    }
+
+    #[test]
+    fn sink_intermediate_refuses() {
+        let mut sm = scheduled();
+        // Make the intermediate array a model sink as well.
+        let mid = sm.kernels[0].output;
+        sm.outputs.push(mid);
+        let (fused, report) = fuse_model(&sm);
+        assert_eq!(fused.kernels.len(), 2);
+        assert!(report.fused.is_empty());
+        assert_eq!(report.refused.len(), 1);
+        assert!(report.refused[0].contains("also a model sink"), "{:?}", report.refused);
+        // Notes spell out the fallback for the profiler.
+        let notes = report.profiler_notes();
+        assert!(notes[0].contains("falling back to unfused"), "{notes:?}");
+    }
+
+    #[test]
+    fn multi_consumer_intermediate_refuses() {
+        let mut sm = scheduled();
+        // A second consumer of the intermediate array.
+        let mut extra = sm.kernels[1].clone();
+        extra.name = "s2b".into();
+        let out_shape = sm.arrays[extra.output].shape.clone();
+        sm.arrays.push(crate::transform::ScheduledArray { name: "o2".into(), shape: out_shape });
+        extra.output = sm.arrays.len() - 1;
+        sm.kernels.push(extra);
+        sm.outputs.push(sm.arrays.len() - 1);
+        let (fused, report) = fuse_model(&sm);
+        assert_eq!(fused.kernels.len(), 3);
+        assert!(report.fused.is_empty());
+        assert!(report.refused[0].contains("feeds 2 consumers"), "{:?}", report.refused);
+    }
+
+    #[test]
+    fn generate_opencl_fused_attaches_notes() {
+        let sm = scheduled();
+        let (prog, report) = generate_opencl_fused(&sm).unwrap();
+        assert_eq!(prog.kernels.len(), 1);
+        assert_eq!(prog.notes, report.profiler_notes());
+        assert!(prog.notes[0].contains("fused kernel pair"), "{:?}", prog.notes);
+        // Fused source is one kernel with both stages' arithmetic inlined.
+        let src = prog.emit_opencl_source();
+        assert!(src.contains("__kernel void s1_s2"), "{src}");
+    }
+}

@@ -65,6 +65,25 @@ pub enum ElementaryOp {
     SumReduce,
     /// `out = in` (pattern copy).
     Copy,
+    /// Two fused elementary stages (built by the fusion pass, never written
+    /// in models): the pattern is split into `inner_count` chunks of
+    /// `inner_in_len`, `inner` runs on each chunk, and every row of
+    /// `outer_gathers` selects values from the concatenated inner outputs to
+    /// feed one `outer` application. The fused output concatenates the outer
+    /// results row by row.
+    Composed {
+        /// The producer stage's op.
+        inner: Box<ElementaryOp>,
+        /// How many producer applications one fused instance performs.
+        inner_count: usize,
+        /// Flat producer input pattern length.
+        inner_in_len: usize,
+        /// The consumer stage's op.
+        outer: Box<ElementaryOp>,
+        /// Per grouped consumer instance: flat indices into the inner
+        /// outputs forming its input pattern.
+        outer_gathers: Vec<Vec<usize>>,
+    },
 }
 
 impl ElementaryOp {
@@ -74,6 +93,10 @@ impl ElementaryOp {
             ElementaryOp::InterpolateWindows { windows, .. } => windows.len(),
             ElementaryOp::AffineMap { .. } | ElementaryOp::Copy => in_len,
             ElementaryOp::SumReduce => 1,
+            ElementaryOp::Composed { outer, outer_gathers, .. } => {
+                let per_row = outer_gathers.first().map_or(0, |row| outer.out_len(row.len()));
+                outer_gathers.len() * per_row
+            }
         }
     }
 
@@ -92,6 +115,19 @@ impl ElementaryOp {
             }
             ElementaryOp::SumReduce => vec![pattern.iter().sum()],
             ElementaryOp::Copy => pattern.to_vec(),
+            ElementaryOp::Composed { inner, inner_count, inner_in_len, outer, outer_gathers } => {
+                debug_assert_eq!(pattern.len(), inner_count * inner_in_len);
+                let mut mid = Vec::with_capacity(inner_count * inner.out_len(*inner_in_len));
+                for chunk in pattern.chunks(*inner_in_len) {
+                    mid.extend(inner.apply(chunk));
+                }
+                let mut out = Vec::new();
+                for row in outer_gathers {
+                    let gathered: Vec<i64> = row.iter().map(|&k| mid[k]).collect();
+                    out.extend(outer.apply(&gathered));
+                }
+                out
+            }
         }
     }
 }

@@ -296,10 +296,10 @@ pub fn to_arrayol(sm: &ScheduledModel) -> Result<arrayol::ApplicationGraph, Gasp
     }
     for k in &sm.kernels {
         let op = k.op.clone();
+        let out_pattern = Shape::new(k.out_pattern.clone());
         let f: arrayol::ElementaryFn = Arc::new(move |patterns| {
             let out = op.apply(patterns[0].as_slice());
-            let n = out.len();
-            vec![mdarray::NdArray::from_vec([n], out).expect("length matches")]
+            vec![mdarray::NdArray::from_vec(out_pattern.clone(), out).expect("length matches")]
         });
         g.add_task(arrayol::RepetitiveTask {
             name: k.name.clone(),

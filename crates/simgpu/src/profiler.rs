@@ -211,6 +211,12 @@ impl Profiler {
         self.records.values().filter(|r| r.class == class).map(|r| r.total_us).sum()
     }
 
+    /// Total call count of records matching a class — e.g. the number of
+    /// kernel launches a run performed, the metric fusion ablations compare.
+    pub fn class_calls(&self, class: OpClass) -> u64 {
+        self.records.values().filter(|r| r.class == class).map(|r| r.calls).sum()
+    }
+
     /// Attach a free-form observation to the run (a degraded transfer, an
     /// OOM retry). Notes are part of the run's report, not of its timing:
     /// recording one never changes any simulated clock or record.
@@ -471,6 +477,14 @@ mod tests {
         let p = sample();
         assert!((p.total_us() - 300.0 * (2800.0 + 4500.0)).abs() < 1e-6);
         assert!((p.class_total_us(OpClass::H2D) - 900.0 * 1500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn class_calls_count_launches() {
+        let p = sample();
+        assert_eq!(p.class_calls(OpClass::Kernel), 900);
+        assert_eq!(p.class_calls(OpClass::H2D), 900);
+        assert_eq!(p.class_calls(OpClass::D2H), 0);
     }
 
     #[test]

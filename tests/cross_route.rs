@@ -3,13 +3,15 @@
 //! same video frames — the property underlying the paper's entire comparison.
 
 use downscaler::frames::{FrameGenerator, FrameSink};
-use downscaler::pipelines::{build_gaspard, build_sac, reference_downscale};
+use downscaler::pipelines::{build_gaspard, build_gaspard_fused, build_sac, reference_downscale};
 use downscaler::sac_src::{program_src, Part, Variant};
 use downscaler::Scenario;
+use mdarray::NdArray;
 use sac_cuda::exec::{run_on_device_opts, ExecOptions};
 use sac_lang::value::Value;
 use sac_lang::Interp;
 use simgpu::device::Device;
+use simgpu::profiler::OpClass;
 
 #[test]
 fn five_implementations_one_result() {
@@ -112,6 +114,76 @@ fn per_filter_and_full_pipelines_compose() {
     let (vf, _) = run_on_device_opts(&v.cuda, &mut d, &[hf], opts).unwrap();
     let (direct, _) = run_on_device_opts(&full.cuda, &mut d, &[frame], opts).unwrap();
     assert_eq!(vf, direct);
+}
+
+#[test]
+fn fused_gaspard_route_agrees_with_unfused_and_reference() {
+    let s = Scenario::tiny();
+    let unfused = build_gaspard(&s).unwrap();
+    let fused = build_gaspard_fused(&s).unwrap();
+    // Every per-channel H→V pair fuses; nothing is refused on the downscaler.
+    assert_eq!(fused.opencl.kernels.len(), s.channels);
+    assert_eq!(fused.fusion.fused.len(), s.channels);
+    assert!(fused.fusion.refused.is_empty(), "{:?}", fused.fusion.refused);
+
+    let planes = FrameGenerator::new(s.channels, s.rows, s.cols, 77).frame_channels(0);
+    let expect = reference_downscale(&s, &FrameGenerator::stack(&planes));
+    let mut d_unf = Device::gtx480();
+    let out_unf = gaspard::run_opencl(&unfused.opencl, &mut d_unf, &planes).unwrap();
+    let mut d_fus = Device::gtx480();
+    let out_fus = gaspard::run_opencl(&fused.opencl, &mut d_fus, &planes).unwrap();
+    assert_eq!(out_fus, out_unf, "fusion must preserve bits");
+    assert_eq!(FrameGenerator::stack(&out_fus), expect, "fused route vs golden filters");
+    // Same bits for half the launches and strictly less simulated time.
+    assert!(
+        d_fus.profiler.class_calls(OpClass::Kernel) < d_unf.profiler.class_calls(OpClass::Kernel)
+    );
+    assert!(d_fus.now_us() < d_unf.now_us());
+}
+
+#[test]
+fn fusion_refuses_multi_consumer_diamond() {
+    use gaspard::transform::ScheduledArray;
+    use gaspard::{
+        deploy, generate_opencl, generate_opencl_fused, run_opencl_frames, schedule,
+        OpenClPipelineOptions, Platform,
+    };
+
+    let (model, alloc) = gaspard::fixtures::mini_two_stage_model();
+    let mut sm = schedule(&deploy(model, Platform::cpu_gpu(), alloc).unwrap()).unwrap();
+    // Diamond: s1's intermediate also feeds a second consumer with its own
+    // sink, so fusing s1 into either consumer would recompute or orphan it.
+    let mut extra = sm.kernels[1].clone();
+    extra.name = "s2b".into();
+    let out_shape = sm.arrays[extra.output].shape.clone();
+    sm.arrays.push(ScheduledArray { name: "o2".into(), shape: out_shape });
+    extra.output = sm.arrays.len() - 1;
+    sm.kernels.push(extra);
+    sm.outputs.push(sm.arrays.len() - 1);
+
+    let unfused = generate_opencl(&sm).unwrap();
+    let (fused, report) = generate_opencl_fused(&sm).unwrap();
+    // Refusal: kernel structure is unchanged and the reason is recorded.
+    assert_eq!(fused.kernels.len(), unfused.kernels.len());
+    assert!(report.fused.is_empty());
+    assert!(report.refused.iter().any(|r| r.contains("feeds 2 consumers")), "{:?}", report.refused);
+
+    let frames: Vec<Vec<NdArray<i64>>> = (0..2)
+        .map(|f| {
+            vec![NdArray::from_fn([4usize, 16], |ix| ((ix[0] * 16 + ix[1] + f * 7) % 29) as i64)]
+        })
+        .collect();
+    let opts = OpenClPipelineOptions { queues: 2, total_frames: 0, degrade_on_oom: false };
+    let mut d_unf = Device::gtx480();
+    let base = run_opencl_frames(&unfused, &mut d_unf, &frames, opts).unwrap();
+    let mut d_fus = Device::gtx480();
+    let got = run_opencl_frames(&fused, &mut d_fus, &frames, opts).unwrap();
+    assert_eq!(got, base, "refused fusion must fall back to unfused results");
+    // The fallback is surfaced to the profiler for ablation reports.
+    assert!(
+        d_fus.profiler.notes().any(|n| n.contains("fusion refused") && n.contains("falling back")),
+        "missing refusal note"
+    );
 }
 
 #[test]

@@ -1,11 +1,163 @@
 //! Property-based tests over the core invariants.
 
 use arrayol::{IMat, Tiler};
+use gaspard::{
+    deploy, generate_opencl, generate_opencl_fused, run_opencl_frames, schedule, to_arrayol,
+    Allocation, Component, ComponentKind, Connection, Model, OpenClPipelineOptions, PartRef,
+    Platform, Port, PortDir, Stereotype, TilerSpec, WindowSpec,
+};
 use mdarray::{NdArray, Shape};
 use proptest::prelude::*;
 use sac_lang::opt::{optimize, ArgDesc, OptConfig};
 use sac_lang::value::Value;
 use sac_lang::Interp;
+use simgpu::device::Device;
+
+/// Column-axis parameters of one repetitive filter stage (the row axis is
+/// always an untiled pass-through, like the downscaler's).
+struct StageParams {
+    /// Paving step along the input's column axis.
+    step: usize,
+    /// Gathered pattern width.
+    pattern: usize,
+    /// Interpolation windows `(offset, len)` with `offset + len <= pattern`;
+    /// one output element per window.
+    windows: Vec<(usize, usize)>,
+    /// Interpolation divisor.
+    divisor: i64,
+    /// Repetitions along the column axis.
+    tiles: usize,
+}
+
+impl StageParams {
+    fn out_per_tile(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+/// A parametric version of `gaspard::fixtures::mini_two_stage_model`:
+/// source → f1 → f2 → sink, with each stage's tiling drawn from `StageParams`.
+fn two_stage_model(rows: usize, in_cols: usize, p1: &StageParams, p2: &StageParams) -> Model {
+    let task = |name: &str, p: &StageParams| Component {
+        name: name.into(),
+        stereotype: Stereotype::SwResource,
+        ports: vec![
+            Port { name: "pin".into(), dir: PortDir::In, shape: vec![p.pattern] },
+            Port { name: "pout".into(), dir: PortDir::Out, shape: vec![p.out_per_tile()] },
+        ],
+        kind: ComponentKind::Elementary {
+            op: gaspard::ElementaryOp::InterpolateWindows {
+                windows: p
+                    .windows
+                    .iter()
+                    .map(|&(offset, len)| WindowSpec { offset, len })
+                    .collect(),
+                divisor: p.divisor,
+            },
+        },
+    };
+    let stage = |name: &str, in_cols: usize, p: &StageParams, task: &str| Component {
+        name: name.into(),
+        stereotype: Stereotype::SwResource,
+        ports: vec![
+            Port { name: "fin".into(), dir: PortDir::In, shape: vec![rows, in_cols] },
+            Port {
+                name: "fout".into(),
+                dir: PortDir::Out,
+                shape: vec![rows, p.tiles * p.out_per_tile()],
+            },
+        ],
+        kind: ComponentKind::Repetitive {
+            repetition: vec![rows, p.tiles],
+            inner: task.into(),
+            input_tilers: vec![(
+                vec![p.pattern],
+                TilerSpec {
+                    origin: vec![0, 0],
+                    fitting: vec![vec![0], vec![1]],
+                    paving: vec![vec![1, 0], vec![0, p.step as i64]],
+                },
+            )],
+            output_tilers: vec![(
+                vec![p.out_per_tile()],
+                TilerSpec {
+                    origin: vec![0, 0],
+                    fitting: vec![vec![0], vec![1]],
+                    paving: vec![vec![1, 0], vec![0, p.out_per_tile() as i64]],
+                },
+            )],
+        },
+    };
+    let mid_cols = p1.tiles * p1.out_per_tile();
+    let out_cols = p2.tiles * p2.out_per_tile();
+    Model {
+        name: "prop".into(),
+        components: vec![
+            task("t1", p1),
+            task("t2", p2),
+            stage("filter1", in_cols, p1, "t1"),
+            stage("filter2", mid_cols, p2, "t2"),
+            Component {
+                name: "source".into(),
+                stereotype: Stereotype::SwResource,
+                ports: vec![Port {
+                    name: "frame".into(),
+                    dir: PortDir::Out,
+                    shape: vec![rows, in_cols],
+                }],
+                kind: ComponentKind::FrameSource,
+            },
+            Component {
+                name: "sink".into(),
+                stereotype: Stereotype::SwResource,
+                ports: vec![Port {
+                    name: "frame".into(),
+                    dir: PortDir::In,
+                    shape: vec![rows, out_cols],
+                }],
+                kind: ComponentKind::FrameSink,
+            },
+            Component {
+                name: "app".into(),
+                stereotype: Stereotype::SwResource,
+                ports: vec![],
+                kind: ComponentKind::Composite {
+                    parts: vec![
+                        ("src".into(), "source".into()),
+                        ("f1".into(), "filter1".into()),
+                        ("f2".into(), "filter2".into()),
+                        ("snk".into(), "sink".into()),
+                    ],
+                    connections: vec![
+                        Connection {
+                            from: PartRef::Part { part: "src".into(), port: "frame".into() },
+                            to: PartRef::Part { part: "f1".into(), port: "fin".into() },
+                        },
+                        Connection {
+                            from: PartRef::Part { part: "f1".into(), port: "fout".into() },
+                            to: PartRef::Part { part: "f2".into(), port: "fin".into() },
+                        },
+                        Connection {
+                            from: PartRef::Part { part: "f2".into(), port: "fout".into() },
+                            to: PartRef::Part { part: "snk".into(), port: "frame".into() },
+                        },
+                    ],
+                },
+            },
+        ],
+        root: "app".into(),
+    }
+}
+
+fn random_windows(rng: &mut TestRng, pattern: usize, n: usize) -> Vec<(usize, usize)> {
+    (0..n)
+        .map(|_| {
+            let offset = rng.below(pattern as u64) as usize;
+            let len = 1 + rng.below((pattern - offset) as u64) as usize;
+            (offset, len)
+        })
+        .collect()
+}
 
 proptest! {
     /// Euclidean modulo (the language's `%`) always lands in [0, n).
@@ -173,6 +325,119 @@ int[*] main(int[{rows},{cols}] a)
         )
         .unwrap();
         prop_assert_eq!(got, expect);
+    }
+
+    /// Tiler-composition fusion over random exact-cover two-stage chains is
+    /// semantics-preserving: the fused program's outputs are bit-identical to
+    /// the unfused program and to the ArrayOL CPU reference — serialized,
+    /// double-buffered (`queues = 2`), and under OOM degradation back to one
+    /// queue.
+    #[test]
+    fn fused_chain_matches_unfused_and_cpu_reference(
+        rows in 1usize..4,
+        ow1 in 1usize..4,
+        grouping in any::<bool>(),
+        m in 1usize..3,
+        tiles_base in 1usize..4,
+        st1 in 1usize..5,
+        pw1_extra in 0usize..3,
+        pw2_extra in 0usize..3,
+        wseed in any::<u64>(),
+        seed in any::<u32>(),
+    ) {
+        // Derive a legal chain: the producer's output tiler always paves its
+        // array exactly (blocks of `ow1`); the consumer either steps in whole
+        // blocks (aligned case, `st2 = m·ow1`) or groups several consumer
+        // tiles inside one block (grouping case, `st2 | ow1`).
+        let mut wr = TestRng::new(wseed);
+        let (st2, pw2, tiles1, tiles2) = if grouping {
+            let divisors: Vec<usize> = (1..=ow1).filter(|d| ow1 % d == 0).collect();
+            let st2 = divisors[wr.below(divisors.len() as u64) as usize];
+            let b = ow1 / st2;
+            (st2, 1 + pw2_extra % st2.max(1), tiles_base, b * m)
+        } else {
+            (m * ow1, 1 + pw2_extra, tiles_base * m, tiles_base)
+        };
+        let pw1 = st1 + pw1_extra;
+        let p1 = StageParams {
+            step: st1,
+            pattern: pw1,
+            windows: random_windows(&mut wr, pw1, ow1),
+            divisor: 1 + wr.below(3) as i64,
+            tiles: tiles1,
+        };
+        let ow2 = 1 + wr.below(3) as usize;
+        let p2 = StageParams {
+            step: st2,
+            pattern: pw2,
+            windows: random_windows(&mut wr, pw2, ow2),
+            divisor: 1 + wr.below(3) as i64,
+            tiles: tiles2,
+        };
+        let in_cols = tiles1 * st1;
+        let model = two_stage_model(rows, in_cols, &p1, &p2);
+        let alloc = Allocation::default()
+            .allocate("source", "i7_930")
+            .allocate("sink", "i7_930")
+            .allocate("filter1", "gtx480")
+            .allocate("filter2", "gtx480");
+        let sm = schedule(&deploy(model, Platform::cpu_gpu(), alloc).unwrap()).unwrap();
+
+        let unfused_prog = generate_opencl(&sm).unwrap();
+        let (fused_prog, report) = generate_opencl_fused(&sm).unwrap();
+        prop_assert_eq!(report.fused.len(), 1, "refused: {:?}", report.refused);
+        prop_assert_eq!(fused_prog.kernels.len(), 1);
+
+        let frames: Vec<Vec<NdArray<i64>>> = (0..2)
+            .map(|f| {
+                vec![NdArray::from_fn([rows, in_cols], |ix| {
+                    ((ix[0] * 131 + ix[1] * 17 + f * 59 + seed as usize) % 97) as i64
+                })]
+            })
+            .collect();
+
+        // ArrayOL CPU reference from the unfused scheduled model.
+        let g = to_arrayol(&sm).unwrap();
+        let reference: Vec<Vec<NdArray<i64>>> = frames
+            .iter()
+            .map(|frame| {
+                let mut inputs = std::collections::HashMap::new();
+                inputs.insert(g.external_inputs[0], frame[0].clone());
+                let env =
+                    arrayol::exec::execute(&g, &inputs, &arrayol::exec::ExecOptions::sequential())
+                        .unwrap();
+                vec![env[&g.external_outputs[0]].clone()]
+            })
+            .collect();
+
+        let run = |prog, queues, degrade, device: &mut Device| {
+            run_opencl_frames(
+                prog,
+                device,
+                &frames,
+                OpenClPipelineOptions { queues, total_frames: 0, degrade_on_oom: degrade },
+            )
+            .unwrap()
+        };
+        let unfused = run(&unfused_prog, 1, false, &mut Device::gtx480());
+        prop_assert_eq!(&unfused, &reference);
+
+        let mut serial_dev = Device::gtx480();
+        let fused_serial = run(&fused_prog, 1, false, &mut serial_dev);
+        prop_assert_eq!(&fused_serial, &reference);
+        prop_assert_eq!(run(&fused_prog, 2, false, &mut Device::gtx480()), reference.clone());
+
+        // A device sized for one lane-set but not two: the 2-queue attempt
+        // OOMs and the degradation ladder lands back on 1 queue with the
+        // same bits.
+        let peak = serial_dev.peak_allocated_bytes();
+        let cfg = simgpu::DeviceConfig::toy(peak * 3 / 2);
+        let mut constrained = Device::new(cfg, simgpu::Calibration::gtx480());
+        prop_assert_eq!(run(&fused_prog, 2, true, &mut constrained), reference);
+        prop_assert!(
+            constrained.profiler.notes().any(|n| n.contains("degraded")),
+            "no degradation note"
+        );
     }
 
     /// The frame generator stays within the 8-bit pixel range and is
