@@ -142,29 +142,39 @@ fn main() {
     }
     if run("streams") {
         match exp::streams_ablation(s, &[1, 2, 4]) {
-            Ok(rows) => println!("{}", report::render_streams(&rows)),
+            Ok(rows) => {
+                println!("{}", report::render_streams(&rows));
+                if command == "streams" {
+                    if let Some(path) = &json_path {
+                        write_json(path, &bench::json::streams_json(s, &rows));
+                    }
+                }
+            }
             Err(e) => eprintln!("streams ablation failed: {e}"),
         }
     }
     if run("memory") {
-        match exp::memory_ablation(s) {
-            Ok(rows) => println!("{}", report::render_memory(&rows)),
-            Err(e) => eprintln!("memory ablation failed: {e}"),
-        }
-        match exp::oom_degradation_demo(s) {
-            Ok(d) => println!("{}", report::render_degradation(&d)),
-            Err(e) => eprintln!("degradation demo failed: {e}"),
+        match (exp::memory_ablation(s), exp::oom_degradation_demo(s)) {
+            (Ok(rows), Ok(d)) => {
+                println!("{}", report::render_memory(&rows));
+                println!("{}", report::render_degradation(&d));
+                if command == "memory" {
+                    if let Some(path) = &json_path {
+                        write_json(path, &bench::json::memory_json(s, &rows, &d));
+                    }
+                }
+            }
+            (Err(e), _) => eprintln!("memory ablation failed: {e}"),
+            (_, Err(e)) => eprintln!("degradation demo failed: {e}"),
         }
     }
     if run("fusion") {
         match exp::fusion_ablation(s) {
             Ok(a) => {
                 println!("{}", report::render_fusion(&a));
-                if let Some(path) = &json_path {
-                    let record = bench::json::fusion_json(s, &a);
-                    match std::fs::write(path, record) {
-                        Ok(()) => println!("wrote {path}"),
-                        Err(e) => eprintln!("writing {path} failed: {e}"),
+                if command == "fusion" {
+                    if let Some(path) = &json_path {
+                        write_json(path, &bench::json::fusion_json(s, &a));
                     }
                 }
             }
@@ -176,6 +186,13 @@ fn main() {
     }
     if command == "emit-artifacts" {
         emit_artifacts(s);
+    }
+}
+
+fn write_json(path: &str, record: &str) {
+    match std::fs::write(path, record) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("writing {path} failed: {e}"),
     }
 }
 

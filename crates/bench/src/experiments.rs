@@ -3,13 +3,13 @@
 use crate::calibration::{HOST_NS_PER_OP, SEQ_CPU_NS_PER_OP};
 use downscaler::frames::FrameGenerator;
 use downscaler::pipelines::{
-    build_gaspard, build_gaspard_fused, build_sac, run_gaspard_batch, run_sac_batch, BatchOptions,
+    build_gaspard, build_gaspard_fused, build_sac, run_gaspard_batch, run_sac_batch, ExecOptions,
     PipelineError, SacRoute,
 };
 use downscaler::sac_src::{Part, Variant};
 use downscaler::Scenario;
 use mdarray::NdArray;
-use sac_cuda::exec::{run_on_device_opts, ExecOptions, HostCost};
+use sac_cuda::exec::run_on_device_opts;
 use sac_cuda::PlanOp;
 use simgpu::cost::Direction;
 use simgpu::device::Device;
@@ -49,7 +49,7 @@ pub struct Fig12 {
 }
 
 fn default_exec(s: &Scenario) -> ExecOptions {
-    ExecOptions { host_cost: HostCost { ns_per_op: HOST_NS_PER_OP }, channel_chunks: s.channels }
+    ExecOptions { host_ns_per_op: HOST_NS_PER_OP, channel_chunks: s.channels, ..Default::default() }
 }
 
 fn test_frame(s: &Scenario) -> NdArray<i64> {
@@ -326,7 +326,7 @@ pub fn streams_ablation(
     let gasp = build_gaspard(s)?;
     let mut rows = Vec::new();
     for &streams in stream_counts {
-        let opts = BatchOptions {
+        let opts = ExecOptions {
             streams,
             executed: 1,
             host_ns_per_op: HOST_NS_PER_OP,
@@ -479,7 +479,7 @@ pub fn oom_degradation_demo(s: &Scenario) -> Result<DegradationDemo, PipelineErr
     // Scenarios with fewer frames than lanes exercise fewer lanes.
     let exercised = streams.min(s.frames);
     let opts =
-        BatchOptions { executed: exercised, host_ns_per_op: HOST_NS_PER_OP, ..Default::default() };
+        ExecOptions { executed: exercised, host_ns_per_op: HOST_NS_PER_OP, ..Default::default() };
 
     // Baseline 1-stream run doubles as the per-lane footprint probe.
     let mut probe = Device::gtx480();
@@ -491,7 +491,7 @@ pub fn oom_degradation_demo(s: &Scenario) -> Result<DegradationDemo, PipelineErr
     let cfg = simgpu::DeviceConfig::toy(capacity);
     let mut naive = Device::new(cfg.clone(), simgpu::Calibration::gtx480());
     let naive_error =
-        match run_sac_batch(s, &sac, &mut naive, 0xD05C, BatchOptions { streams, ..opts }) {
+        match run_sac_batch(s, &sac, &mut naive, 0xD05C, ExecOptions { streams, ..opts }) {
             Err(e) => e.to_string(),
             Ok(_) => "unexpectedly succeeded".into(),
         };
@@ -502,7 +502,7 @@ pub fn oom_degradation_demo(s: &Scenario) -> Result<DegradationDemo, PipelineErr
         &sac,
         &mut degraded,
         0xD05C,
-        BatchOptions { streams, degrade_on_oom: true, ..opts },
+        ExecOptions { streams, degrade_on_oom: true, ..opts },
     )?;
 
     Ok(DegradationDemo {
@@ -578,7 +578,7 @@ pub fn fusion_ablation(s: &Scenario) -> Result<FusionAblation, PipelineError> {
     let mut rows = Vec::new();
     let mut fused_outputs_match = true;
     for (streams, pool) in [(1usize, false), (2, true)] {
-        let opts = BatchOptions {
+        let opts = ExecOptions {
             streams,
             pool,
             executed: 1,

@@ -2,7 +2,7 @@
 //! deliberately carries no serde dependency, and the benchmark records are
 //! small flat tables, so a tiny value tree with an escaping writer is enough.
 
-use crate::experiments::FusionAblation;
+use crate::experiments::{DegradationDemo, FusionAblation, MemoryRow, StreamsRow};
 use downscaler::Scenario;
 
 /// A JSON value. Construct with the variant constructors and render with
@@ -127,6 +127,64 @@ pub fn fusion_json(s: &Scenario, a: &FusionAblation) -> String {
     .render()
 }
 
+/// The machine-readable record `reproduce streams --json <path>` writes:
+/// scenario, then one row per stream count with both routes' makespans and
+/// overlap percentages.
+pub fn streams_json(s: &Scenario, rows: &[StreamsRow]) -> String {
+    let rows = rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("streams".into(), Json::Int(r.streams as i64)),
+                ("sac_s".into(), Json::Num(r.sac_s)),
+                ("gaspard_s".into(), Json::Num(r.gaspard_s)),
+                ("sac_overlap_pct".into(), Json::Num(r.sac_overlap_pct)),
+                ("gaspard_overlap_pct".into(), Json::Num(r.gaspard_overlap_pct)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("streams".into())),
+        ("scenario".into(), scenario_json(s)),
+        ("rows".into(), Json::Arr(rows)),
+    ])
+    .render()
+}
+
+/// The machine-readable record `reproduce memory --json <path>` writes:
+/// scenario, the naive/pooled allocator rows, and the OOM degradation demo.
+pub fn memory_json(s: &Scenario, rows: &[MemoryRow], demo: &DegradationDemo) -> String {
+    let rows = rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("config".into(), Json::Str(r.config.clone())),
+                ("sac_s".into(), Json::Num(r.sac_s)),
+                ("gaspard_s".into(), Json::Num(r.gaspard_s)),
+                ("sac_driver_mallocs".into(), Json::Int(r.sac_driver_mallocs as i64)),
+                ("gaspard_driver_mallocs".into(), Json::Int(r.gaspard_driver_mallocs as i64)),
+                ("sac_hit_rate".into(), Json::Num(r.sac_hit_rate)),
+                ("gaspard_hit_rate".into(), Json::Num(r.gaspard_hit_rate)),
+            ])
+        })
+        .collect();
+    let demo = Json::Obj(vec![
+        ("capacity_bytes".into(), Json::Int(demo.capacity_bytes as i64)),
+        ("streams".into(), Json::Int(demo.streams as i64)),
+        ("naive_error".into(), Json::Str(demo.naive_error.clone())),
+        ("degraded_s".into(), Json::Num(demo.degraded_s)),
+        ("notes".into(), Json::Arr(demo.notes.iter().map(|n| Json::Str(n.clone())).collect())),
+        ("outputs_match_baseline".into(), Json::Bool(demo.outputs_match_baseline)),
+    ]);
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("memory".into())),
+        ("scenario".into(), scenario_json(s)),
+        ("rows".into(), Json::Arr(rows)),
+        ("degradation".into(), demo),
+    ])
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +205,65 @@ mod tests {
     #[test]
     fn control_chars_escape_as_unicode() {
         assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn streams_record_has_all_fields() {
+        let s = Scenario::tiny();
+        let rows = vec![StreamsRow {
+            streams: 2,
+            sac_s: 2.001,
+            gaspard_s: 1.41,
+            sac_overlap_pct: 44.5,
+            gaspard_overlap_pct: 49.2,
+        }];
+        let text = streams_json(&s, &rows);
+        for needle in [
+            r#""experiment":"streams""#,
+            r#""scenario":{"name":"#,
+            r#""streams":2"#,
+            r#""sac_s":2.001"#,
+            r#""gaspard_s":1.41"#,
+            r#""sac_overlap_pct":44.5"#,
+            r#""gaspard_overlap_pct":49.2"#,
+        ] {
+            assert!(text.contains(needle), "{needle} missing from {text}");
+        }
+    }
+
+    #[test]
+    fn memory_record_has_all_fields() {
+        let s = Scenario::tiny();
+        let rows = vec![MemoryRow {
+            config: "pooled".into(),
+            sac_s: 3.612,
+            gaspard_s: 2.781,
+            sac_driver_mallocs: 3,
+            gaspard_driver_mallocs: 9,
+            sac_hit_rate: 99.7,
+            gaspard_hit_rate: 99.7,
+        }];
+        let demo = DegradationDemo {
+            capacity_bytes: 1024,
+            streams: 4,
+            naive_error: "simulator: out of device memory".into(),
+            degraded_s: 2.02,
+            notes: vec!["degraded: out of device memory at 4 stream lanes".into()],
+            outputs_match_baseline: true,
+        };
+        let text = memory_json(&s, &rows, &demo);
+        for needle in [
+            r#""experiment":"memory""#,
+            r#""config":"pooled""#,
+            r#""sac_driver_mallocs":3"#,
+            r#""gaspard_hit_rate":99.7"#,
+            r#""degradation":{"capacity_bytes":1024"#,
+            r#""naive_error":"simulator: out of device memory""#,
+            r#""notes":["degraded: out of device memory at 4 stream lanes"]"#,
+            r#""outputs_match_baseline":true"#,
+        ] {
+            assert!(text.contains(needle), "{needle} missing from {text}");
+        }
     }
 
     #[test]

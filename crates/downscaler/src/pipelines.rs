@@ -4,15 +4,26 @@ use crate::frames::FrameGenerator;
 use crate::sac_src::{program_src, Part, Variant};
 use crate::scenario::Scenario;
 use gaspard::codegen::{generate_opencl, OpenClProgram};
-use gaspard::exec::{run_opencl_frames, OpenClPipelineOptions};
+use gaspard::exec::run_opencl_frames;
 use gaspard::fusion::{generate_opencl_fused, FusionReport};
 use gaspard::transform::{deploy, schedule, ScheduledModel};
 use gaspard::Platform;
 use mdarray::NdArray;
 use sac_cuda::codegen::{compile_flat_program, CudaProgram};
-use sac_cuda::exec::{run_frames_pipelined, ExecOptions, HostCost, PipelineOptions};
+use sac_cuda::exec::run_frames_pipelined;
 use sac_lang::opt::{optimize, ArgDesc, OptConfig, OptReport};
 use sac_lang::wir::FlatProgram;
+
+pub use simgpu::schedule::ExecOptions;
+
+/// Former name of the batch options, now the unified [`ExecOptions`] shared
+/// by both routes and the executors underneath them.
+#[deprecated(
+    since = "0.1.0",
+    note = "unified into `ExecOptions` (simgpu::schedule); the fields are \
+            unchanged"
+)]
+pub type BatchOptions = ExecOptions;
 
 /// Errors from route construction.
 #[derive(Debug)]
@@ -120,59 +131,13 @@ pub fn build_gaspard_fused(s: &Scenario) -> Result<GaspardRoute, PipelineError> 
     Ok(GaspardRoute { scheduled, opencl, fusion })
 }
 
-/// How a scenario's frame batch is driven through a pipelined executor.
-#[derive(Debug, Clone, Copy)]
-pub struct BatchOptions {
-    /// Streams (SaC route) / command queues (GASPARD route). `1` = the
-    /// serialized baseline.
-    pub streams: usize,
-    /// Frames executed functionally; the scenario's remaining frames are
-    /// timing-replayed from the first frame's measured schedule. `0` runs
-    /// every frame functionally.
-    pub executed: usize,
-    /// Host-fallback cost (SaC route only).
-    pub host_ns_per_op: f64,
-    /// Enable the device's size-class memory pool for this batch: freed
-    /// buffers are cached and reused instead of going back to the driver.
-    /// Off by default — the naive allocator is what the paper's profiles
-    /// were calibrated against.
-    pub pool: bool,
-    /// On `OutOfMemory`, retry the batch with half the stream lanes instead
-    /// of failing (see `PipelineOptions::degrade_on_oom`). Off by default.
-    pub degrade_on_oom: bool,
-}
-
-impl Default for BatchOptions {
-    fn default() -> Self {
-        BatchOptions {
-            streams: 1,
-            executed: 0,
-            host_ns_per_op: HostCost::default().ns_per_op,
-            pool: false,
-            degrade_on_oom: false,
-        }
-    }
-}
-
-impl BatchOptions {
-    fn executed_frames(&self, s: &Scenario) -> usize {
-        if self.executed == 0 {
-            s.frames
-        } else {
-            self.executed.min(s.frames)
-        }
-    }
-
-    /// Reject configurations the executors cannot honour: `streams: 0`
-    /// previously slipped through and hit `streams.max(1)` deep inside the
-    /// executor, silently meaning something different from what was asked.
-    fn validate(&self) -> Result<(), PipelineError> {
-        if self.streams == 0 {
-            return Err(PipelineError::Config(
-                "streams must be >= 1 (1 = the serialized baseline)".into(),
-            ));
-        }
-        Ok(())
+/// Frames executed functionally for a scenario under `opts`: the remaining
+/// frames are timing-replayed from the first frame's measured schedule.
+fn executed_frames(opts: &ExecOptions, s: &Scenario) -> usize {
+    if opts.executed == 0 {
+        s.frames
+    } else {
+        opts.executed.min(s.frames)
     }
 }
 
@@ -184,26 +149,20 @@ pub fn run_sac_batch(
     route: &SacRoute,
     device: &mut simgpu::Device,
     seed: u64,
-    opts: BatchOptions,
+    opts: ExecOptions,
 ) -> Result<Vec<NdArray<i64>>, PipelineError> {
-    opts.validate()?;
+    opts.validate().map_err(PipelineError::Config)?;
     device.set_pool_enabled(opts.pool);
     let gen = FrameGenerator::new(s.channels, s.rows, s.cols, seed);
     let frames: Vec<Vec<NdArray<i64>>> =
-        (0..opts.executed_frames(s)).map(|f| vec![gen.frame_rank3(f)]).collect();
+        (0..executed_frames(&opts, s)).map(|f| vec![gen.frame_rank3(f)]).collect();
+    // The scenario decides frame chunking and batch length; everything else
+    // (streams, host cost, pool, degradation) flows through from the caller.
     let (outs, _) = run_frames_pipelined(
         &route.cuda,
         device,
         &frames,
-        PipelineOptions {
-            exec: ExecOptions {
-                host_cost: HostCost { ns_per_op: opts.host_ns_per_op },
-                channel_chunks: s.channels,
-            },
-            streams: opts.streams,
-            total_frames: s.frames,
-            degrade_on_oom: opts.degrade_on_oom,
-        },
+        ExecOptions { channel_chunks: s.channels, total_frames: s.frames, ..opts },
     )?;
     Ok(outs)
 }
@@ -216,22 +175,18 @@ pub fn run_gaspard_batch(
     route: &GaspardRoute,
     device: &mut simgpu::Device,
     seed: u64,
-    opts: BatchOptions,
+    opts: ExecOptions,
 ) -> Result<Vec<Vec<NdArray<i64>>>, PipelineError> {
-    opts.validate()?;
+    opts.validate().map_err(PipelineError::Config)?;
     device.set_pool_enabled(opts.pool);
     let gen = FrameGenerator::new(s.channels, s.rows, s.cols, seed);
     let frames: Vec<Vec<NdArray<i64>>> =
-        (0..opts.executed_frames(s)).map(|f| gen.frame_channels(f)).collect();
+        (0..executed_frames(&opts, s)).map(|f| gen.frame_channels(f)).collect();
     let outs = run_opencl_frames(
         &route.opencl,
         device,
         &frames,
-        OpenClPipelineOptions {
-            queues: opts.streams,
-            total_frames: s.frames,
-            degrade_on_oom: opts.degrade_on_oom,
-        },
+        ExecOptions { total_frames: s.frames, ..opts },
     )?;
     Ok(outs)
 }
@@ -375,14 +330,14 @@ mod tests {
 
         let mut sac_sync = Device::gtx480();
         let sync_outs =
-            run_sac_batch(&s, &sac, &mut sac_sync, seed, BatchOptions::default()).unwrap();
+            run_sac_batch(&s, &sac, &mut sac_sync, seed, ExecOptions::default()).unwrap();
         let mut sac_db = Device::gtx480();
         let db_outs = run_sac_batch(
             &s,
             &sac,
             &mut sac_db,
             seed,
-            BatchOptions { streams: 2, ..Default::default() },
+            ExecOptions { streams: 2, ..Default::default() },
         )
         .unwrap();
         for (f, out) in db_outs.iter().enumerate() {
@@ -393,14 +348,14 @@ mod tests {
 
         let mut g_sync = Device::gtx480();
         let g_sync_outs =
-            run_gaspard_batch(&s, &gasp, &mut g_sync, seed, BatchOptions::default()).unwrap();
+            run_gaspard_batch(&s, &gasp, &mut g_sync, seed, ExecOptions::default()).unwrap();
         let mut g_db = Device::gtx480();
         let g_db_outs = run_gaspard_batch(
             &s,
             &gasp,
             &mut g_db,
             seed,
-            BatchOptions { streams: 2, ..Default::default() },
+            ExecOptions { streams: 2, ..Default::default() },
         )
         .unwrap();
         assert_eq!(g_db_outs, g_sync_outs);
@@ -412,7 +367,7 @@ mod tests {
         let s = Scenario::tiny();
         let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &OptConfig::default()).unwrap();
         let gasp = build_gaspard(&s).unwrap();
-        let bad = BatchOptions { streams: 0, ..Default::default() };
+        let bad = ExecOptions { streams: 0, ..Default::default() };
 
         let mut d = Device::gtx480();
         let err = run_sac_batch(&s, &sac, &mut d, 1, bad);
@@ -433,15 +388,14 @@ mod tests {
         let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &OptConfig::default()).unwrap();
 
         let mut naive = Device::gtx480();
-        let naive_outs =
-            run_sac_batch(&s, &sac, &mut naive, seed, BatchOptions::default()).unwrap();
+        let naive_outs = run_sac_batch(&s, &sac, &mut naive, seed, ExecOptions::default()).unwrap();
         let mut pooled = Device::gtx480();
         let pooled_outs = run_sac_batch(
             &s,
             &sac,
             &mut pooled,
             seed,
-            BatchOptions { pool: true, ..Default::default() },
+            ExecOptions { pool: true, ..Default::default() },
         )
         .unwrap();
 

@@ -5,157 +5,124 @@
 //! (`clEnqueueWriteBuffer` ⇒ `memcpyHtoDasync`), all kernels run back to
 //! back with intermediates staying in device memory, and every sink array is
 //! read back (`memcpyDtoHasync`).
+//!
+//! Since the launch-plan refactor this module contains no executor of its
+//! own: [`lower_plan`] projects a scheduled model's kernel list onto the
+//! route-agnostic [`simgpu::schedule::LaunchPlan`] IR, and both entry points
+//! are thin wrappers over [`simgpu::schedule::BatchScheduler`] — the same
+//! engine that executes the SaC→CUDA route, so command-queue pipelining,
+//! OOM degradation and timing replay are shared code, not reimplementations.
 
 use crate::codegen::OpenClProgram;
 use crate::GaspardError;
 use mdarray::NdArray;
-use simgpu::device::{BufferId, Device, StreamId};
-use simgpu::kir::KernelArg;
-use simgpu::profiler::OpClass;
+use simgpu::schedule::{
+    ArrayDecl, BatchScheduler, LaunchPlan, PlanKernel, PlanStep, ScheduleError,
+};
+use simgpu::Device;
+
+pub use simgpu::schedule::ExecOptions;
+
+/// Former per-route options struct, now unified across both routes.
+#[deprecated(
+    since = "0.1.0",
+    note = "unified into `ExecOptions` (simgpu::schedule); the `queues` \
+            field is now called `streams`"
+)]
+pub type OpenClPipelineOptions = ExecOptions;
+
+/// Map a scheduler error back onto this route's error type.
+fn from_schedule(e: ScheduleError) -> GaspardError {
+    match e {
+        ScheduleError::Sim(e) => GaspardError::Sim(e),
+        ScheduleError::Overflow { value } => {
+            GaspardError::BadInput { msg: format!("value {value} does not fit a device int") }
+        }
+        ScheduleError::Input(msg) | ScheduleError::Plan(msg) | ScheduleError::Host(msg) => {
+            GaspardError::BadInput { msg }
+        }
+        ScheduleError::Config(msg) => GaspardError::Config(msg),
+    }
+}
+
+/// Lower a generated OpenCL program to the route-agnostic launch-plan IR.
+///
+/// The plan mirrors the generated host loop exactly: one `Upload` per source
+/// array (whole-buffer writes — the MDE chain does not chunk transfers), one
+/// `Alloc` + `Launch` per scheduled kernel with the `[output, input]`
+/// argument convention of the generated kernels, and one `Download` per sink
+/// array, in model order. The chain performs no host fallbacks, so the plan
+/// has no host ops.
+pub fn lower_plan(prog: &OpenClProgram) -> LaunchPlan<'_> {
+    let sm = &prog.model;
+    let arrays: Vec<ArrayDecl> = sm
+        .arrays
+        .iter()
+        .map(|a| ArrayDecl { name: a.name.clone(), shape: a.shape.clone() })
+        .collect();
+    let kernels: Vec<PlanKernel<'_>> = prog
+        .kernels
+        .iter()
+        .map(|k| PlanKernel { kernel: &k.kernel, config: k.config, args: vec![k.output, k.input] })
+        .collect();
+    let mut steps = Vec::with_capacity(sm.inputs.len() + 2 * prog.kernels.len() + sm.outputs.len());
+    for &id in &sm.inputs {
+        steps.push(PlanStep::Upload { array: id, chunks: 1 });
+    }
+    for (i, k) in prog.kernels.iter().enumerate() {
+        steps.push(PlanStep::Alloc { array: k.output });
+        steps.push(PlanStep::Launch { kernel: i });
+    }
+    for &id in &sm.outputs {
+        steps.push(PlanStep::Download { array: id, chunks: 1 });
+    }
+    LaunchPlan {
+        arrays,
+        inputs: sm.inputs.clone(),
+        outputs: sm.outputs.clone(),
+        kernels,
+        host_ops: Vec::new(),
+        steps,
+        lane_label: "command queues",
+    }
+}
 
 /// Execute the program once (one frame set) on `device`.
 ///
 /// `inputs` are bound positionally to the scheduled model's source arrays;
-/// the returned vector holds one array per sink, in model order.
+/// the returned vector holds one array per sink, in model order. Buffers are
+/// released before returning (per-frame cleanup, as the generated host loop
+/// does).
 pub fn run_opencl(
     prog: &OpenClProgram,
     device: &mut Device,
     inputs: &[NdArray<i64>],
 ) -> Result<Vec<NdArray<i64>>, GaspardError> {
-    let mut buffers: Vec<Option<BufferId>> = vec![None; prog.model.arrays.len()];
-    let out = exec_frame_on(prog, device, inputs, &mut buffers, StreamId::DEFAULT);
-    device.sync_stream(StreamId::DEFAULT).expect("default stream always exists");
-
-    // Per-frame cleanup, as the generated host loop does.
-    for buf in buffers.into_iter().flatten() {
-        device.free(buf)?;
-    }
-    out
-}
-
-/// Enqueue one frame of the program on `command_queue` (an OpenCL command
-/// queue is the simulator's stream).
-///
-/// `buffers` is this queue's buffer set, indexed by model array id: `Some`
-/// entries are reused in place (later frames overwrite them), `None` entries
-/// are allocated on demand and left allocated for the caller.
-fn exec_frame_on(
-    prog: &OpenClProgram,
-    device: &mut Device,
-    inputs: &[NdArray<i64>],
-    buffers: &mut [Option<BufferId>],
-    command_queue: StreamId,
-) -> Result<Vec<NdArray<i64>>, GaspardError> {
-    let sm = &prog.model;
-    if inputs.len() != sm.inputs.len() {
-        return Err(GaspardError::BadInput {
-            msg: format!("expected {} inputs, got {}", sm.inputs.len(), inputs.len()),
-        });
-    }
-
-    // Upload sources.
-    for (&id, arr) in sm.inputs.iter().zip(inputs) {
-        if arr.shape().dims() != sm.arrays[id].shape.as_slice() {
-            return Err(GaspardError::BadInput {
-                msg: format!(
-                    "input '{}' has shape {:?}, expected {:?}",
-                    sm.arrays[id].name,
-                    arr.shape().dims(),
-                    sm.arrays[id].shape
-                ),
-            });
-        }
-        let data: Vec<i32> = arr
-            .as_slice()
-            .iter()
-            .map(|&v| {
-                i32::try_from(v).map_err(|_| GaspardError::BadInput {
-                    msg: format!("value {v} does not fit a device int"),
-                })
-            })
-            .collect::<Result<_, _>>()?;
-        let buf = match buffers[id] {
-            Some(b) => b,
-            None => {
-                let b = device.malloc(data.len())?;
-                buffers[id] = Some(b);
-                b
-            }
-        };
-        device.host2device_on(&data, buf, command_queue)?;
-    }
-
-    // Launch kernels in schedule order; allocate outputs on demand.
-    for k in &prog.kernels {
-        if buffers[k.output].is_none() {
-            let len: usize = sm.arrays[k.output].shape.iter().product();
-            buffers[k.output] = Some(device.malloc(len)?);
-        }
-        let out = buffers[k.output].expect("just allocated");
-        let inp = buffers[k.input].ok_or_else(|| GaspardError::BadInput {
-            msg: format!("kernel '{}' input not on device", k.kernel.name),
-        })?;
-        device.launch_on(
-            &k.kernel,
-            k.config,
-            &[KernelArg::Buffer(out.0), KernelArg::Buffer(inp.0)],
-            command_queue,
-        )?;
-    }
-
-    // Read back sinks.
-    let mut outputs = Vec::with_capacity(sm.outputs.len());
-    for &id in &sm.outputs {
-        let buf = buffers[id].ok_or_else(|| GaspardError::BadInput {
-            msg: format!("output '{}' never computed", sm.arrays[id].name),
-        })?;
-        let data = device.device2host_on(buf, command_queue)?;
-        outputs.push(
-            NdArray::from_vec(
-                sm.arrays[id].shape.clone(),
-                data.into_iter().map(i64::from).collect(),
-            )
-            .expect("device buffer length matches declared shape"),
-        );
-    }
-    Ok(outputs)
-}
-
-/// Options for [`run_opencl_frames`].
-#[derive(Debug, Clone, Copy, Default)]
-pub struct OpenClPipelineOptions {
-    /// Number of command queues = number of device buffer sets. `0` or `1`
-    /// serializes on the default queue, reproducing [`run_opencl`]'s
-    /// one-frame-at-a-time schedule exactly; `2` double-buffers adjacent
-    /// frames across the copy and compute engines.
-    pub queues: usize,
-    /// When greater than the number of supplied frames, remaining frames are
-    /// timing-replayed from the first frame's measured per-operation
-    /// durations (exact under the cost model: per-frame cost is
-    /// content-independent for fixed shapes). `0` means `frames.len()`.
-    pub total_frames: usize,
-    /// When a batch attempt fails with [`simgpu::SimError::OutOfMemory`],
-    /// release that attempt's device buffers, halve the number of command
-    /// queues and retry the whole batch instead of failing — the degradation
-    /// ladder `queues → queues/2 → … → 1`. Each downgrade is surfaced as a
-    /// profiler note and the failed attempt's simulated time stays charged.
-    /// Results are bit-identical at any queue count. Off by default.
-    pub degrade_on_oom: bool,
+    let plan = lower_plan(prog);
+    let frames = [inputs.to_vec()];
+    let (mut outs, _) = BatchScheduler::new(&plan)
+        .run(device, &frames, &ExecOptions::default())
+        .map_err(from_schedule)?;
+    Ok(outs.pop().expect("one frame in, one frame out"))
 }
 
 /// Execute a batch of frames with multi-queue double buffering.
 ///
-/// Frame `f` runs on command queue `f % queues` with that queue's private
+/// A thin wrapper: lowers `prog` with [`lower_plan`] and hands the batch to
+/// [`BatchScheduler`]. Frame `f` runs on command queue `f % streams` (an
+/// OpenCL command queue is the simulator's stream) with that queue's private
 /// buffer set; in-order queues protect in-place buffer reuse while adjacent
 /// frames overlap upload, kernels, and readback on the device's three
 /// engines. Returns one sink-array vector per functionally executed frame.
 /// The device is synchronized on return, so `device.now_us()` is the batch
-/// makespan.
+/// makespan. Timing replay ([`ExecOptions::total_frames`]) and the
+/// OOM-degradation ladder ([`ExecOptions::degrade_on_oom`]) behave exactly
+/// as on the SaC route — they are the same code.
 pub fn run_opencl_frames(
     prog: &OpenClProgram,
     device: &mut Device,
     frames: &[Vec<NdArray<i64>>],
-    opts: OpenClPipelineOptions,
+    opts: ExecOptions,
 ) -> Result<Vec<Vec<NdArray<i64>>>, GaspardError> {
     if frames.is_empty() {
         return Ok(Vec::new());
@@ -165,94 +132,9 @@ pub fn run_opencl_frames(
     for note in &prog.notes {
         device.profiler.note(note.clone());
     }
-    let mut lanes = opts.queues.max(1);
-    loop {
-        match run_frames_attempt(prog, device, frames, opts, lanes) {
-            Err(GaspardError::Sim(simgpu::SimError::OutOfMemory { .. }))
-                if opts.degrade_on_oom && lanes > 1 =>
-            {
-                let next = lanes / 2;
-                device.profiler.note(format!(
-                    "degraded: out of device memory at {lanes} command queues, \
-                     retrying batch with {next}"
-                ));
-                lanes = next;
-            }
-            other => return other,
-        }
-    }
-}
-
-/// One batch attempt at a fixed queue count. Buffer sets are released on
-/// success *and* failure so an aborted attempt never leaks device memory
-/// into a degraded retry.
-fn run_frames_attempt(
-    prog: &OpenClProgram,
-    device: &mut Device,
-    frames: &[Vec<NdArray<i64>>],
-    opts: OpenClPipelineOptions,
-    lanes: usize,
-) -> Result<Vec<Vec<NdArray<i64>>>, GaspardError> {
-    let mut queues = vec![StreamId::DEFAULT];
-    while queues.len() < lanes {
-        queues.push(device.create_stream());
-    }
-    let mut buffer_sets: Vec<Vec<Option<BufferId>>> =
-        vec![vec![None; prog.model.arrays.len()]; lanes];
-
-    let run = exec_frames_on_queues(prog, device, frames, opts, lanes, &queues, &mut buffer_sets);
-
-    for set in buffer_sets {
-        for buf in set.into_iter().flatten() {
-            let freed = device.free(buf);
-            if run.is_ok() {
-                // On the error path the original failure wins; frees of
-                // just-allocated buffers cannot themselves fail.
-                freed?;
-            }
-        }
-    }
-    device.synchronize();
-    run
-}
-
-/// The frame loop of one attempt: execute the supplied frames round-robin
-/// over `lanes` buffer sets, then replay frame 0's measured spans out to
-/// `total_frames`.
-fn exec_frames_on_queues(
-    prog: &OpenClProgram,
-    device: &mut Device,
-    frames: &[Vec<NdArray<i64>>],
-    opts: OpenClPipelineOptions,
-    lanes: usize,
-    queues: &[StreamId],
-    buffer_sets: &mut [Vec<Option<BufferId>>],
-) -> Result<Vec<Vec<NdArray<i64>>>, GaspardError> {
-    let mut outputs = Vec::with_capacity(frames.len());
-    let mut frame_ops: Vec<(String, OpClass, f64)> = Vec::new();
-    for (f, inputs) in frames.iter().enumerate() {
-        let lane = f % lanes;
-        let span_mark = device.profiler.spans().count();
-        let out = exec_frame_on(prog, device, inputs, &mut buffer_sets[lane], queues[lane])?;
-        if f == 0 {
-            frame_ops = device
-                .profiler
-                .spans()
-                .skip(span_mark)
-                .map(|sp| (sp.name.clone(), sp.class, sp.duration_us()))
-                .collect();
-        }
-        outputs.push(out);
-    }
-
-    let total = if opts.total_frames == 0 { frames.len() } else { opts.total_frames };
-    for f in frames.len()..total {
-        let lane = f % lanes;
-        for (name, class, us) in &frame_ops {
-            device.replay_on(name, *class, *us, queues[lane])?;
-        }
-    }
-    Ok(outputs)
+    let plan = lower_plan(prog);
+    let (outs, _) = BatchScheduler::new(&plan).run(device, frames, &opts).map_err(from_schedule)?;
+    Ok(outs)
 }
 
 #[cfg(test)]
@@ -262,7 +144,7 @@ mod tests {
     use crate::fixtures::mini_two_stage_model;
     use crate::model::Platform;
     use crate::transform::{deploy, schedule, to_arrayol};
-    use arrayol::exec::{execute, ExecOptions};
+    use arrayol::exec::{execute, ExecOptions as ArrayOlExecOptions};
     use std::collections::HashMap;
 
     fn compiled() -> OpenClProgram {
@@ -281,7 +163,7 @@ mod tests {
         let g = to_arrayol(&prog.model).unwrap();
         let mut inputs = HashMap::new();
         inputs.insert(g.external_inputs[0], frame.clone());
-        let expect = execute(&g, &inputs, &ExecOptions::sequential()).unwrap();
+        let expect = execute(&g, &inputs, &ArrayOlExecOptions::sequential()).unwrap();
         let expect = &expect[&g.external_outputs[0]];
 
         // Generated OpenCL on the simulator.
@@ -316,6 +198,21 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn zero_queues_is_rejected_by_the_unified_validation() {
+        let prog = compiled();
+        let mut device = Device::gtx480();
+        let err = run_opencl_frames(
+            &prog,
+            &mut device,
+            &queue_frames(2),
+            ExecOptions { streams: 0, ..Default::default() },
+        );
+        assert!(matches!(err, Err(GaspardError::Config(_))), "{err:?}");
+        assert_eq!(device.now_us(), 0.0);
+        assert_eq!(device.profiler.records().count(), 0);
+    }
+
     fn queue_frames(n: usize) -> Vec<Vec<NdArray<i64>>> {
         (0..n)
             .map(|f| {
@@ -342,7 +239,7 @@ mod tests {
             &prog,
             &mut piped,
             &frames,
-            OpenClPipelineOptions { queues: 1, ..Default::default() },
+            ExecOptions { streams: 1, ..Default::default() },
         )
         .unwrap();
 
@@ -363,7 +260,7 @@ mod tests {
             &prog,
             &mut sync,
             &frames,
-            OpenClPipelineOptions { queues: 1, ..Default::default() },
+            ExecOptions { streams: 1, ..Default::default() },
         )
         .unwrap();
 
@@ -372,7 +269,7 @@ mod tests {
             &prog,
             &mut db,
             &frames,
-            OpenClPipelineOptions { queues: 2, ..Default::default() },
+            ExecOptions { streams: 2, ..Default::default() },
         )
         .unwrap();
 
@@ -391,7 +288,7 @@ mod tests {
             &prog,
             &mut full,
             &queue_frames(6),
-            OpenClPipelineOptions { queues: 2, ..Default::default() },
+            ExecOptions { streams: 2, ..Default::default() },
         )
         .unwrap();
 
@@ -400,7 +297,7 @@ mod tests {
             &prog,
             &mut replay,
             &queue_frames(2),
-            OpenClPipelineOptions { queues: 2, total_frames: 6, ..Default::default() },
+            ExecOptions { streams: 2, total_frames: 6, ..Default::default() },
         )
         .unwrap();
 
@@ -420,7 +317,7 @@ mod tests {
             &prog,
             &mut probe,
             &frames,
-            OpenClPipelineOptions { queues: 1, ..Default::default() },
+            ExecOptions { streams: 1, ..Default::default() },
         )
         .unwrap();
         let per_queue = probe.peak_allocated_bytes();
@@ -434,7 +331,7 @@ mod tests {
             &prog,
             &mut naive,
             &frames,
-            OpenClPipelineOptions { queues: 4, ..Default::default() },
+            ExecOptions { streams: 4, ..Default::default() },
         );
         assert!(
             matches!(err, Err(GaspardError::Sim(simgpu::SimError::OutOfMemory { .. }))),
@@ -446,12 +343,15 @@ mod tests {
             &prog,
             &mut degraded,
             &frames,
-            OpenClPipelineOptions { queues: 4, degrade_on_oom: true, ..Default::default() },
+            ExecOptions { streams: 4, degrade_on_oom: true, ..Default::default() },
         )
         .unwrap();
         assert_eq!(outs, expect);
         assert_eq!(degraded.allocated_bytes(), 0);
-        assert!(degraded.profiler.notes().any(|n| n.contains("degraded")));
+        assert!(degraded
+            .profiler
+            .notes()
+            .any(|n| n.contains("degraded") && n.contains("command queues")));
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub mod openmp;
 pub mod transform;
 
 pub use codegen::{generate_opencl, OpenClProgram};
-pub use exec::{run_opencl, run_opencl_frames, OpenClPipelineOptions};
+#[allow(deprecated)]
+pub use exec::OpenClPipelineOptions;
+pub use exec::{lower_plan, run_opencl, run_opencl_frames, ExecOptions};
 pub use fusion::{fuse_model, generate_opencl_fused, FusionReport};
 pub use model::{
     Allocation, Component, ComponentKind, Connection, ElementaryOp, HwKind, Model, PartRef,
@@ -65,6 +67,8 @@ pub enum GaspardError {
     Sim(simgpu::SimError),
     /// Execution input mismatch.
     BadInput { msg: String },
+    /// Invalid execution options (rejected before touching the device).
+    Config(String),
 }
 
 impl std::fmt::Display for GaspardError {
@@ -78,6 +82,7 @@ impl std::fmt::Display for GaspardError {
             GaspardError::Cyclic { involving } => write!(f, "cyclic model at '{involving}'"),
             GaspardError::Sim(e) => write!(f, "simulator: {e}"),
             GaspardError::BadInput { msg } => write!(f, "bad input: {msg}"),
+            GaspardError::Config(m) => write!(f, "bad execution options: {m}"),
         }
     }
 }

@@ -1,4 +1,13 @@
 //! Execution of compiled SaC→CUDA programs on the simulated device.
+//!
+//! Since the launch-plan refactor this module contains no executor of its
+//! own: [`lower_plan`] flattens a [`CudaProgram`] into the route-agnostic
+//! [`simgpu::schedule::LaunchPlan`] IR (uploads and downloads chunked per
+//! colour channel, one `Launch` per compiled kernel, host-fallback steps
+//! wrapped as interpreter closures), and every entry point is a thin wrapper
+//! over [`simgpu::schedule::BatchScheduler`] — the shared engine that owns
+//! stream pipelining, buffer sets, OOM degradation and replay for both
+//! compilation routes.
 
 use crate::codegen::{CudaProgram, PlanOp};
 use crate::CudaError;
@@ -7,9 +16,20 @@ use sac_lang::ast::Program;
 use sac_lang::eval::Interp;
 use sac_lang::value::Value;
 use sac_lang::wir::{HostBinding, Step};
-use simgpu::device::{BufferId, Device, StreamId};
-use simgpu::kir::KernelArg;
-use simgpu::profiler::OpClass;
+use simgpu::schedule::{
+    chunks_for, ArrayDecl, BatchScheduler, HostOp, LaunchPlan, PlanKernel, PlanStep, ScheduleError,
+};
+use simgpu::Device;
+
+pub use simgpu::schedule::{ExecOptions, RunStats};
+
+/// Former per-route options struct, now unified across both routes.
+#[deprecated(
+    since = "0.1.0",
+    note = "unified into `ExecOptions` (simgpu::schedule); the old `exec` \
+            sub-struct fields are now top-level fields"
+)]
+pub type PipelineOptions = ExecOptions;
 
 /// Cost model for work that stays on the host CPU (the generic output
 /// tiler). Charged as simulated time so Figure 9's generic-variant numbers
@@ -29,42 +49,100 @@ impl Default for HostCost {
     }
 }
 
-/// Counters from one program execution.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct RunStats {
-    /// Kernel launches performed.
-    pub launches: usize,
-    /// Host-to-device transfers.
-    pub h2d: usize,
-    /// Device-to-host transfers.
-    pub d2h: usize,
-    /// Host steps interpreted.
-    pub host_steps: usize,
-    /// Abstract host ops consumed by host steps.
-    pub host_ops: u64,
-}
-
-impl RunStats {
-    /// Fold another run's counters into this one.
-    pub fn accumulate(&mut self, other: &RunStats) {
-        self.launches += other.launches;
-        self.h2d += other.h2d;
-        self.d2h += other.d2h;
-        self.host_steps += other.host_steps;
-        self.host_ops += other.host_ops;
+/// Map a scheduler error back onto this route's error type.
+fn from_schedule(e: ScheduleError) -> CudaError {
+    match e {
+        ScheduleError::Sim(e) => CudaError::Sim(e),
+        ScheduleError::Overflow { value } => CudaError::Overflow { value },
+        ScheduleError::Input(m) | ScheduleError::Plan(m) | ScheduleError::Host(m) => {
+            CudaError::Host(m)
+        }
+        ScheduleError::Config(m) => CudaError::Config(m),
     }
 }
 
-/// Execution options beyond the defaults of [`run_on_device`].
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ExecOptions {
-    /// Host-fallback cost model.
-    pub host_cost: HostCost,
-    /// When non-zero: arrays whose leading dimension equals this value are
-    /// transferred as one chunk per leading slice (per colour channel), the
-    /// way the paper's runtimes stream frames — Tables I/II count 900
-    /// transfers for 300 three-channel frames.
-    pub channel_chunks: usize,
+/// Lower a compiled CUDA program to the route-agnostic launch-plan IR.
+///
+/// The lowering is 1:1 with the program's transfer-annotated plan: `Upload`
+/// and `Download` steps carry the per-channel chunking decision (see
+/// [`chunks_for`]) resolved against each array's shape, `SeedCopy` and
+/// `Launch` both become plan launches (a seed copy *is* a kernel launch in
+/// this backend), and each `HostStep` becomes a [`HostOp`] closure that runs
+/// the step's function in a fresh `sac-lang` interpreter and reports the
+/// abstract op count for host-time accounting.
+pub fn lower_plan(prog: &CudaProgram, channel_chunks: usize) -> Result<LaunchPlan<'_>, CudaError> {
+    let flat = &prog.flat;
+    let arrays: Vec<ArrayDecl> = flat
+        .arrays
+        .iter()
+        .map(|a| ArrayDecl { name: a.name.clone(), shape: a.shape.clone() })
+        .collect();
+    let kernels: Vec<PlanKernel<'_>> = prog
+        .kernels
+        .iter()
+        .map(|ck| PlanKernel { kernel: &ck.kernel, config: ck.config, args: ck.buffers.clone() })
+        .collect();
+    let mut host_ops: Vec<HostOp<'_>> = Vec::new();
+    let mut steps = Vec::with_capacity(prog.plan.len());
+    for op in &prog.plan {
+        match op {
+            PlanOp::Upload { array } => steps.push(PlanStep::Upload {
+                array: *array,
+                chunks: chunks_for(&flat.arrays[*array].shape, channel_chunks),
+            }),
+            PlanOp::Alloc { array } => steps.push(PlanStep::Alloc { array: *array }),
+            PlanOp::SeedCopy { kernel } | PlanOp::Launch { kernel } => {
+                steps.push(PlanStep::Launch { kernel: *kernel })
+            }
+            PlanOp::Download { array } => steps.push(PlanStep::Download {
+                array: *array,
+                chunks: chunks_for(&flat.arrays[*array].shape, channel_chunks),
+            }),
+            PlanOp::HostStep { step } => {
+                let Step::Host { target, fun, bindings, .. } = &flat.steps[*step] else {
+                    return Err(CudaError::Host("plan points at a non-host step".into()));
+                };
+                let reads: Vec<usize> = bindings
+                    .iter()
+                    .filter_map(|b| match b {
+                        HostBinding::Array(a) => Some(*a),
+                        HostBinding::Const(_) => None,
+                    })
+                    .collect();
+                let run = Box::new(move |arrs: &[NdArray<i64>]| {
+                    let wrapper = Program { funs: vec![fun.clone()] };
+                    let mut interp = Interp::new(&wrapper);
+                    let mut supplied = arrs.iter();
+                    let args: Vec<Value> = bindings
+                        .iter()
+                        .map(|b| match b {
+                            HostBinding::Array(_) => Value::Arr(
+                                supplied
+                                    .next()
+                                    .expect("scheduler supplies one array per declared read")
+                                    .clone(),
+                            ),
+                            HostBinding::Const(v) => v.clone(),
+                        })
+                        .collect();
+                    let out = interp.call(&fun.name, args).map_err(|e| e.to_string())?;
+                    let out = out.as_array().map_err(|e| e.to_string())?.clone();
+                    Ok((out, interp.ops))
+                });
+                host_ops.push(HostOp { name: fun.name.clone(), target: *target, reads, run });
+                steps.push(PlanStep::Host { op: host_ops.len() - 1 });
+            }
+        }
+    }
+    Ok(LaunchPlan {
+        arrays,
+        inputs: flat.inputs.clone(),
+        outputs: vec![flat.result],
+        kernels,
+        host_ops,
+        steps,
+        lane_label: "stream lanes",
+    })
 }
 
 /// Execute `prog` once on `device` with the given input arrays.
@@ -77,317 +155,63 @@ pub fn run_on_device(
     inputs: &[NdArray<i64>],
     host_cost: HostCost,
 ) -> Result<(NdArray<i64>, RunStats), CudaError> {
-    run_on_device_opts(prog, device, inputs, ExecOptions { host_cost, channel_chunks: 0 })
+    run_on_device_opts(
+        prog,
+        device,
+        inputs,
+        ExecOptions { host_ns_per_op: host_cost.ns_per_op, ..Default::default() },
+    )
 }
 
 /// [`run_on_device`] with explicit [`ExecOptions`].
+///
+/// Executes exactly once, serially, on the default stream (only
+/// [`ExecOptions::host_ns_per_op`] and [`ExecOptions::channel_chunks`] are
+/// honoured; batch fields are overridden). The paper's per-frame runtime
+/// also releases its buffers after each frame, which the scheduler does on
+/// return.
 pub fn run_on_device_opts(
     prog: &CudaProgram,
     device: &mut Device,
     inputs: &[NdArray<i64>],
     opts: ExecOptions,
 ) -> Result<(NdArray<i64>, RunStats), CudaError> {
-    let mut dev: Vec<Option<BufferId>> = vec![None; prog.flat.arrays.len()];
-    let out = exec_plan_on(prog, device, inputs, opts, &mut dev, StreamId::DEFAULT);
-    device.sync_stream(StreamId::DEFAULT).expect("default stream always exists");
-
-    // Free device buffers (frames are processed one at a time; the paper's
-    // runtime also releases per-frame buffers).
-    for buf in dev.into_iter().flatten() {
-        device.free(buf)?;
-    }
-    out
-}
-
-/// Walk the execution plan once, enqueuing every operation on `stream`.
-///
-/// Device buffers live in `dev`, indexed by flat-program array id; entries
-/// that are `Some` are reused (a later frame on the same buffer set
-/// overwrites in place), entries that are `None` are allocated on demand and
-/// left allocated for the caller to free or reuse.
-fn exec_plan_on(
-    prog: &CudaProgram,
-    device: &mut Device,
-    inputs: &[NdArray<i64>],
-    opts: ExecOptions,
-    dev: &mut [Option<BufferId>],
-    stream: StreamId,
-) -> Result<(NdArray<i64>, RunStats), CudaError> {
-    let host_cost = opts.host_cost;
-    let flat = &prog.flat;
-    if inputs.len() != flat.inputs.len() {
-        return Err(CudaError::Host(format!(
-            "expected {} inputs, got {}",
-            flat.inputs.len(),
-            inputs.len()
-        )));
-    }
-    let mut host: Vec<Option<NdArray<i64>>> = vec![None; flat.arrays.len()];
-    for (&id, arr) in flat.inputs.iter().zip(inputs) {
-        if arr.shape().dims() != flat.arrays[id].shape.as_slice() {
-            return Err(CudaError::Host(format!(
-                "input '{}' has wrong shape",
-                flat.arrays[id].name
-            )));
-        }
-        host[id] = Some(arr.clone());
-    }
-    let mut stats = RunStats::default();
-
-    for op in &prog.plan {
-        match op {
-            PlanOp::Upload { array } => {
-                let arr = host[*array].as_ref().ok_or_else(|| {
-                    CudaError::Host(format!("upload of uncomputed array {array}"))
-                })?;
-                let data = to_i32(arr.as_slice())?;
-                let buf = match dev[*array] {
-                    Some(b) => b,
-                    None => {
-                        let b = device.malloc(data.len())?;
-                        dev[*array] = Some(b);
-                        b
-                    }
-                };
-                let chunks = chunks_for(&flat.arrays[*array].shape, opts.channel_chunks);
-                device.host2device_chunked_on(&data, buf, chunks, stream)?;
-                stats.h2d += chunks;
-            }
-            PlanOp::Alloc { array } => {
-                if dev[*array].is_none() {
-                    let len: usize = flat.arrays[*array].shape.iter().product();
-                    dev[*array] = Some(device.malloc(len)?);
-                }
-            }
-            PlanOp::SeedCopy { kernel } | PlanOp::Launch { kernel } => {
-                let ck = &prog.kernels[*kernel];
-                let args: Vec<KernelArg> = ck
-                    .buffers
-                    .iter()
-                    .map(|&a| {
-                        dev[a]
-                            .map(|b| KernelArg::Buffer(b.0))
-                            .ok_or_else(|| CudaError::Host(format!("array {a} not on device")))
-                    })
-                    .collect::<Result<_, _>>()?;
-                device.launch_on(&ck.kernel, ck.config, &args, stream)?;
-                stats.launches += 1;
-            }
-            PlanOp::Download { array } => {
-                let buf = dev[*array]
-                    .ok_or_else(|| CudaError::Host(format!("array {array} not on device")))?;
-                let chunks = chunks_for(&flat.arrays[*array].shape, opts.channel_chunks);
-                let data = device.device2host_chunked_on(buf, chunks, stream)?;
-                let arr = NdArray::from_vec(
-                    flat.arrays[*array].shape.clone(),
-                    data.into_iter().map(i64::from).collect(),
-                )
-                .map_err(|e| CudaError::Host(e.to_string()))?;
-                host[*array] = Some(arr);
-                stats.d2h += chunks;
-            }
-            PlanOp::HostStep { step } => {
-                let Step::Host { target, fun, bindings, .. } = &flat.steps[*step] else {
-                    return Err(CudaError::Host("plan points at a non-host step".into()));
-                };
-                let wrapper = Program { funs: vec![fun.clone()] };
-                let mut interp = Interp::new(&wrapper);
-                let args: Result<Vec<Value>, CudaError> = bindings
-                    .iter()
-                    .map(|b| match b {
-                        HostBinding::Array(a) => host[*a]
-                            .as_ref()
-                            .map(|arr| Value::Arr(arr.clone()))
-                            .ok_or_else(|| CudaError::Host(format!("host step input {a} missing"))),
-                        HostBinding::Const(v) => Ok(v.clone()),
-                    })
-                    .collect();
-                let out =
-                    interp.call(&fun.name, args?).map_err(|e| CudaError::Host(e.to_string()))?;
-                let out = out.as_array().map_err(|e| CudaError::Host(e.to_string()))?.clone();
-                device.charge_host_on(
-                    &fun.name,
-                    interp.ops as f64 * host_cost.ns_per_op / 1000.0,
-                    stream,
-                )?;
-                stats.host_ops += interp.ops;
-                stats.host_steps += 1;
-                host[*target] = Some(out);
-            }
-        }
-    }
-
-    let result = host[flat.result]
-        .take()
-        .ok_or_else(|| CudaError::Host("result never reached the host".into()))?;
+    let plan = lower_plan(prog, opts.channel_chunks)?;
+    let frames = [inputs.to_vec()];
+    let serial = ExecOptions { streams: 1, total_frames: 0, ..opts };
+    let (mut outs, stats) =
+        BatchScheduler::new(&plan).run(device, &frames, &serial).map_err(from_schedule)?;
+    let mut frame = outs.pop().expect("one frame in, one frame out");
+    let result = frame.pop().expect("sac plans have exactly one output");
     Ok((result, stats))
-}
-
-/// Options for [`run_frames_pipelined`].
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PipelineOptions {
-    /// Per-frame execution options (host cost model, channel chunking).
-    pub exec: ExecOptions,
-    /// Number of streams = number of device buffer sets. `0` or `1` runs
-    /// fully serialized on the default stream (and then reproduces the
-    /// one-frame-at-a-time schedule of [`run_on_device_opts`] exactly);
-    /// `2` double-buffers so frame `f+1`'s upload overlaps frame `f`'s
-    /// kernels and frame `f-1`'s download.
-    pub streams: usize,
-    /// When greater than the number of supplied frames, the timing of the
-    /// remaining frames is *replayed* from the first frame's measured
-    /// per-operation durations instead of executing them functionally. Exact
-    /// under the cost model whenever per-frame cost is content-independent
-    /// (fixed shapes; host steps whose trip counts do not depend on data),
-    /// which holds for every pipeline in this workspace. `0` means
-    /// `frames.len()`.
-    pub total_frames: usize,
-    /// When a batch attempt fails with [`simgpu::SimError::OutOfMemory`],
-    /// release that attempt's device buffers, halve the number of stream
-    /// lanes and retry the whole batch instead of failing — the degradation
-    /// ladder `streams → streams/2 → … → 1`. Each downgrade is surfaced as a
-    /// profiler note, and the failed attempt's simulated time stays charged
-    /// (a real runtime pays for the work it abandons). Results are
-    /// bit-identical at any lane count, so degradation only trades makespan
-    /// for footprint. Off by default.
-    pub degrade_on_oom: bool,
 }
 
 /// Execute a batch of frames with multi-stream double buffering.
 ///
-/// Frame `f` is assigned stream `f % streams` and that stream's private
-/// buffer set, so same-buffer reuse is protected by same-stream ordering
-/// while adjacent frames overlap their H2D / compute / D2H phases on the
-/// device's three engines — the classic CUDA async-stream frame pipeline.
-/// Buffer sets are allocated once and reused across frames (allocation is
-/// free in simulated time, so the `streams = 1` case still matches the
-/// serial executor's clock bit-for-bit).
-///
-/// Returns one result array per *functionally executed* frame plus counters
-/// covering all `total_frames` (replayed frames contribute their counters
-/// and profiler records but no arrays). The device is synchronized on
-/// return, so `device.now_us()` is the batch makespan.
-///
-/// With [`PipelineOptions::degrade_on_oom`] set, an `OutOfMemory` failure
-/// restarts the batch at half the stream lanes (down to 1) instead of
-/// propagating; the downgrade is recorded as a profiler note.
+/// A thin wrapper: lowers `prog` with [`lower_plan`] and hands the batch to
+/// [`BatchScheduler`], which assigns frame `f` to stream lane `f % streams`
+/// with a private buffer set, replays timing out to
+/// [`ExecOptions::total_frames`], and (with [`ExecOptions::degrade_on_oom`])
+/// walks the lane-halving degradation ladder on `OutOfMemory`. See the
+/// scheduler docs for the full contract; results, simulated clock and
+/// profiler records are identical to the pre-refactor route-local executor.
 pub fn run_frames_pipelined(
     prog: &CudaProgram,
     device: &mut Device,
     frames: &[Vec<NdArray<i64>>],
-    opts: PipelineOptions,
+    opts: ExecOptions,
 ) -> Result<(Vec<NdArray<i64>>, RunStats), CudaError> {
     if frames.is_empty() {
         return Ok((Vec::new(), RunStats::default()));
     }
-    let mut lanes = opts.streams.max(1);
-    loop {
-        match run_frames_attempt(prog, device, frames, opts, lanes) {
-            Err(CudaError::Sim(simgpu::SimError::OutOfMemory { .. }))
-                if opts.degrade_on_oom && lanes > 1 =>
-            {
-                let next = lanes / 2;
-                device.profiler.note(format!(
-                    "degraded: out of device memory at {lanes} stream lanes, \
-                     retrying batch with {next}"
-                ));
-                lanes = next;
-            }
-            other => return other,
-        }
-    }
-}
-
-/// One batch attempt at a fixed lane count. Buffer sets are released on
-/// success *and* failure so an aborted attempt never leaks device memory
-/// into a degraded retry.
-fn run_frames_attempt(
-    prog: &CudaProgram,
-    device: &mut Device,
-    frames: &[Vec<NdArray<i64>>],
-    opts: PipelineOptions,
-    lanes: usize,
-) -> Result<(Vec<NdArray<i64>>, RunStats), CudaError> {
-    let mut streams = vec![StreamId::DEFAULT];
-    while streams.len() < lanes {
-        streams.push(device.create_stream());
-    }
-    let mut buffer_sets: Vec<Vec<Option<BufferId>>> =
-        vec![vec![None; prog.flat.arrays.len()]; lanes];
-
-    let run = exec_frames_on_lanes(prog, device, frames, opts, lanes, &streams, &mut buffer_sets);
-
-    for set in buffer_sets {
-        for buf in set.into_iter().flatten() {
-            let freed = device.free(buf);
-            if run.is_ok() {
-                // On the error path the original failure wins; frees of
-                // just-allocated buffers cannot themselves fail.
-                freed?;
-            }
-        }
-    }
-    device.synchronize();
-    run
-}
-
-/// The frame loop of one attempt: execute the supplied frames round-robin
-/// over `lanes` buffer sets, then replay frame 0's measured spans out to
-/// `total_frames`.
-fn exec_frames_on_lanes(
-    prog: &CudaProgram,
-    device: &mut Device,
-    frames: &[Vec<NdArray<i64>>],
-    opts: PipelineOptions,
-    lanes: usize,
-    streams: &[StreamId],
-    buffer_sets: &mut [Vec<Option<BufferId>>],
-) -> Result<(Vec<NdArray<i64>>, RunStats), CudaError> {
-    let mut outputs = Vec::with_capacity(frames.len());
-    let mut stats = RunStats::default();
-    let mut frame_ops: Vec<(String, OpClass, f64)> = Vec::new();
-    let mut frame_stats = RunStats::default();
-    for (f, inputs) in frames.iter().enumerate() {
-        let lane = f % lanes;
-        let span_mark = device.profiler.spans().count();
-        let (out, st) =
-            exec_plan_on(prog, device, inputs, opts.exec, &mut buffer_sets[lane], streams[lane])?;
-        if f == 0 {
-            frame_ops = device
-                .profiler
-                .spans()
-                .skip(span_mark)
-                .map(|sp| (sp.name.clone(), sp.class, sp.duration_us()))
-                .collect();
-            frame_stats = st.clone();
-        }
-        stats.accumulate(&st);
-        outputs.push(out);
-    }
-
-    let total = if opts.total_frames == 0 { frames.len() } else { opts.total_frames };
-    for f in frames.len()..total {
-        let lane = f % lanes;
-        for (name, class, us) in &frame_ops {
-            device.replay_on(name, *class, *us, streams[lane])?;
-        }
-        stats.accumulate(&frame_stats);
-    }
-    Ok((outputs, stats))
-}
-
-/// Transfers split per leading slice when the leading dimension matches the
-/// configured channel count.
-fn chunks_for(shape: &[usize], channel_chunks: usize) -> usize {
-    if channel_chunks > 1 && shape.len() >= 2 && shape[0] == channel_chunks {
-        channel_chunks
-    } else {
-        1
-    }
-}
-
-fn to_i32(data: &[i64]) -> Result<Vec<i32>, CudaError> {
-    data.iter().map(|&v| i32::try_from(v).map_err(|_| CudaError::Overflow { value: v })).collect()
+    let plan = lower_plan(prog, opts.channel_chunks)?;
+    let (outs, stats) =
+        BatchScheduler::new(&plan).run(device, frames, &opts).map_err(from_schedule)?;
+    let outs = outs
+        .into_iter()
+        .map(|mut frame| frame.pop().expect("sac plans have exactly one output"))
+        .collect();
+    Ok((outs, stats))
 }
 
 #[cfg(test)]
@@ -579,7 +403,7 @@ int[*] main(int[8,16] a)
             &prog,
             &mut piped,
             &frames,
-            PipelineOptions { streams: 1, ..Default::default() },
+            ExecOptions { streams: 1, ..Default::default() },
         )
         .unwrap();
 
@@ -601,7 +425,7 @@ int[*] main(int[8,16] a)
             &prog,
             &mut sync,
             &frames,
-            PipelineOptions { streams: 1, ..Default::default() },
+            ExecOptions { streams: 1, ..Default::default() },
         )
         .unwrap();
 
@@ -610,7 +434,7 @@ int[*] main(int[8,16] a)
             &prog,
             &mut db,
             &frames,
-            PipelineOptions { streams: 2, ..Default::default() },
+            ExecOptions { streams: 2, ..Default::default() },
         )
         .unwrap();
 
@@ -632,7 +456,7 @@ int[*] main(int[8,16] a)
             &prog,
             &mut full,
             &pipe_frames(6),
-            PipelineOptions { streams: 2, ..Default::default() },
+            ExecOptions { streams: 2, ..Default::default() },
         )
         .unwrap();
 
@@ -642,7 +466,7 @@ int[*] main(int[8,16] a)
             &prog,
             &mut replay,
             &pipe_frames(2),
-            PipelineOptions { streams: 2, total_frames: 6, ..Default::default() },
+            ExecOptions { streams: 2, total_frames: 6, ..Default::default() },
         )
         .unwrap();
 
@@ -663,7 +487,7 @@ int[*] main(int[8,16] a)
             &prog,
             &mut probe,
             &frames,
-            PipelineOptions { streams: 1, ..Default::default() },
+            ExecOptions { streams: 1, ..Default::default() },
         )
         .unwrap();
         let per_lane = probe.peak_allocated_bytes();
@@ -677,7 +501,7 @@ int[*] main(int[8,16] a)
             &prog,
             &mut naive,
             &frames,
-            PipelineOptions { streams: 4, ..Default::default() },
+            ExecOptions { streams: 4, ..Default::default() },
         );
         assert!(
             matches!(err, Err(CudaError::Sim(simgpu::SimError::OutOfMemory { .. }))),
@@ -691,13 +515,30 @@ int[*] main(int[8,16] a)
             &prog,
             &mut degraded,
             &frames,
-            PipelineOptions { streams: 4, degrade_on_oom: true, ..Default::default() },
+            ExecOptions { streams: 4, degrade_on_oom: true, ..Default::default() },
         )
         .unwrap();
         assert_eq!(outs, expect);
         assert_eq!(degraded.allocated_bytes(), 0);
         let notes: Vec<&str> = degraded.profiler.notes().collect();
-        assert!(notes.iter().any(|n| n.contains("degraded")), "{notes:?}");
+        assert!(
+            notes.iter().any(|n| n.contains("degraded") && n.contains("stream lanes")),
+            "{notes:?}"
+        );
+    }
+
+    #[test]
+    fn zero_streams_is_rejected_by_the_unified_validation() {
+        let prog = compile(PIPE_SRC, &[vec![8, 16]]);
+        let mut device = Device::gtx480();
+        let err = run_frames_pipelined(
+            &prog,
+            &mut device,
+            &pipe_frames(2),
+            ExecOptions { streams: 0, ..Default::default() },
+        );
+        assert!(matches!(err, Err(CudaError::Config(_))), "{err:?}");
+        assert_eq!(device.now_us(), 0.0);
     }
 
     #[test]

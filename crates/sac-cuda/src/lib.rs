@@ -30,9 +30,11 @@ pub mod exec;
 pub mod identify;
 
 pub use codegen::{compile_flat_program, CompiledKernel, CudaProgram, PlanOp};
+#[allow(deprecated)]
+pub use exec::PipelineOptions;
 pub use exec::{
-    run_frames_pipelined, run_on_device, run_on_device_opts, ExecOptions, HostCost,
-    PipelineOptions, RunStats,
+    lower_plan, run_frames_pipelined, run_on_device, run_on_device_opts, ExecOptions, HostCost,
+    RunStats,
 };
 
 /// Errors from the CUDA backend.
@@ -47,6 +49,8 @@ pub enum CudaError {
     Host(String),
     /// Value did not fit device `int`.
     Overflow { value: i64 },
+    /// Invalid execution options (rejected before touching the device).
+    Config(String),
 }
 
 impl std::fmt::Display for CudaError {
@@ -58,6 +62,7 @@ impl std::fmt::Display for CudaError {
             CudaError::Overflow { value } => {
                 write!(f, "value {value} does not fit a device int")
             }
+            CudaError::Config(m) => write!(f, "bad execution options: {m}"),
         }
     }
 }

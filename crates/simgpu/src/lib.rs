@@ -33,6 +33,7 @@ pub mod exec;
 pub mod kir;
 pub mod profiler;
 pub mod runtime;
+pub mod schedule;
 
 pub use cost::{Calibration, Engine};
 pub use device::{BufferId, Device, DeviceConfig, EventId, MemPool, StreamId};
@@ -40,6 +41,10 @@ pub use exec::{LaunchConfig, LaunchStats};
 pub use kir::{BinOp, Instr, Kernel, KernelArg, KernelFlavor, Param, Reg, Special};
 pub use profiler::{AllocStats, OpClass, Profiler, Record, Span};
 pub use runtime::GpuRuntime;
+pub use schedule::{
+    chunks_for, ArrayDecl, BatchOutput, BatchScheduler, ExecOptions, HostOp, LaunchPlan,
+    PlanKernel, PlanStep, RunStats, ScheduleError,
+};
 
 /// Errors raised by the simulator.
 #[derive(Debug, Clone, PartialEq)]

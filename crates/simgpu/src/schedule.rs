@@ -1,0 +1,1051 @@
+//! Route-agnostic launch plans and the batch scheduler that executes them.
+//!
+//! Both compilation routes of the study — SaC→CUDA and the GASPARD2 MDE
+//! chain → OpenCL — bottom out in the same GPU execution shape: per frame,
+//! upload source arrays, launch a fixed kernel sequence, read results back,
+//! with occasional host-side fallback steps in between. This module captures
+//! that shape once, as data:
+//!
+//! * [`LaunchPlan`] — the route-agnostic per-frame IR: declared arrays,
+//!   which of them are frame inputs/outputs, the kernel table, and an
+//!   ordered list of [`PlanStep`]s (`Upload`/`Alloc`/`Launch`/`Download`/
+//!   `Host`). Buffer lifetimes are implied by the step order and checked up
+//!   front by [`LaunchPlan::validate`].
+//! * [`BatchScheduler`] — the single executor both routes lower onto. It
+//!   owns everything the routes used to duplicate: multi-stream lane
+//!   assignment with double-buffered frame pipelining, per-lane buffer sets,
+//!   the out-of-memory degradation ladder (halve lanes, free, note, retry),
+//!   chunked transfers, timing replay of measured frames, and
+//!   [`RunStats`]/profiler accounting.
+//!
+//! A route front end builds a `LaunchPlan` from its own program
+//! representation (a compiled WITH-loop plan, a scheduled component model)
+//! and hands it to the scheduler; everything below the plan is shared, so
+//! stream pipelining, pooled allocation and OOM degradation land once and
+//! apply to every route.
+
+use crate::device::{BufferId, Device, StreamId};
+use crate::exec::LaunchConfig;
+use crate::kir::{Kernel, KernelArg};
+use crate::profiler::OpClass;
+use crate::SimError;
+use mdarray::NdArray;
+
+/// A device array declared by a [`LaunchPlan`], identified by its index in
+/// [`LaunchPlan::arrays`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Human-readable name, used in diagnostics.
+    pub name: String,
+    /// Array shape; the element count is its product.
+    pub shape: Vec<usize>,
+}
+
+impl ArrayDecl {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Whether the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One ordered step of a [`LaunchPlan`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Transfer a host-resident array to the device (allocating its buffer
+    /// on first use) as `chunks` back-to-back transfers.
+    Upload {
+        /// Array id.
+        array: usize,
+        /// Requested transfer chunks (see [`chunks_for`]).
+        chunks: usize,
+    },
+    /// Allocate a device buffer for a kernel output (no-op if it exists).
+    Alloc {
+        /// Array id.
+        array: usize,
+    },
+    /// Launch a kernel from the plan's kernel table.
+    Launch {
+        /// Index into [`LaunchPlan::kernels`].
+        kernel: usize,
+    },
+    /// Transfer a device array back to the host as `chunks` transfers.
+    Download {
+        /// Array id.
+        array: usize,
+        /// Requested transfer chunks (see [`chunks_for`]).
+        chunks: usize,
+    },
+    /// Run a host-side fallback step from the plan's host-op table.
+    Host {
+        /// Index into [`LaunchPlan::host_ops`].
+        op: usize,
+    },
+}
+
+/// A kernel the plan can launch: executable IR plus its launch configuration
+/// and the array ids bound to its buffer parameters, in parameter order.
+#[derive(Debug, Clone)]
+pub struct PlanKernel<'a> {
+    /// The executable kernel IR (borrowed from the route's compiled program).
+    pub kernel: &'a Kernel,
+    /// Grid/block configuration.
+    pub config: LaunchConfig,
+    /// Array ids bound to the kernel's buffer parameters, in order.
+    pub args: Vec<usize>,
+}
+
+/// The signature of a host-side fallback step: given the host arrays named
+/// by [`HostOp::reads`] (in that order), produce the result array and the
+/// number of abstract host operations consumed (which the scheduler converts
+/// to simulated time via [`ExecOptions::host_ns_per_op`]).
+pub type HostFn<'a> = Box<dyn Fn(&[NdArray<i64>]) -> Result<(NdArray<i64>, u64), String> + 'a>;
+
+/// A host-side fallback step (e.g. the SaC generic output tiler, which the
+/// backend could not lower to a kernel).
+pub struct HostOp<'a> {
+    /// Name charged to the profiler for the step's simulated time.
+    pub name: String,
+    /// Array id the step produces (host-resident afterwards).
+    pub target: usize,
+    /// Array ids the step consumes, in the order `run` expects them.
+    pub reads: Vec<usize>,
+    /// The step itself.
+    pub run: HostFn<'a>,
+}
+
+impl std::fmt::Debug for HostOp<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostOp")
+            .field("name", &self.name)
+            .field("target", &self.target)
+            .field("reads", &self.reads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A route-agnostic per-frame execution plan.
+///
+/// Executing a frame means: bind the frame's input arrays to
+/// [`LaunchPlan::inputs`], walk [`LaunchPlan::steps`] in order, and collect
+/// the host-resident [`LaunchPlan::outputs`]. The same plan is executed for
+/// every frame of a batch; buffer lifetimes (which step may assume an array
+/// is on the device or on the host) follow from the step order and are
+/// checked once per batch by [`LaunchPlan::validate`].
+#[derive(Debug)]
+pub struct LaunchPlan<'a> {
+    /// Every array the plan touches, indexed by the ids steps use.
+    pub arrays: Vec<ArrayDecl>,
+    /// Array ids bound positionally to a frame's input arrays.
+    pub inputs: Vec<usize>,
+    /// Array ids collected (host-resident) as a frame's results, in order.
+    pub outputs: Vec<usize>,
+    /// Kernel table referenced by [`PlanStep::Launch`].
+    pub kernels: Vec<PlanKernel<'a>>,
+    /// Host-op table referenced by [`PlanStep::Host`].
+    pub host_ops: Vec<HostOp<'a>>,
+    /// The ordered per-frame steps.
+    pub steps: Vec<PlanStep>,
+    /// What a pipeline lane is called in this route's vocabulary ("stream
+    /// lanes" for CUDA, "command queues" for OpenCL) — used verbatim in the
+    /// OOM-degradation profiler note.
+    pub lane_label: &'static str,
+}
+
+impl LaunchPlan<'_> {
+    /// Check the plan's internal consistency and buffer lifetimes without
+    /// touching a device: every index in range, and a walk of the steps in
+    /// order proving that uploads read host-resident arrays, launches and
+    /// downloads see device-resident buffers, host ops see host-resident
+    /// inputs, and every declared output is host-resident at frame end.
+    ///
+    /// [`BatchScheduler::run`] performs this check once per batch, so a
+    /// malformed plan fails fast instead of mid-frame with the device
+    /// timeline already half-charged.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        let arr = |id: usize, what: &str| {
+            if id < self.arrays.len() {
+                Ok(())
+            } else {
+                Err(ScheduleError::Plan(format!("{what} references undeclared array {id}")))
+            }
+        };
+        for &id in &self.inputs {
+            arr(id, "input list")?;
+        }
+        for &id in &self.outputs {
+            arr(id, "output list")?;
+        }
+        for k in &self.kernels {
+            for &a in &k.args {
+                arr(a, &format!("kernel '{}'", k.kernel.name))?;
+            }
+        }
+        for op in &self.host_ops {
+            arr(op.target, &format!("host op '{}'", op.name))?;
+            for &a in &op.reads {
+                arr(a, &format!("host op '{}'", op.name))?;
+            }
+        }
+
+        // Lifetime walk: which arrays are host-resident / device-resident
+        // at each step, starting from the frame inputs.
+        let mut on_host = vec![false; self.arrays.len()];
+        let mut on_device = vec![false; self.arrays.len()];
+        for &id in &self.inputs {
+            on_host[id] = true;
+        }
+        let name = |id: usize| self.arrays[id].name.clone();
+        for step in &self.steps {
+            match *step {
+                PlanStep::Upload { array, .. } => {
+                    arr(array, "upload")?;
+                    if !on_host[array] {
+                        return Err(ScheduleError::Plan(format!(
+                            "upload of array '{}' before it is host-resident",
+                            name(array)
+                        )));
+                    }
+                    on_device[array] = true;
+                }
+                PlanStep::Alloc { array } => {
+                    arr(array, "alloc")?;
+                    on_device[array] = true;
+                }
+                PlanStep::Launch { kernel } => {
+                    let k = self.kernels.get(kernel).ok_or_else(|| {
+                        ScheduleError::Plan(format!("launch references unknown kernel {kernel}"))
+                    })?;
+                    for &a in &k.args {
+                        if !on_device[a] {
+                            return Err(ScheduleError::Plan(format!(
+                                "kernel '{}' argument '{}' is not device-resident",
+                                k.kernel.name,
+                                name(a)
+                            )));
+                        }
+                    }
+                }
+                PlanStep::Download { array, .. } => {
+                    arr(array, "download")?;
+                    if !on_device[array] {
+                        return Err(ScheduleError::Plan(format!(
+                            "download of array '{}' before it is device-resident",
+                            name(array)
+                        )));
+                    }
+                    on_host[array] = true;
+                }
+                PlanStep::Host { op } => {
+                    let h = self.host_ops.get(op).ok_or_else(|| {
+                        ScheduleError::Plan(format!("step references unknown host op {op}"))
+                    })?;
+                    for &a in &h.reads {
+                        if !on_host[a] {
+                            return Err(ScheduleError::Plan(format!(
+                                "host op '{}' input '{}' is not host-resident",
+                                h.name,
+                                name(a)
+                            )));
+                        }
+                    }
+                    on_host[h.target] = true;
+                }
+            }
+        }
+        for &id in &self.outputs {
+            if !on_host[id] {
+                return Err(ScheduleError::Plan(format!(
+                    "output '{}' is not host-resident at frame end",
+                    name(id)
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors from plan construction, validation, or execution.
+#[derive(Debug)]
+pub enum ScheduleError {
+    /// Simulator failure (out of memory, bad launch, …).
+    Sim(SimError),
+    /// A host value did not fit a device `int`.
+    Overflow {
+        /// The offending value.
+        value: i64,
+    },
+    /// A frame's input arrays did not match the plan's declarations.
+    Input(String),
+    /// The plan is internally inconsistent (bad index, lifetime violation).
+    Plan(String),
+    /// A host-side fallback step failed.
+    Host(String),
+    /// The execution options are invalid (see [`ExecOptions::validate`]).
+    Config(String),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Sim(e) => write!(f, "simulator: {e}"),
+            ScheduleError::Overflow { value } => {
+                write!(f, "value {value} does not fit a device int")
+            }
+            ScheduleError::Input(m) => write!(f, "bad frame input: {m}"),
+            ScheduleError::Plan(m) => write!(f, "inconsistent launch plan: {m}"),
+            ScheduleError::Host(m) => write!(f, "host step: {m}"),
+            ScheduleError::Config(m) => write!(f, "bad execution options: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<SimError> for ScheduleError {
+    fn from(e: SimError) -> Self {
+        ScheduleError::Sim(e)
+    }
+}
+
+/// Counters from one scheduler run (accumulated over every frame, including
+/// timing-replayed ones).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Kernel launches performed.
+    pub launches: usize,
+    /// Host-to-device transfers (requested chunks).
+    pub h2d: usize,
+    /// Device-to-host transfers (requested chunks).
+    pub d2h: usize,
+    /// Host steps interpreted.
+    pub host_steps: usize,
+    /// Abstract host ops consumed by host steps.
+    pub host_ops: u64,
+}
+
+impl RunStats {
+    /// Fold another run's counters into this one.
+    pub fn accumulate(&mut self, other: &RunStats) {
+        self.launches += other.launches;
+        self.h2d += other.h2d;
+        self.d2h += other.d2h;
+        self.host_steps += other.host_steps;
+        self.host_ops += other.host_ops;
+    }
+}
+
+/// The one options struct shared by every executor and batch driver — the
+/// unification of what used to be `sac_cuda::PipelineOptions`,
+/// `gaspard::OpenClPipelineOptions`, and `downscaler::BatchOptions`.
+///
+/// The scheduler itself consumes `streams`, `total_frames`,
+/// `host_ns_per_op`, and `degrade_on_oom`; `channel_chunks` is consumed by
+/// the route lowerings when they build a [`LaunchPlan`]; `executed` and
+/// `pool` are consumed by the scenario batch drivers
+/// (`downscaler::pipelines`) before the scheduler is reached. Carrying them
+/// in one struct means an option set composed for an experiment (streams ×
+/// pool × degradation × replay) is a single value that flows through every
+/// layer unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOptions {
+    /// Number of pipeline lanes: streams (CUDA) / command queues (OpenCL) =
+    /// number of device buffer sets. `1` runs fully serialized on the
+    /// default stream, reproducing the one-frame-at-a-time executors
+    /// exactly; `2` double-buffers so frame `f+1`'s upload overlaps frame
+    /// `f`'s kernels and frame `f-1`'s download. Must be `>= 1`
+    /// ([`ExecOptions::validate`]).
+    pub streams: usize,
+    /// Batch drivers only: frames executed functionally; the scenario's
+    /// remaining frames are timing-replayed. `0` executes every frame.
+    pub executed: usize,
+    /// When greater than the number of supplied frames, the timing of the
+    /// remaining frames is *replayed* from the first frame's measured
+    /// per-operation durations instead of executing them functionally.
+    /// Exact under the cost model whenever per-frame cost is
+    /// content-independent (fixed shapes; host steps whose trip counts do
+    /// not depend on data). `0` means "the supplied frames".
+    pub total_frames: usize,
+    /// Route lowerings only: when non-zero, arrays whose leading dimension
+    /// equals this value are transferred as one chunk per leading slice
+    /// (per colour channel), the way the paper's runtimes stream frames —
+    /// Tables I/II count 900 transfers for 300 three-channel frames. See
+    /// [`chunks_for`].
+    pub channel_chunks: usize,
+    /// Simulated nanoseconds per abstract host-fallback operation (the SaC
+    /// generic output tiler's cost model).
+    pub host_ns_per_op: f64,
+    /// Batch drivers only: enable the device's size-class memory pool for
+    /// the batch. Off by default — the naive allocator is what the paper's
+    /// profiles were calibrated against.
+    pub pool: bool,
+    /// When a batch attempt fails with [`SimError::OutOfMemory`], release
+    /// that attempt's device buffers, halve the number of lanes and retry
+    /// the whole batch instead of failing — the degradation ladder
+    /// `streams → streams/2 → … → 1`. Each downgrade is surfaced as a
+    /// profiler note, and the failed attempt's simulated time stays charged
+    /// (a real runtime pays for the work it abandons). Results are
+    /// bit-identical at any lane count, so degradation only trades makespan
+    /// for footprint. Off by default.
+    pub degrade_on_oom: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            streams: 1,
+            executed: 0,
+            total_frames: 0,
+            channel_chunks: 0,
+            // Calibrated alongside the sequential cost model (see the bench
+            // crate's `calibration` module): one abstract op of the scatter
+            // nest corresponds to a fraction of a compiled-C nanosecond.
+            host_ns_per_op: 0.12,
+            pool: false,
+            degrade_on_oom: false,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Reject configurations the executors cannot honour. `streams: 0`
+    /// previously slipped through one route's entry point and hit a
+    /// `max(1)` deep inside the executor, silently meaning something
+    /// different from what was asked; both routes now go through this one
+    /// check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.streams == 0 {
+            return Err("streams must be >= 1 (1 = the serialized baseline)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Transfers split per leading slice when the leading dimension matches the
+/// configured channel count: a rank-≥2 array of shape `[channel_chunks, …]`
+/// moves as `channel_chunks` back-to-back transfers (one per colour plane),
+/// anything else as a single transfer. With `channel_chunks <= 1` chunking
+/// is disabled entirely.
+pub fn chunks_for(shape: &[usize], channel_chunks: usize) -> usize {
+    if channel_chunks > 1 && shape.len() >= 2 && shape[0] == channel_chunks {
+        channel_chunks
+    } else {
+        1
+    }
+}
+
+fn to_i32(data: &[i64]) -> Result<Vec<i32>, ScheduleError> {
+    data.iter()
+        .map(|&v| i32::try_from(v).map_err(|_| ScheduleError::Overflow { value: v }))
+        .collect()
+}
+
+/// A scheduler run's data result: one output-array vector per functionally
+/// executed frame (the plan's outputs, in declared order), plus the step
+/// counters for the whole batch.
+pub type BatchOutput = (Vec<Vec<NdArray<i64>>>, RunStats);
+
+/// The shared batch executor: drives a [`LaunchPlan`] over a batch of frames
+/// with multi-stream double buffering, timing replay, and optional OOM
+/// degradation.
+///
+/// Frame `f` is assigned lane `f % lanes` — a stream plus that stream's
+/// private buffer set — so same-buffer reuse is protected by same-stream
+/// ordering while adjacent frames overlap their H2D / compute / D2H phases
+/// on the device's three engines: the classic CUDA async-stream frame
+/// pipeline, which is also exactly what in-order OpenCL command queues give
+/// the other route. Buffer sets are allocated on demand and reused across
+/// frames (allocation is free in simulated time at the paper calibration,
+/// so the 1-lane case still matches the serial executors' clock
+/// bit-for-bit).
+#[derive(Debug)]
+pub struct BatchScheduler<'a> {
+    plan: &'a LaunchPlan<'a>,
+}
+
+impl<'a> BatchScheduler<'a> {
+    /// A scheduler for `plan`.
+    pub fn new(plan: &'a LaunchPlan<'a>) -> Self {
+        BatchScheduler { plan }
+    }
+
+    /// The plan being scheduled.
+    pub fn plan(&self) -> &LaunchPlan<'a> {
+        self.plan
+    }
+
+    /// Execute a batch of frames.
+    ///
+    /// Returns one result-array vector per *functionally executed* frame
+    /// (the plan's outputs, in declared order) plus counters covering all
+    /// `total_frames` — timing-replayed frames contribute their counters
+    /// and profiler records but no arrays. The device is synchronized on
+    /// return, so `device.now_us()` is the batch makespan.
+    ///
+    /// With [`ExecOptions::degrade_on_oom`] set, an `OutOfMemory` failure
+    /// frees the attempt's buffers and restarts the batch at half the lanes
+    /// (down to 1) instead of propagating; each downgrade is recorded as a
+    /// profiler note using the plan's [`LaunchPlan::lane_label`].
+    pub fn run(
+        &self,
+        device: &mut Device,
+        frames: &[Vec<NdArray<i64>>],
+        opts: &ExecOptions,
+    ) -> Result<BatchOutput, ScheduleError> {
+        opts.validate().map_err(ScheduleError::Config)?;
+        self.plan.validate()?;
+        if frames.is_empty() {
+            return Ok((Vec::new(), RunStats::default()));
+        }
+        let mut lanes = opts.streams;
+        loop {
+            match self.attempt(device, frames, opts, lanes) {
+                Err(ScheduleError::Sim(SimError::OutOfMemory { .. }))
+                    if opts.degrade_on_oom && lanes > 1 =>
+                {
+                    let next = lanes / 2;
+                    device.profiler.note(format!(
+                        "degraded: out of device memory at {lanes} {label}, \
+                         retrying batch with {next}",
+                        label = self.plan.lane_label
+                    ));
+                    lanes = next;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One batch attempt at a fixed lane count. Buffer sets are released on
+    /// success *and* failure so an aborted attempt never leaks device
+    /// memory into a degraded retry.
+    fn attempt(
+        &self,
+        device: &mut Device,
+        frames: &[Vec<NdArray<i64>>],
+        opts: &ExecOptions,
+        lanes: usize,
+    ) -> Result<BatchOutput, ScheduleError> {
+        let mut streams = vec![StreamId::DEFAULT];
+        while streams.len() < lanes {
+            streams.push(device.create_stream());
+        }
+        let mut buffer_sets: Vec<Vec<Option<BufferId>>> =
+            vec![vec![None; self.plan.arrays.len()]; lanes];
+
+        let run = self.exec_frames(device, frames, opts, lanes, &streams, &mut buffer_sets);
+
+        for set in buffer_sets {
+            for buf in set.into_iter().flatten() {
+                let freed = device.free(buf);
+                if run.is_ok() {
+                    // On the error path the original failure wins; frees of
+                    // just-allocated buffers cannot themselves fail.
+                    freed?;
+                }
+            }
+        }
+        device.synchronize();
+        run
+    }
+
+    /// The frame loop of one attempt: execute the supplied frames
+    /// round-robin over `lanes` buffer sets, then replay frame 0's measured
+    /// spans out to `total_frames`.
+    fn exec_frames(
+        &self,
+        device: &mut Device,
+        frames: &[Vec<NdArray<i64>>],
+        opts: &ExecOptions,
+        lanes: usize,
+        streams: &[StreamId],
+        buffer_sets: &mut [Vec<Option<BufferId>>],
+    ) -> Result<BatchOutput, ScheduleError> {
+        let mut outputs = Vec::with_capacity(frames.len());
+        let mut stats = RunStats::default();
+        let mut frame_ops: Vec<(String, OpClass, f64)> = Vec::new();
+        let mut frame_stats = RunStats::default();
+        for (f, inputs) in frames.iter().enumerate() {
+            let lane = f % lanes;
+            let span_mark = device.profiler.spans().count();
+            let (out, st) =
+                self.exec_frame(device, inputs, opts, &mut buffer_sets[lane], streams[lane])?;
+            if f == 0 {
+                frame_ops = device
+                    .profiler
+                    .spans()
+                    .skip(span_mark)
+                    .map(|sp| (sp.name.clone(), sp.class, sp.duration_us()))
+                    .collect();
+                frame_stats = st.clone();
+            }
+            stats.accumulate(&st);
+            outputs.push(out);
+        }
+
+        let total = if opts.total_frames == 0 { frames.len() } else { opts.total_frames };
+        for f in frames.len()..total {
+            let lane = f % lanes;
+            for (name, class, us) in &frame_ops {
+                device.replay_on(name, *class, *us, streams[lane])?;
+            }
+            stats.accumulate(&frame_stats);
+        }
+        Ok((outputs, stats))
+    }
+
+    /// Execute one frame: bind inputs, walk the steps on `stream` against
+    /// this lane's buffer set, collect the outputs.
+    ///
+    /// `buffers` entries that are `Some` are reused in place (a later frame
+    /// on the same lane overwrites them); `None` entries are allocated on
+    /// demand and left allocated for the caller to free or reuse.
+    fn exec_frame(
+        &self,
+        device: &mut Device,
+        inputs: &[NdArray<i64>],
+        opts: &ExecOptions,
+        buffers: &mut [Option<BufferId>],
+        stream: StreamId,
+    ) -> Result<(Vec<NdArray<i64>>, RunStats), ScheduleError> {
+        let plan = self.plan;
+        if inputs.len() != plan.inputs.len() {
+            return Err(ScheduleError::Input(format!(
+                "expected {} inputs, got {}",
+                plan.inputs.len(),
+                inputs.len()
+            )));
+        }
+        let mut host: Vec<Option<NdArray<i64>>> = vec![None; plan.arrays.len()];
+        for (&id, arr) in plan.inputs.iter().zip(inputs) {
+            if arr.shape().dims() != plan.arrays[id].shape.as_slice() {
+                return Err(ScheduleError::Input(format!(
+                    "input '{}' has shape {:?}, expected {:?}",
+                    plan.arrays[id].name,
+                    arr.shape().dims(),
+                    plan.arrays[id].shape
+                )));
+            }
+            host[id] = Some(arr.clone());
+        }
+        let mut stats = RunStats::default();
+
+        for step in &plan.steps {
+            match *step {
+                PlanStep::Upload { array, chunks } => {
+                    let arr = host[array].as_ref().ok_or_else(|| {
+                        ScheduleError::Plan(format!(
+                            "upload of uncomputed array '{}'",
+                            plan.arrays[array].name
+                        ))
+                    })?;
+                    let data = to_i32(arr.as_slice())?;
+                    let buf = match buffers[array] {
+                        Some(b) => b,
+                        None => {
+                            let b = device.malloc(data.len())?;
+                            buffers[array] = Some(b);
+                            b
+                        }
+                    };
+                    device.host2device_chunked_on(&data, buf, chunks, stream)?;
+                    stats.h2d += chunks;
+                }
+                PlanStep::Alloc { array } => {
+                    if buffers[array].is_none() {
+                        buffers[array] = Some(device.malloc(plan.arrays[array].len())?);
+                    }
+                }
+                PlanStep::Launch { kernel } => {
+                    let pk = &plan.kernels[kernel];
+                    let args: Vec<KernelArg> = pk
+                        .args
+                        .iter()
+                        .map(|&a| {
+                            buffers[a].map(|b| KernelArg::Buffer(b.0)).ok_or_else(|| {
+                                ScheduleError::Plan(format!(
+                                    "array '{}' not on device for kernel '{}'",
+                                    plan.arrays[a].name, pk.kernel.name
+                                ))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    device.launch_on(pk.kernel, pk.config, &args, stream)?;
+                    stats.launches += 1;
+                }
+                PlanStep::Download { array, chunks } => {
+                    let buf = buffers[array].ok_or_else(|| {
+                        ScheduleError::Plan(format!(
+                            "array '{}' not on device",
+                            plan.arrays[array].name
+                        ))
+                    })?;
+                    let data = device.device2host_chunked_on(buf, chunks, stream)?;
+                    let arr = NdArray::from_vec(
+                        plan.arrays[array].shape.clone(),
+                        data.into_iter().map(i64::from).collect(),
+                    )
+                    .map_err(|e| ScheduleError::Plan(e.to_string()))?;
+                    host[array] = Some(arr);
+                    stats.d2h += chunks;
+                }
+                PlanStep::Host { op } => {
+                    let h = &plan.host_ops[op];
+                    let reads: Vec<NdArray<i64>> = h
+                        .reads
+                        .iter()
+                        .map(|&a| {
+                            host[a].clone().ok_or_else(|| {
+                                ScheduleError::Plan(format!(
+                                    "host step input '{}' missing",
+                                    plan.arrays[a].name
+                                ))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let (out, ops) = (h.run)(&reads).map_err(ScheduleError::Host)?;
+                    device.charge_host_on(
+                        &h.name,
+                        ops as f64 * opts.host_ns_per_op / 1000.0,
+                        stream,
+                    )?;
+                    stats.host_ops += ops;
+                    stats.host_steps += 1;
+                    host[h.target] = Some(out);
+                }
+            }
+        }
+
+        let outputs: Vec<NdArray<i64>> = plan
+            .outputs
+            .iter()
+            .map(|&id| {
+                host[id].take().ok_or_else(|| {
+                    ScheduleError::Plan(format!(
+                        "output '{}' never reached the host",
+                        plan.arrays[id].name
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok((outputs, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Calibration;
+    use crate::device::DeviceConfig;
+    use crate::kir::{BinOp, KernelBuilder, KernelFlavor, Special};
+
+    #[test]
+    fn chunks_for_splits_only_matching_leading_dimension() {
+        // The paper's per-channel streaming: a rank-3 [channels, rows, cols]
+        // frame moves as one chunk per channel.
+        assert_eq!(chunks_for(&[3, 90, 160], 3), 3);
+        // Leading dimension mismatch: one transfer.
+        assert_eq!(chunks_for(&[4, 90, 160], 3), 1);
+        // Rank-1 arrays never chunk, even with a matching length: a flat
+        // vector of `channels` elements is not a per-channel frame.
+        assert_eq!(chunks_for(&[3], 3), 1);
+        // channel_chunks <= 1 disables chunking entirely.
+        assert_eq!(chunks_for(&[3, 90, 160], 1), 1);
+        assert_eq!(chunks_for(&[3, 90, 160], 0), 1);
+        // Rank-2 boundary: shape[0] == channel_chunks with exactly 2 dims.
+        assert_eq!(chunks_for(&[3, 160], 3), 3);
+    }
+
+    #[test]
+    fn exec_options_default_is_the_serialized_baseline() {
+        let o = ExecOptions::default();
+        assert_eq!(o.streams, 1);
+        assert_eq!((o.executed, o.total_frames, o.channel_chunks), (0, 0, 0));
+        assert!(!o.pool && !o.degrade_on_oom);
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_streams_rejected_by_validate() {
+        let o = ExecOptions { streams: 0, ..Default::default() };
+        let msg = o.validate().unwrap_err();
+        assert!(msg.contains("streams must be >= 1"), "{msg}");
+    }
+
+    /// y[i] = y[i] * 2 over the whole buffer.
+    fn double_kernel(n: usize) -> (Kernel, LaunchConfig) {
+        let mut b = KernelBuilder::new("dbl", KernelFlavor::Cuda);
+        let y = b.buffer_param("y", true);
+        let gid = b.special(Special::GlobalIdX);
+        let v = b.load(y, gid);
+        let two = b.constant(2);
+        let w = b.bin(BinOp::Mul, v, two);
+        b.store(y, gid, w);
+        (b.finish(), LaunchConfig::cover_1d(n, n.min(64) as u32))
+    }
+
+    /// A minimal one-kernel plan: upload `a`, double it in place, download.
+    fn double_plan(kernel: &Kernel, config: LaunchConfig, n: usize) -> LaunchPlan<'_> {
+        LaunchPlan {
+            arrays: vec![ArrayDecl { name: "a".into(), shape: vec![n] }],
+            inputs: vec![0],
+            outputs: vec![0],
+            kernels: vec![PlanKernel { kernel, config, args: vec![0] }],
+            host_ops: Vec::new(),
+            steps: vec![
+                PlanStep::Upload { array: 0, chunks: 1 },
+                PlanStep::Launch { kernel: 0 },
+                PlanStep::Download { array: 0, chunks: 1 },
+            ],
+            lane_label: "stream lanes",
+        }
+    }
+
+    fn frames(n_frames: usize, n: usize) -> Vec<Vec<NdArray<i64>>> {
+        (0..n_frames).map(|f| vec![NdArray::from_fn([n], |ix| (f * 100 + ix[0]) as i64)]).collect()
+    }
+
+    #[test]
+    fn scheduler_runs_a_plan_and_counts_operations() {
+        let n = 64;
+        let (kernel, config) = double_kernel(n);
+        let plan = double_plan(&kernel, config, n);
+        let mut device = Device::gtx480();
+        let (outs, stats) = BatchScheduler::new(&plan)
+            .run(&mut device, &frames(3, n), &ExecOptions::default())
+            .unwrap();
+        assert_eq!(outs.len(), 3);
+        for (f, out) in outs.iter().enumerate() {
+            assert_eq!(out[0], NdArray::from_fn([n], |ix| 2 * (f * 100 + ix[0]) as i64));
+        }
+        assert_eq!(stats, RunStats { launches: 3, h2d: 3, d2h: 3, host_steps: 0, host_ops: 0 });
+        assert_eq!(device.allocated_bytes(), 0);
+        assert!(device.now_us() > 0.0);
+    }
+
+    #[test]
+    fn two_lanes_overlap_and_preserve_results() {
+        let n = 4096;
+        let (kernel, config) = double_kernel(n);
+        let plan = double_plan(&kernel, config, n);
+
+        let mut serial = Device::gtx480();
+        let (expect, _) = BatchScheduler::new(&plan)
+            .run(&mut serial, &frames(6, n), &ExecOptions::default())
+            .unwrap();
+
+        let mut piped = Device::gtx480();
+        let (got, _) = BatchScheduler::new(&plan)
+            .run(&mut piped, &frames(6, n), &ExecOptions { streams: 2, ..Default::default() })
+            .unwrap();
+
+        assert_eq!(got, expect);
+        assert!(piped.now_us() < serial.now_us(), "{} !< {}", piped.now_us(), serial.now_us());
+        assert!(piped.profiler.overlap_percent() > 0.0);
+    }
+
+    #[test]
+    fn replay_extends_timing_without_execution() {
+        let n = 256;
+        let (kernel, config) = double_kernel(n);
+        let plan = double_plan(&kernel, config, n);
+
+        let mut full = Device::gtx480();
+        BatchScheduler::new(&plan).run(&mut full, &frames(5, n), &ExecOptions::default()).unwrap();
+
+        let mut replayed = Device::gtx480();
+        let (outs, stats) = BatchScheduler::new(&plan)
+            .run(
+                &mut replayed,
+                &frames(1, n),
+                &ExecOptions { total_frames: 5, ..Default::default() },
+            )
+            .unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(stats.launches, 5);
+        assert_eq!(replayed.now_us(), full.now_us());
+        assert_eq!(replayed.profiler.spans().count(), full.profiler.spans().count());
+    }
+
+    #[test]
+    fn oom_degradation_halves_lanes_and_notes_with_lane_label() {
+        let n = 1024;
+        let (kernel, config) = double_kernel(n);
+        let mut plan = double_plan(&kernel, config, n);
+        plan.lane_label = "command queues";
+
+        let mut probe = Device::gtx480();
+        let (expect, _) = BatchScheduler::new(&plan)
+            .run(&mut probe, &frames(4, n), &ExecOptions::default())
+            .unwrap();
+        let per_lane = probe.peak_allocated_bytes();
+
+        let cfg = DeviceConfig::toy(per_lane * 2);
+        let four = ExecOptions { streams: 4, ..Default::default() };
+        let mut naive = Device::new(cfg.clone(), Calibration::gtx480());
+        let err = BatchScheduler::new(&plan).run(&mut naive, &frames(4, n), &four);
+        assert!(matches!(err, Err(ScheduleError::Sim(SimError::OutOfMemory { .. }))));
+
+        let mut deg = Device::new(cfg, Calibration::gtx480());
+        let (outs, _) = BatchScheduler::new(&plan)
+            .run(&mut deg, &frames(4, n), &ExecOptions { degrade_on_oom: true, ..four })
+            .unwrap();
+        assert_eq!(outs, expect);
+        assert_eq!(deg.allocated_bytes(), 0);
+        let notes: Vec<&str> = deg.profiler.notes().collect();
+        assert!(
+            notes.iter().any(|nt| nt.contains("degraded") && nt.contains("command queues")),
+            "{notes:?}"
+        );
+    }
+
+    #[test]
+    fn scheduler_rejects_zero_streams_before_touching_the_device() {
+        let n = 16;
+        let (kernel, config) = double_kernel(n);
+        let plan = double_plan(&kernel, config, n);
+        let mut device = Device::gtx480();
+        let err = BatchScheduler::new(&plan).run(
+            &mut device,
+            &frames(1, n),
+            &ExecOptions { streams: 0, ..Default::default() },
+        );
+        assert!(matches!(err, Err(ScheduleError::Config(_))), "{err:?}");
+        assert_eq!(device.now_us(), 0.0);
+        assert_eq!(device.profiler.records().count(), 0);
+    }
+
+    #[test]
+    fn overflow_is_detected_at_upload() {
+        let n = 2;
+        let (kernel, config) = double_kernel(n);
+        let plan = double_plan(&kernel, config, n);
+        let mut device = Device::gtx480();
+        let too_big = vec![vec![NdArray::from_vec([2], vec![1, i64::from(i32::MAX) + 1]).unwrap()]];
+        let err = BatchScheduler::new(&plan).run(&mut device, &too_big, &ExecOptions::default());
+        assert!(
+            matches!(err, Err(ScheduleError::Overflow { value }) if value == i64::from(i32::MAX) + 1)
+        );
+    }
+
+    #[test]
+    fn input_mismatches_are_typed_errors() {
+        let n = 8;
+        let (kernel, config) = double_kernel(n);
+        let plan = double_plan(&kernel, config, n);
+        let mut device = Device::gtx480();
+        let sched = BatchScheduler::new(&plan);
+        let err = sched.run(&mut device, &[vec![]], &ExecOptions::default());
+        assert!(matches!(err, Err(ScheduleError::Input(_))), "{err:?}");
+        let wrong = vec![vec![NdArray::filled([n + 1], 0i64)]];
+        let err = sched.run(&mut device, &wrong, &ExecOptions::default());
+        assert!(matches!(err, Err(ScheduleError::Input(_))), "{err:?}");
+    }
+
+    #[test]
+    fn lifetime_validation_catches_malformed_plans() {
+        let n = 8;
+        let (kernel, config) = double_kernel(n);
+        let mut plan = double_plan(&kernel, config, n);
+        // Launch before the upload: the argument is not device-resident.
+        plan.steps.swap(0, 1);
+        let mut device = Device::gtx480();
+        let err =
+            BatchScheduler::new(&plan).run(&mut device, &frames(1, n), &ExecOptions::default());
+        assert!(
+            matches!(&err, Err(ScheduleError::Plan(m)) if m.contains("not device-resident")),
+            "{err:?}"
+        );
+        // Rejected before anything touched the device.
+        assert_eq!(device.now_us(), 0.0);
+        assert_eq!(device.profiler.records().count(), 0);
+
+        // An output that never comes back to the host is caught too. (The
+        // input array itself is always host-resident, so use a second,
+        // never-computed array as the declared output.)
+        let mut plan = double_plan(&kernel, config, n);
+        plan.arrays.push(ArrayDecl { name: "b".into(), shape: vec![n] });
+        plan.outputs = vec![1];
+        let err =
+            BatchScheduler::new(&plan).run(&mut device, &frames(1, n), &ExecOptions::default());
+        assert!(
+            matches!(&err, Err(ScheduleError::Plan(m)) if m.contains("not host-resident")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn host_ops_run_between_device_steps() {
+        // Upload -> double on device -> host op adds 1 -> re-upload -> double
+        // again -> download: exercises host/device interleaving and the
+        // host-op cost charge.
+        let n = 16;
+        let (kernel, config) = double_kernel(n);
+        let host_op = HostOp {
+            name: "add_one(host)".into(),
+            target: 1,
+            reads: vec![0],
+            run: Box::new(|arrs| {
+                let out = NdArray::from_fn([arrs[0].as_slice().len()], |ix| {
+                    arrs[0].as_slice()[ix[0]] + 1
+                });
+                Ok((out, 1000))
+            }),
+        };
+        let plan = LaunchPlan {
+            arrays: vec![
+                ArrayDecl { name: "a".into(), shape: vec![n] },
+                ArrayDecl { name: "b".into(), shape: vec![n] },
+            ],
+            inputs: vec![0],
+            outputs: vec![1],
+            kernels: vec![
+                PlanKernel { kernel: &kernel, config, args: vec![0] },
+                PlanKernel { kernel: &kernel, config, args: vec![1] },
+            ],
+            host_ops: vec![host_op],
+            steps: vec![
+                PlanStep::Upload { array: 0, chunks: 1 },
+                PlanStep::Launch { kernel: 0 },
+                PlanStep::Download { array: 0, chunks: 1 },
+                PlanStep::Host { op: 0 },
+                PlanStep::Upload { array: 1, chunks: 1 },
+                PlanStep::Launch { kernel: 1 },
+                PlanStep::Download { array: 1, chunks: 1 },
+            ],
+            lane_label: "stream lanes",
+        };
+        let mut device = Device::gtx480();
+        let opts = ExecOptions { host_ns_per_op: 2.0, ..Default::default() };
+        let (outs, stats) =
+            BatchScheduler::new(&plan).run(&mut device, &frames(1, n), &opts).unwrap();
+        // (2a + 1) * 2
+        assert_eq!(outs[0][0], NdArray::from_fn([n], |ix| (2 * ix[0] as i64 + 1) * 2));
+        assert_eq!((stats.host_steps, stats.host_ops), (1, 1000));
+        // 1000 ops at 2 ns/op = 2 us charged under the op's name.
+        let rec = device.profiler.records().find(|r| r.name == "add_one(host)").unwrap();
+        assert!((rec.total_us - 2.0).abs() < 1e-12, "{}", rec.total_us);
+    }
+
+    #[test]
+    fn chunked_upload_counts_requested_chunks() {
+        let n = 12;
+        let (kernel, config) = double_kernel(n);
+        let mut plan = double_plan(&kernel, config, n);
+        plan.arrays[0].shape = vec![3, 4];
+        plan.steps[0] = PlanStep::Upload { array: 0, chunks: 3 };
+        plan.steps[2] = PlanStep::Download { array: 0, chunks: 3 };
+        let mut device = Device::gtx480();
+        let fr = vec![vec![NdArray::from_fn([3, 4], |ix| (ix[0] * 4 + ix[1]) as i64)]];
+        let (_, stats) =
+            BatchScheduler::new(&plan).run(&mut device, &fr, &ExecOptions::default()).unwrap();
+        assert_eq!((stats.h2d, stats.d2h), (3, 3));
+        let h2d = device.profiler.records().find(|r| r.name == "memcpyHtoDasync").unwrap();
+        assert_eq!(h2d.calls, 3);
+    }
+}

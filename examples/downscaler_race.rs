@@ -16,7 +16,7 @@ use gpu_abstractions::{downscaler, mdarray, simgpu};
 
 use downscaler::frames::{FrameGenerator, FrameSink};
 use downscaler::pipelines::{
-    build_gaspard, build_sac, reference_downscale, run_gaspard_batch, run_sac_batch, BatchOptions,
+    build_gaspard, build_sac, reference_downscale, run_gaspard_batch, run_sac_batch, ExecOptions,
 };
 use downscaler::sac_src::{Part, Variant};
 use downscaler::Scenario;
@@ -71,7 +71,7 @@ fn main() {
     let mut gasp_device = Device::gtx480();
     let mut sac_sink = FrameSink::new();
     let mut gasp_sink = FrameSink::new();
-    let batch = BatchOptions { streams, ..Default::default() };
+    let batch = ExecOptions { streams, ..Default::default() };
 
     let sac_outs = run_sac_batch(&s, &sac, &mut sac_device, seed, batch).expect("SaC batch");
     let gasp_outs =

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Golden-numbers smoke check: rerun the three headline ablations on the
+# hd1080 scenario and diff the machine-readable records byte-for-byte
+# against the checked-in expected values.
+#
+# The simulator is deterministic and the JSON writer renders floats via
+# Rust's shortest-roundtrip formatting, so an exact diff is the right
+# check — any drift in the published numbers (streams 3.611s -> 2.001s,
+# memory 3.612s/2.781s pooled, fusion 2.246s / 3 launches) fails loudly.
+#
+# Usage: scripts/check_golden.sh [--bless]
+#   --bless  regenerate expected/*.json instead of diffing
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bless=0
+if [[ "${1:-}" == "--bless" ]]; then
+  bless=1
+fi
+
+cargo build --release -q -p bench
+
+out_dir=$(mktemp -d)
+trap 'rm -rf "$out_dir"' EXIT
+
+status=0
+for exp in streams memory fusion; do
+  record="${exp}_hd1080.json"
+  ./target/release/reproduce "$exp" --scenario hd1080 --json "$out_dir/$record" \
+    > /dev/null
+  if [[ $bless -eq 1 ]]; then
+    cp "$out_dir/$record" "expected/$record"
+    echo "blessed expected/$record"
+  elif diff -u "expected/$record" "$out_dir/$record"; then
+    echo "ok: $exp matches expected/$record"
+  else
+    echo "FAIL: $exp diverged from expected/$record" >&2
+    status=1
+  fi
+done
+exit $status

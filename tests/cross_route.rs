@@ -145,8 +145,7 @@ fn fused_gaspard_route_agrees_with_unfused_and_reference() {
 fn fusion_refuses_multi_consumer_diamond() {
     use gaspard::transform::ScheduledArray;
     use gaspard::{
-        deploy, generate_opencl, generate_opencl_fused, run_opencl_frames, schedule,
-        OpenClPipelineOptions, Platform,
+        deploy, generate_opencl, generate_opencl_fused, run_opencl_frames, schedule, Platform,
     };
 
     let (model, alloc) = gaspard::fixtures::mini_two_stage_model();
@@ -173,7 +172,7 @@ fn fusion_refuses_multi_consumer_diamond() {
             vec![NdArray::from_fn([4usize, 16], |ix| ((ix[0] * 16 + ix[1] + f * 7) % 29) as i64)]
         })
         .collect();
-    let opts = OpenClPipelineOptions { queues: 2, total_frames: 0, degrade_on_oom: false };
+    let opts = ExecOptions { streams: 2, ..Default::default() };
     let mut d_unf = Device::gtx480();
     let base = run_opencl_frames(&unfused, &mut d_unf, &frames, opts).unwrap();
     let mut d_fus = Device::gtx480();

@@ -2,7 +2,7 @@
 //! panics or silent corruption.
 
 use downscaler::pipelines::{
-    build_gaspard, build_sac, run_gaspard_batch, run_sac_batch, BatchOptions, PipelineError,
+    build_gaspard, build_sac, run_gaspard_batch, run_sac_batch, ExecOptions, PipelineError,
 };
 use downscaler::sac_src::{Part, Variant};
 use downscaler::{FrameGenerator, Scenario};
@@ -82,9 +82,9 @@ fn mid_batch_oom_degrades_to_fewer_lanes() {
 
     // SaC route.
     let mut base = Device::gtx480();
-    let baseline = run_sac_batch(&s, &sac, &mut base, seed, BatchOptions::default()).unwrap();
+    let baseline = run_sac_batch(&s, &sac, &mut base, seed, ExecOptions::default()).unwrap();
     let cfg = DeviceConfig::toy(base.peak_allocated_bytes()); // one lane fits
-    let two = BatchOptions { streams: 2, ..Default::default() };
+    let two = ExecOptions { streams: 2, ..Default::default() };
 
     let mut naive = Device::new(cfg.clone(), Calibration::gtx480());
     let err = run_sac_batch(&s, &sac, &mut naive, seed, two);
@@ -99,16 +99,15 @@ fn mid_batch_oom_degrades_to_fewer_lanes() {
     );
 
     let mut deg = Device::new(cfg, Calibration::gtx480());
-    let outs =
-        run_sac_batch(&s, &sac, &mut deg, seed, BatchOptions { degrade_on_oom: true, ..two })
-            .unwrap();
+    let outs = run_sac_batch(&s, &sac, &mut deg, seed, ExecOptions { degrade_on_oom: true, ..two })
+        .unwrap();
     assert_eq!(outs, baseline);
     assert_eq!(deg.allocated_bytes(), 0);
     assert!(deg.profiler.notes().any(|n| n.contains("degraded")));
 
     // GASPARD route.
     let mut base = Device::gtx480();
-    let baseline = run_gaspard_batch(&s, &gasp, &mut base, seed, BatchOptions::default()).unwrap();
+    let baseline = run_gaspard_batch(&s, &gasp, &mut base, seed, ExecOptions::default()).unwrap();
     let cfg = DeviceConfig::toy(base.peak_allocated_bytes());
 
     let mut naive = Device::new(cfg.clone(), Calibration::gtx480());
@@ -125,7 +124,7 @@ fn mid_batch_oom_degrades_to_fewer_lanes() {
 
     let mut deg = Device::new(cfg, Calibration::gtx480());
     let outs =
-        run_gaspard_batch(&s, &gasp, &mut deg, seed, BatchOptions { degrade_on_oom: true, ..two })
+        run_gaspard_batch(&s, &gasp, &mut deg, seed, ExecOptions { degrade_on_oom: true, ..two })
             .unwrap();
     assert_eq!(outs, baseline);
     assert!(deg.profiler.notes().any(|n| n.contains("degraded")));

@@ -3,8 +3,8 @@
 use arrayol::{IMat, Tiler};
 use gaspard::{
     deploy, generate_opencl, generate_opencl_fused, run_opencl_frames, schedule, to_arrayol,
-    Allocation, Component, ComponentKind, Connection, Model, OpenClPipelineOptions, PartRef,
-    Platform, Port, PortDir, Stereotype, TilerSpec, WindowSpec,
+    Allocation, Component, ComponentKind, Connection, ExecOptions, Model, PartRef, Platform, Port,
+    PortDir, Stereotype, TilerSpec, WindowSpec,
 };
 use mdarray::{NdArray, Shape};
 use proptest::prelude::*;
@@ -415,7 +415,7 @@ int[*] main(int[{rows},{cols}] a)
                 prog,
                 device,
                 &frames,
-                OpenClPipelineOptions { queues, total_frames: 0, degrade_on_oom: degrade },
+                ExecOptions { streams: queues, degrade_on_oom: degrade, ..Default::default() },
             )
             .unwrap()
         };

@@ -1,0 +1,182 @@
+//! The shared launch-plan scheduler against its legacy entry points.
+//!
+//! Both routes' public executors (`run_frames_pipelined`,
+//! `run_opencl_frames`) are thin wrappers over
+//! `simgpu::schedule::BatchScheduler`; these tests pin that equivalence
+//! down differentially — same outputs, same simulated clock, same per-engine
+//! busy time — and check the degradation ladder converges to a bit-identical
+//! result from any starting lane count.
+
+use gpu_abstractions::{downscaler, gaspard, sac_cuda, simgpu};
+
+use downscaler::frames::FrameGenerator;
+use downscaler::pipelines::{build_gaspard, build_sac};
+use downscaler::sac_src::{Part, Variant};
+use downscaler::Scenario;
+use proptest::prelude::*;
+use simgpu::device::{Device, DeviceConfig};
+use simgpu::profiler::OpClass;
+use simgpu::schedule::{BatchScheduler, ExecOptions};
+use simgpu::Calibration;
+
+const CLASSES: [OpClass; 4] = [OpClass::H2D, OpClass::Kernel, OpClass::D2H, OpClass::Host];
+
+fn assert_same_timeline(a: &Device, b: &Device, what: &str) {
+    assert_eq!(a.now_us(), b.now_us(), "{what}: simulated clocks differ");
+    for class in CLASSES {
+        assert_eq!(
+            a.profiler.engine_busy_us(class),
+            b.profiler.engine_busy_us(class),
+            "{what}: {class:?} engine busy time differs"
+        );
+    }
+}
+
+/// An HD-frame scenario through the legacy SaC wrapper and through a
+/// hand-lowered plan on the scheduler: identical outputs, identical clock,
+/// identical per-engine busy totals.
+#[test]
+fn sac_wrapper_is_the_scheduler_differentially() {
+    let mut s = Scenario::hd1080();
+    s.frames = 2;
+    let route = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default()).unwrap();
+    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 0x5CED);
+    let frames: Vec<_> = (0..s.frames).map(|f| vec![gen.frame_rank3(f)]).collect();
+    let opts = ExecOptions { streams: 2, channel_chunks: s.channels, ..Default::default() };
+
+    let mut legacy_dev = Device::gtx480();
+    let (legacy_outs, legacy_stats) =
+        sac_cuda::exec::run_frames_pipelined(&route.cuda, &mut legacy_dev, &frames, opts).unwrap();
+
+    let mut direct_dev = Device::gtx480();
+    let plan = sac_cuda::exec::lower_plan(&route.cuda, opts.channel_chunks).unwrap();
+    let (direct_outs, direct_stats) =
+        BatchScheduler::new(&plan).run(&mut direct_dev, &frames, &opts).unwrap();
+
+    let direct_outs: Vec<_> =
+        direct_outs.into_iter().map(|mut frame| frame.pop().unwrap()).collect();
+    assert_eq!(legacy_outs, direct_outs);
+    assert_eq!(legacy_stats, direct_stats);
+    assert_same_timeline(&legacy_dev, &direct_dev, "SaC");
+}
+
+/// Same differential check for the GASPARD2 route.
+#[test]
+fn gaspard_wrapper_is_the_scheduler_differentially() {
+    let mut s = Scenario::hd1080();
+    s.frames = 2;
+    let route = build_gaspard(&s).unwrap();
+    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 0x5CED);
+    let frames: Vec<_> = (0..s.frames).map(|f| gen.frame_channels(f)).collect();
+    let opts = ExecOptions { streams: 2, ..Default::default() };
+
+    let mut legacy_dev = Device::gtx480();
+    let legacy_outs =
+        gaspard::run_opencl_frames(&route.opencl, &mut legacy_dev, &frames, opts).unwrap();
+
+    let mut direct_dev = Device::gtx480();
+    let plan = gaspard::lower_plan(&route.opencl);
+    let (direct_outs, _) = BatchScheduler::new(&plan).run(&mut direct_dev, &frames, &opts).unwrap();
+
+    assert_eq!(legacy_outs, direct_outs);
+    assert_same_timeline(&legacy_dev, &direct_dev, "Gaspard");
+}
+
+/// The deprecated per-route option structs are aliases of the one unified
+/// type; code written against any of the old names keeps compiling for one
+/// release and produces the same configuration.
+#[test]
+#[allow(deprecated)]
+fn deprecated_option_aliases_resolve_to_the_unified_type() {
+    let sac: sac_cuda::PipelineOptions = ExecOptions { streams: 3, ..Default::default() };
+    let gasp: gaspard::OpenClPipelineOptions = sac;
+    let batch: downscaler::pipelines::BatchOptions = gasp;
+    let unified: ExecOptions = batch;
+    assert_eq!(unified.streams, 3);
+    assert_eq!(unified, ExecOptions { streams: 3, ..Default::default() });
+}
+
+/// Baselines for the degradation property, computed once: the routes, the
+/// frame batch, the unconstrained 1-lane outputs, and the peak footprint
+/// that sizes the constrained device.
+struct DegradationFixture {
+    s: Scenario,
+    sac: downscaler::pipelines::SacRoute,
+    gasp: downscaler::pipelines::GaspardRoute,
+    sac_frames: Vec<Vec<mdarray::NdArray<i64>>>,
+    gasp_frames: Vec<Vec<mdarray::NdArray<i64>>>,
+    sac_base: Vec<mdarray::NdArray<i64>>,
+    gasp_base: Vec<Vec<mdarray::NdArray<i64>>>,
+    sac_capacity: usize,
+    gasp_capacity: usize,
+}
+
+fn degradation_fixture() -> &'static DegradationFixture {
+    static FIXTURE: std::sync::OnceLock<DegradationFixture> = std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut s = Scenario::tiny();
+        s.frames = 4;
+        let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default()).unwrap();
+        let gasp = build_gaspard(&s).unwrap();
+        let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 0xACED);
+        let sac_frames: Vec<_> = (0..s.frames).map(|f| vec![gen.frame_rank3(f)]).collect();
+        let gasp_frames: Vec<_> = (0..s.frames).map(|f| gen.frame_channels(f)).collect();
+
+        // Unconstrained 1-lane baseline; its peak sizes the constrained device.
+        let base_opts = ExecOptions { channel_chunks: s.channels, ..Default::default() };
+        let mut base_dev = Device::gtx480();
+        let (sac_base, _) =
+            sac_cuda::exec::run_frames_pipelined(&sac.cuda, &mut base_dev, &sac_frames, base_opts)
+                .unwrap();
+        let sac_capacity = base_dev.peak_allocated_bytes() * 2;
+        let mut base_dev = Device::gtx480();
+        let gasp_base = gaspard::run_opencl_frames(
+            &gasp.opencl,
+            &mut base_dev,
+            &gasp_frames,
+            ExecOptions::default(),
+        )
+        .unwrap();
+        let gasp_capacity = base_dev.peak_allocated_bytes() * 2;
+        DegradationFixture {
+            s,
+            sac,
+            gasp,
+            sac_frames,
+            gasp_frames,
+            sac_base,
+            gasp_base,
+            sac_capacity,
+            gasp_capacity,
+        }
+    })
+}
+
+proptest! {
+    /// On a device sized for about two lanes, any requested lane count in
+    /// 1..=8 with the degradation ladder enabled converges to a completed
+    /// run whose outputs are bit-identical to the unconstrained 1-lane
+    /// baseline — on both routes.
+    #[test]
+    fn degradation_converges_to_bit_identical_outputs(lanes in 1usize..9) {
+        let fx = degradation_fixture();
+        let opts = ExecOptions {
+            streams: lanes,
+            degrade_on_oom: true,
+            channel_chunks: fx.s.channels,
+            ..Default::default()
+        };
+        let mut dev = Device::new(DeviceConfig::toy(fx.sac_capacity), Calibration::gtx480());
+        let (sac_outs, _) =
+            sac_cuda::exec::run_frames_pipelined(&fx.sac.cuda, &mut dev, &fx.sac_frames, opts)
+                .unwrap();
+        prop_assert_eq!(&sac_outs, &fx.sac_base, "SaC outputs diverged at {} lanes", lanes);
+
+        let mut dev = Device::new(DeviceConfig::toy(fx.gasp_capacity), Calibration::gtx480());
+        let gasp_outs = gaspard::run_opencl_frames(
+            &fx.gasp.opencl, &mut dev, &fx.gasp_frames,
+            ExecOptions { channel_chunks: 0, ..opts },
+        ).unwrap();
+        prop_assert_eq!(&gasp_outs, &fx.gasp_base, "Gaspard outputs diverged at {} lanes", lanes);
+    }
+}

@@ -14,7 +14,7 @@ use gpu_abstractions::{downscaler, gaspard, simgpu};
 
 use downscaler::frames::FrameGenerator;
 use downscaler::pipelines::{
-    build_gaspard, build_sac, reference_downscale, run_gaspard_batch, run_sac_batch, BatchOptions,
+    build_gaspard, build_sac, reference_downscale, run_gaspard_batch, run_sac_batch, ExecOptions,
 };
 use downscaler::sac_src::{Part, Variant};
 use downscaler::Scenario;
@@ -103,14 +103,14 @@ fn one_stream_batches_reproduce_serialized_profiles_exactly() {
         &sac,
         &mut sac_batch,
         seed,
-        BatchOptions {
+        ExecOptions {
             host_ns_per_op: sac_cuda::HostCost::default().ns_per_op,
             ..Default::default()
         },
     )
     .unwrap();
     let mut gasp_batch = Device::gtx480();
-    run_gaspard_batch(&s, &gasp, &mut gasp_batch, seed, BatchOptions::default()).unwrap();
+    run_gaspard_batch(&s, &gasp, &mut gasp_batch, seed, ExecOptions::default()).unwrap();
 
     assert_eq!(sac_batch.now_us(), sac_serial.now_us());
     assert_eq!(gasp_batch.now_us(), gasp_serial.now_us());
@@ -133,7 +133,7 @@ fn double_buffering_beats_sync_with_bit_identical_outputs() {
 
     let mut makespans = Vec::new();
     for streams in [1usize, 2] {
-        let opts = BatchOptions { streams, ..Default::default() };
+        let opts = ExecOptions { streams, ..Default::default() };
         let mut sac_dev = Device::gtx480();
         let sac_outs = run_sac_batch(&s, &sac, &mut sac_dev, seed, opts).unwrap();
         let mut gasp_dev = Device::gtx480();
