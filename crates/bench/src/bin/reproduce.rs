@@ -13,7 +13,7 @@ use simgpu::Calibration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|fusion|sweep|emit-artifacts|all] \
+        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|fusion|planopt|sweep|emit-artifacts|all] \
          [--scenario hd1080|cif|tiny] [--json <path>]"
     );
     std::process::exit(2);
@@ -38,7 +38,7 @@ fn main() {
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             cmd if !cmd.starts_with('-') => {
-                const KNOWN: [&str; 16] = [
+                const KNOWN: [&str; 17] = [
                     "all",
                     "fig3",
                     "fig8",
@@ -53,6 +53,7 @@ fn main() {
                     "streams",
                     "memory",
                     "fusion",
+                    "planopt",
                     "sweep",
                     "emit-artifacts",
                 ];
@@ -179,6 +180,19 @@ fn main() {
                 }
             }
             Err(e) => eprintln!("fusion ablation failed: {e}"),
+        }
+    }
+    if run("planopt") {
+        match exp::planopt_ablation(s) {
+            Ok(a) => {
+                println!("{}", report::render_planopt(&a));
+                if command == "planopt" {
+                    if let Some(path) = &json_path {
+                        write_json(path, &bench::json::planopt_json(s, &a));
+                    }
+                }
+            }
+            Err(e) => eprintln!("planopt ablation failed: {e}"),
         }
     }
     if run("sweep") {

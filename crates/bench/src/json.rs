@@ -2,7 +2,7 @@
 //! deliberately carries no serde dependency, and the benchmark records are
 //! small flat tables, so a tiny value tree with an escaping writer is enough.
 
-use crate::experiments::{DegradationDemo, FusionAblation, MemoryRow, StreamsRow};
+use crate::experiments::{DegradationDemo, FusionAblation, MemoryRow, PlanoptAblation, StreamsRow};
 use downscaler::Scenario;
 
 /// A JSON value. Construct with the variant constructors and render with
@@ -122,6 +122,41 @@ pub fn fusion_json(s: &Scenario, a: &FusionAblation) -> String {
         ("experiment".into(), Json::Str("fusion".into())),
         ("scenario".into(), scenario_json(s)),
         ("fused_outputs_match".into(), Json::Bool(a.fused_outputs_match)),
+        ("rows".into(), Json::Arr(rows)),
+    ])
+    .render()
+}
+
+/// The machine-readable record `reproduce planopt --json <path>` writes:
+/// scenario, then one row per (configuration × pass setting × option set)
+/// with the simulated makespan and the transfers/bytes actually moved.
+pub fn planopt_json(s: &Scenario, a: &PlanoptAblation) -> String {
+    let rows = a
+        .rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("config".into(), Json::Str(r.config.clone())),
+                ("passes".into(), Json::Str(r.passes.clone())),
+                (
+                    "options".into(),
+                    Json::Obj(vec![
+                        ("streams".into(), Json::Int(r.streams as i64)),
+                        ("pool".into(), Json::Bool(r.pool)),
+                    ]),
+                ),
+                ("simulated_s".into(), Json::Num(r.total_s)),
+                ("h2d_per_frame".into(), Json::Num(r.h2d_per_frame)),
+                ("d2h_per_frame".into(), Json::Num(r.d2h_per_frame)),
+                ("h2d_mb".into(), Json::Num(r.h2d_mb)),
+                ("d2h_mb".into(), Json::Num(r.d2h_mb)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("planopt".into())),
+        ("scenario".into(), scenario_json(s)),
+        ("outputs_match".into(), Json::Bool(a.outputs_match)),
         ("rows".into(), Json::Arr(rows)),
     ])
     .render()
@@ -261,6 +296,42 @@ mod tests {
             r#""naive_error":"simulator: out of device memory""#,
             r#""notes":["degraded: out of device memory at 4 stream lanes"]"#,
             r#""outputs_match_baseline":true"#,
+        ] {
+            assert!(text.contains(needle), "{needle} missing from {text}");
+        }
+    }
+
+    #[test]
+    fn planopt_record_has_all_fields() {
+        use crate::experiments::PlanoptRow;
+        let s = Scenario::tiny();
+        let a = PlanoptAblation {
+            rows: vec![PlanoptRow {
+                config: "Gaspard2 naive placement".into(),
+                passes: "residency".into(),
+                streams: 2,
+                pool: true,
+                total_s: 1.399,
+                h2d_per_frame: 3.0,
+                d2h_per_frame: 6.0,
+                h2d_mb: 512.5,
+                d2h_mb: 1024.25,
+            }],
+            outputs_match: true,
+        };
+        let text = planopt_json(&s, &a);
+        for needle in [
+            r#""experiment":"planopt""#,
+            r#""scenario":{"name":"#,
+            r#""config":"Gaspard2 naive placement""#,
+            r#""passes":"residency""#,
+            r#""options":{"streams":2,"pool":true}"#,
+            r#""simulated_s":1.399"#,
+            r#""h2d_per_frame":3"#,
+            r#""d2h_per_frame":6"#,
+            r#""h2d_mb":512.5"#,
+            r#""d2h_mb":1024.25"#,
+            r#""outputs_match":true"#,
         ] {
             assert!(text.contains(needle), "{needle} missing from {text}");
         }

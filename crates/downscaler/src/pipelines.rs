@@ -16,15 +16,6 @@ use sac_lang::wir::FlatProgram;
 
 pub use simgpu::schedule::ExecOptions;
 
-/// Former name of the batch options, now the unified [`ExecOptions`] shared
-/// by both routes and the executors underneath them.
-#[deprecated(
-    since = "0.1.0",
-    note = "unified into `ExecOptions` (simgpu::schedule); the fields are \
-            unchanged"
-)]
-pub type BatchOptions = ExecOptions;
-
 /// Errors from route construction.
 #[derive(Debug)]
 pub enum PipelineError {
@@ -189,6 +180,35 @@ pub fn run_gaspard_batch(
         ExecOptions { total_frames: s.frames, ..opts },
     )?;
     Ok(outs)
+}
+
+/// [`run_gaspard_batch`] with an explicit intermediate placement; also
+/// returns the run's transfer counters (including bytes moved), which the
+/// planopt ablation reports. [`gaspard::Placement::PerKernelRoundTrip`] is
+/// the maximally redundant baseline — with `opts.optimize` enabling the
+/// residency and dead-transfer passes, the executed schedule collapses back
+/// to the device-resident placement.
+pub fn run_gaspard_batch_placed(
+    s: &Scenario,
+    route: &GaspardRoute,
+    device: &mut simgpu::Device,
+    seed: u64,
+    opts: ExecOptions,
+    placement: gaspard::Placement,
+) -> Result<simgpu::schedule::BatchOutput, PipelineError> {
+    opts.validate().map_err(PipelineError::Config)?;
+    device.set_pool_enabled(opts.pool);
+    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, seed);
+    let frames: Vec<Vec<NdArray<i64>>> =
+        (0..executed_frames(&opts, s)).map(|f| gen.frame_channels(f)).collect();
+    let out = gaspard::run_opencl_frames_placed(
+        &route.opencl,
+        device,
+        &frames,
+        ExecOptions { total_frames: s.frames, ..opts },
+        placement,
+    )?;
+    Ok(out)
 }
 
 /// Golden-model downscale of a rank-3 `[channels, rows, cols]` frame.

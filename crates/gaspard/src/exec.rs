@@ -17,19 +17,28 @@ use crate::codegen::OpenClProgram;
 use crate::GaspardError;
 use mdarray::NdArray;
 use simgpu::schedule::{
-    ArrayDecl, BatchScheduler, LaunchPlan, PlanKernel, PlanStep, ScheduleError,
+    ArrayDecl, BatchScheduler, LaunchPlan, PlanKernel, PlanStep, RunStats, ScheduleError,
 };
 use simgpu::Device;
 
 pub use simgpu::schedule::ExecOptions;
 
-/// Former per-route options struct, now unified across both routes.
-#[deprecated(
-    since = "0.1.0",
-    note = "unified into `ExecOptions` (simgpu::schedule); the `queues` \
-            field is now called `streams`"
-)]
-pub type OpenClPipelineOptions = ExecOptions;
+/// Where the generated host loop keeps intermediate arrays.
+///
+/// The MDE-generated host code the paper profiles keeps intermediates
+/// device-resident ([`Placement::Resident`]); [`Placement::PerKernelRoundTrip`]
+/// lowers the naive placement a straight per-tiler translation would emit —
+/// upload each kernel's input, download its output, every kernel, every
+/// frame. It exists as the planopt baseline: the residency and dead-transfer
+/// passes must recover the resident placement from it mechanically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Intermediates stay in device memory between kernels (paper-faithful).
+    Resident,
+    /// Every kernel's input is uploaded and its output downloaded — the
+    /// maximally redundant placement used as the planopt ablation baseline.
+    PerKernelRoundTrip,
+}
 
 /// Map a scheduler error back onto this route's error type.
 fn from_schedule(e: ScheduleError) -> GaspardError {
@@ -54,6 +63,19 @@ fn from_schedule(e: ScheduleError) -> GaspardError {
 /// array, in model order. The chain performs no host fallbacks, so the plan
 /// has no host ops.
 pub fn lower_plan(prog: &OpenClProgram) -> LaunchPlan<'_> {
+    lower_plan_with(prog, Placement::Resident)
+}
+
+/// [`lower_plan`] with an explicit intermediate [`Placement`].
+///
+/// `PerKernelRoundTrip` emits, per kernel in model order: upload its input,
+/// alloc its output, launch, download its output — so every intermediate
+/// makes a full host round trip between producer and consumer, and inputs
+/// shared by several kernels are uploaded once per reader. This is the
+/// placement a per-tiler translation without cross-kernel analysis produces;
+/// `simgpu::planopt`'s residency + dead-transfer passes reduce it back to
+/// the `Resident` step list.
+pub fn lower_plan_with(prog: &OpenClProgram, placement: Placement) -> LaunchPlan<'_> {
     let sm = &prog.model;
     let arrays: Vec<ArrayDecl> = sm
         .arrays
@@ -66,15 +88,27 @@ pub fn lower_plan(prog: &OpenClProgram) -> LaunchPlan<'_> {
         .map(|k| PlanKernel { kernel: &k.kernel, config: k.config, args: vec![k.output, k.input] })
         .collect();
     let mut steps = Vec::with_capacity(sm.inputs.len() + 2 * prog.kernels.len() + sm.outputs.len());
-    for &id in &sm.inputs {
-        steps.push(PlanStep::Upload { array: id, chunks: 1 });
-    }
-    for (i, k) in prog.kernels.iter().enumerate() {
-        steps.push(PlanStep::Alloc { array: k.output });
-        steps.push(PlanStep::Launch { kernel: i });
-    }
-    for &id in &sm.outputs {
-        steps.push(PlanStep::Download { array: id, chunks: 1 });
+    match placement {
+        Placement::Resident => {
+            for &id in &sm.inputs {
+                steps.push(PlanStep::Upload { array: id, chunks: 1 });
+            }
+            for (i, k) in prog.kernels.iter().enumerate() {
+                steps.push(PlanStep::Alloc { array: k.output });
+                steps.push(PlanStep::Launch { kernel: i });
+            }
+            for &id in &sm.outputs {
+                steps.push(PlanStep::Download { array: id, chunks: 1 });
+            }
+        }
+        Placement::PerKernelRoundTrip => {
+            for (i, k) in prog.kernels.iter().enumerate() {
+                steps.push(PlanStep::Upload { array: k.input, chunks: 1 });
+                steps.push(PlanStep::Alloc { array: k.output });
+                steps.push(PlanStep::Launch { kernel: i });
+                steps.push(PlanStep::Download { array: k.output, chunks: 1 });
+            }
+        }
     }
     LaunchPlan {
         arrays,
@@ -83,6 +117,9 @@ pub fn lower_plan(prog: &OpenClProgram) -> LaunchPlan<'_> {
         kernels,
         host_ops: Vec::new(),
         steps,
+        prologue: Vec::new(),
+        invariant: Vec::new(),
+        batches: Vec::new(),
         lane_label: "command queues",
     }
 }
@@ -124,17 +161,37 @@ pub fn run_opencl_frames(
     frames: &[Vec<NdArray<i64>>],
     opts: ExecOptions,
 ) -> Result<Vec<Vec<NdArray<i64>>>, GaspardError> {
+    let (outs, _) = run_opencl_frames_placed(prog, device, frames, opts, Placement::Resident)?;
+    Ok(outs)
+}
+
+/// [`run_opencl_frames`] with an explicit intermediate [`Placement`]; also
+/// returns the run's transfer/launch counters.
+///
+/// When `opts.optimize` enables any `simgpu::planopt` pass, the lowered plan
+/// is rewritten before scheduling and each pass's change note is surfaced as
+/// a profiler note next to the timings.
+pub fn run_opencl_frames_placed(
+    prog: &OpenClProgram,
+    device: &mut Device,
+    frames: &[Vec<NdArray<i64>>],
+    opts: ExecOptions,
+    placement: Placement,
+) -> Result<simgpu::schedule::BatchOutput, GaspardError> {
     if frames.is_empty() {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), RunStats::default()));
     }
     // Surface pass-level observations (fusion decisions, refusal fallbacks)
     // once per batch, so ablation reports can show them next to the timings.
     for note in &prog.notes {
         device.profiler.note(note.clone());
     }
-    let plan = lower_plan(prog);
-    let (outs, _) = BatchScheduler::new(&plan).run(device, frames, &opts).map_err(from_schedule)?;
-    Ok(outs)
+    let mut plan = lower_plan_with(prog, placement);
+    let report = simgpu::planopt::optimize(&mut plan, opts.optimize).map_err(from_schedule)?;
+    for note in report.notes {
+        device.profiler.note(note);
+    }
+    BatchScheduler::new(&plan).run(device, frames, &opts).map_err(from_schedule)
 }
 
 #[cfg(test)]
@@ -277,6 +334,50 @@ mod tests {
         assert!(db.now_us() < sync.now_us(), "{} !< {}", db.now_us(), sync.now_us());
         assert!(db.profiler.overlap_percent() > 0.0);
         assert_eq!(db.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn naive_placement_with_planopt_recovers_resident_transfers() {
+        let prog = compiled();
+        let frames = queue_frames(4);
+        let opts = ExecOptions { streams: 2, ..Default::default() };
+
+        let mut resident = Device::gtx480();
+        let expect = run_opencl_frames(&prog, &mut resident, &frames, opts).unwrap();
+
+        // The per-kernel round-trip placement is correct but moves more data.
+        let mut naive = Device::gtx480();
+        let (naive_outs, naive_stats) = run_opencl_frames_placed(
+            &prog,
+            &mut naive,
+            &frames,
+            opts,
+            Placement::PerKernelRoundTrip,
+        )
+        .unwrap();
+        assert_eq!(naive_outs, expect);
+        assert!(naive.now_us() > resident.now_us());
+
+        // planopt strips the round trips back out of the naive placement.
+        let mut opt = Device::gtx480();
+        let (opt_outs, opt_stats) = run_opencl_frames_placed(
+            &prog,
+            &mut opt,
+            &frames,
+            ExecOptions { optimize: simgpu::PlanOptLevel::ALL, ..opts },
+            Placement::PerKernelRoundTrip,
+        )
+        .unwrap();
+        assert_eq!(opt_outs, expect);
+        assert!(
+            opt_stats.h2d_bytes < naive_stats.h2d_bytes,
+            "{} !< {}",
+            opt_stats.h2d_bytes,
+            naive_stats.h2d_bytes
+        );
+        assert!(opt_stats.d2h_bytes < naive_stats.d2h_bytes);
+        assert!(opt.now_us() < naive.now_us(), "{} !< {}", opt.now_us(), naive.now_us());
+        assert!(opt.profiler.notes().any(|n| n.contains("planopt residency")));
     }
 
     #[test]

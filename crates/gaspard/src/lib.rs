@@ -41,9 +41,10 @@ pub mod openmp;
 pub mod transform;
 
 pub use codegen::{generate_opencl, OpenClProgram};
-#[allow(deprecated)]
-pub use exec::OpenClPipelineOptions;
-pub use exec::{lower_plan, run_opencl, run_opencl_frames, ExecOptions};
+pub use exec::{
+    lower_plan, lower_plan_with, run_opencl, run_opencl_frames, run_opencl_frames_placed,
+    ExecOptions, Placement,
+};
 pub use fusion::{fuse_model, generate_opencl_fused, FusionReport};
 pub use model::{
     Allocation, Component, ComponentKind, Connection, ElementaryOp, HwKind, Model, PartRef,

@@ -23,14 +23,6 @@ use simgpu::Device;
 
 pub use simgpu::schedule::{ExecOptions, RunStats};
 
-/// Former per-route options struct, now unified across both routes.
-#[deprecated(
-    since = "0.1.0",
-    note = "unified into `ExecOptions` (simgpu::schedule); the old `exec` \
-            sub-struct fields are now top-level fields"
-)]
-pub type PipelineOptions = ExecOptions;
-
 /// Cost model for work that stays on the host CPU (the generic output
 /// tiler). Charged as simulated time so Figure 9's generic-variant numbers
 /// include the host scatter the paper describes.
@@ -141,8 +133,25 @@ pub fn lower_plan(prog: &CudaProgram, channel_chunks: usize) -> Result<LaunchPla
         kernels,
         host_ops,
         steps,
+        prologue: Vec::new(),
+        invariant: Vec::new(),
+        batches: Vec::new(),
         lane_label: "stream lanes",
     })
+}
+
+/// Run the `opts.optimize` planopt passes over a freshly lowered plan,
+/// surfacing each pass's change note in the device profiler.
+fn optimize_plan(
+    plan: &mut LaunchPlan<'_>,
+    device: &mut Device,
+    opts: &ExecOptions,
+) -> Result<(), CudaError> {
+    let report = simgpu::planopt::optimize(plan, opts.optimize).map_err(from_schedule)?;
+    for note in report.notes {
+        device.profiler.note(note);
+    }
+    Ok(())
 }
 
 /// Execute `prog` once on `device` with the given input arrays.
@@ -176,7 +185,8 @@ pub fn run_on_device_opts(
     inputs: &[NdArray<i64>],
     opts: ExecOptions,
 ) -> Result<(NdArray<i64>, RunStats), CudaError> {
-    let plan = lower_plan(prog, opts.channel_chunks)?;
+    let mut plan = lower_plan(prog, opts.channel_chunks)?;
+    optimize_plan(&mut plan, device, &opts)?;
     let frames = [inputs.to_vec()];
     let serial = ExecOptions { streams: 1, total_frames: 0, ..opts };
     let (mut outs, stats) =
@@ -204,7 +214,8 @@ pub fn run_frames_pipelined(
     if frames.is_empty() {
         return Ok((Vec::new(), RunStats::default()));
     }
-    let plan = lower_plan(prog, opts.channel_chunks)?;
+    let mut plan = lower_plan(prog, opts.channel_chunks)?;
+    optimize_plan(&mut plan, device, &opts)?;
     let (outs, stats) =
         BatchScheduler::new(&plan).run(device, frames, &opts).map_err(from_schedule)?;
     let outs = outs
@@ -444,6 +455,35 @@ int[*] main(int[8,16] a)
         assert!(db.profiler.overlap_percent() > 0.0);
         // All buffer sets were released.
         assert_eq!(db.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn planopt_coalesces_chunked_transfers_without_changing_results() {
+        let prog = compile(PIPE_SRC, &[vec![8, 16]]);
+        let frames = pipe_frames(4);
+        let opts = ExecOptions { streams: 2, channel_chunks: 8, ..Default::default() };
+
+        let mut base = Device::gtx480();
+        let (expect, base_stats) = run_frames_pipelined(&prog, &mut base, &frames, opts).unwrap();
+        assert_eq!(base_stats.h2d, 4 * 8, "per-channel chunking baseline");
+
+        let mut opt = Device::gtx480();
+        let (got, stats) = run_frames_pipelined(
+            &prog,
+            &mut opt,
+            &frames,
+            ExecOptions { optimize: simgpu::PlanOptLevel::COALESCE, ..opts },
+        )
+        .unwrap();
+
+        assert_eq!(got, expect);
+        // Same bytes in one transfer per frame per direction, minus the
+        // per-chunk latencies.
+        assert_eq!(stats.h2d, 4);
+        assert_eq!(stats.h2d_bytes, base_stats.h2d_bytes);
+        assert_eq!(stats.d2h_bytes, base_stats.d2h_bytes);
+        assert!(opt.now_us() < base.now_us(), "{} !< {}", opt.now_us(), base.now_us());
+        assert!(opt.profiler.notes().any(|n| n.contains("planopt coalesce")));
     }
 
     #[test]

@@ -30,8 +30,6 @@ pub mod exec;
 pub mod identify;
 
 pub use codegen::{compile_flat_program, CompiledKernel, CudaProgram, PlanOp};
-#[allow(deprecated)]
-pub use exec::PipelineOptions;
 pub use exec::{
     lower_plan, run_frames_pipelined, run_on_device, run_on_device_opts, ExecOptions, HostCost,
     RunStats,

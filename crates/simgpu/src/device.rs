@@ -578,7 +578,8 @@ impl Device {
         id: BufferId,
         stream: StreamId,
     ) -> Result<(), SimError> {
-        self.host2device_chunked_on(host, id, 1, stream)
+        self.host2device_chunked_on(host, id, 1, stream)?;
+        Ok(())
     }
 
     /// Like [`Device::host2device`] but performed (and profiled) as `chunks`
@@ -596,7 +597,10 @@ impl Device {
         Ok(())
     }
 
-    /// Asynchronous chunked upload on `stream`.
+    /// Asynchronous chunked upload on `stream`. Returns the number of
+    /// transfers actually issued (after the chunk-fallback rule), so callers
+    /// accounting transfer counts report what the engine saw, not what was
+    /// requested.
     ///
     /// Chunking rule: `chunks` is honoured only when it is greater than 1
     /// *and* divides `host.len()` exactly; any other request degrades to a
@@ -609,7 +613,7 @@ impl Device {
         id: BufferId,
         chunks: usize,
         stream: StreamId,
-    ) -> Result<(), SimError> {
+    ) -> Result<usize, SimError> {
         self.stream_tail(stream)?;
         let dev_len = self.buffer_len(id)?;
         if dev_len != host.len() {
@@ -625,7 +629,70 @@ impl Device {
         // succeeded: a failed upload never leaves the buffer contents and the
         // charged timeline disagreeing.
         self.buffers[id.0].as_mut().expect("validated above").copy_from_slice(host);
+        Ok(chunks)
+    }
+
+    /// Upload several host arrays in one batched transfer (`cudaMemcpy` of a
+    /// packed staging area): every part is validated first, then the whole
+    /// batch is charged as a *single* H2D operation whose byte count is the
+    /// sum of the parts — one transfer latency instead of one per part.
+    ///
+    /// Recorded under `memcpyHtoDbatched` so batched traffic is separable
+    /// from the per-array `memcpyHtoDasync` calls in profiles.
+    pub fn host2device_batch_on(
+        &mut self,
+        parts: &[(&[i32], BufferId)],
+        stream: StreamId,
+    ) -> Result<(), SimError> {
+        self.stream_tail(stream)?;
+        let mut total = 0usize;
+        for &(host, id) in parts {
+            let dev_len = self.buffer_len(id)?;
+            if dev_len != host.len() {
+                return Err(SimError::TransferSize { host: host.len(), device: dev_len });
+            }
+            total += host.len();
+        }
+        if parts.is_empty() {
+            return Ok(());
+        }
+        let us = self.calib.transfer_time_us(total * 4, Direction::HostToDevice);
+        self.schedule_on("memcpyHtoDbatched", OpClass::H2D, stream, us)?;
+        for &(host, id) in parts {
+            self.buffers[id.0].as_mut().expect("validated above").copy_from_slice(host);
+        }
         Ok(())
+    }
+
+    /// Read several device buffers back in one batched transfer — the D2H
+    /// counterpart of [`Device::host2device_batch_on`]. One D2H operation is
+    /// charged for the summed bytes; the returned vectors are in `ids` order.
+    ///
+    /// Recorded under `memcpyDtoHbatched`.
+    pub fn device2host_batch_on(
+        &mut self,
+        ids: &[BufferId],
+        stream: StreamId,
+    ) -> Result<Vec<Vec<i32>>, SimError> {
+        self.stream_tail(stream)?;
+        let mut total = 0usize;
+        for &id in ids {
+            total += self.buffer_len(id)?;
+        }
+        if ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let us = self.calib.transfer_time_us(total * 4, Direction::DeviceToHost);
+        self.schedule_on("memcpyDtoHbatched", OpClass::D2H, stream, us)?;
+        ids.iter()
+            .map(|&id| {
+                self.buffers
+                    .get(id.0)
+                    .and_then(|b| b.as_ref())
+                    .cloned()
+                    .ok_or(SimError::UnknownBuffer { id: id.0 })
+            })
+            .collect()
     }
 
     /// The chunking rule shared by both chunked transfers, with the
@@ -649,14 +716,16 @@ impl Device {
         id: BufferId,
         chunks: usize,
     ) -> Result<Vec<i32>, SimError> {
-        let out = self.device2host_chunked_on(id, chunks, StreamId::DEFAULT)?;
+        let (out, _) = self.device2host_chunked_on(id, chunks, StreamId::DEFAULT)?;
         self.sim_time_us = self.stream_tail_us[StreamId::DEFAULT.0];
         Ok(out)
     }
 
     /// Asynchronous chunked readback on `stream`. The returned data is the
-    /// buffer contents at enqueue time; the host clock is not advanced —
-    /// synchronise the stream before *using* the data at a simulated time.
+    /// buffer contents at enqueue time paired with the number of transfers
+    /// actually issued (after the chunk-fallback rule); the host clock is not
+    /// advanced — synchronise the stream before *using* the data at a
+    /// simulated time.
     ///
     /// Chunking follows the same rule as [`Device::host2device_chunked_on`]:
     /// honoured only when `chunks > 1` divides the length exactly, with the
@@ -666,7 +735,7 @@ impl Device {
         id: BufferId,
         chunks: usize,
         stream: StreamId,
-    ) -> Result<Vec<i32>, SimError> {
+    ) -> Result<(Vec<i32>, usize), SimError> {
         self.stream_tail(stream)?;
         let len = self.buffer_len(id)?;
         let chunks = self.effective_chunks(len, chunks);
@@ -681,7 +750,7 @@ impl Device {
             let us = self.calib.transfer_time_us(bytes, Direction::DeviceToHost);
             self.schedule_on("memcpyDtoHasync", OpClass::D2H, stream, us)?;
         }
-        Ok(out)
+        Ok((out, chunks))
     }
 
     /// Copy a device buffer back to the host — `device2host` /
@@ -693,7 +762,8 @@ impl Device {
 
     /// Asynchronous [`Device::device2host`] on `stream`.
     pub fn device2host_on(&mut self, id: BufferId, stream: StreamId) -> Result<Vec<i32>, SimError> {
-        self.device2host_chunked_on(id, 1, stream)
+        let (out, _) = self.device2host_chunked_on(id, 1, stream)?;
+        Ok(out)
     }
 
     /// Launch a kernel. Execution is functional (buffers are updated) and the
@@ -912,6 +982,62 @@ mod tests {
         // The divisible case is honoured without a note.
         d.device2host_chunked(buf, 2).unwrap();
         assert_eq!(d.profiler.notes().count(), 1);
+    }
+
+    #[test]
+    fn chunked_transfers_report_actual_counts() {
+        let mut d = Device::gtx480();
+        let buf = d.malloc(12).unwrap();
+        // Divisible: honoured.
+        assert_eq!(d.host2device_chunked_on(&[1; 12], buf, 3, StreamId::DEFAULT).unwrap(), 3);
+        // Not divisible: falls back to one transfer, and says so.
+        assert_eq!(d.host2device_chunked_on(&[2; 12], buf, 5, StreamId::DEFAULT).unwrap(), 1);
+        let (out, issued) = d.device2host_chunked_on(buf, 5, StreamId::DEFAULT).unwrap();
+        assert_eq!(out, vec![2; 12]);
+        assert_eq!(issued, 1);
+        d.synchronize();
+    }
+
+    #[test]
+    fn batched_transfers_charge_one_operation_for_summed_bytes() {
+        let mut d = Device::gtx480();
+        let a = d.malloc(1000).unwrap();
+        let b = d.malloc(3000).unwrap();
+        let da: Vec<i32> = (0..1000).collect();
+        let db: Vec<i32> = (0..3000).collect();
+        d.host2device_batch_on(&[(&da, a), (&db, b)], StreamId::DEFAULT).unwrap();
+        let rec = d.profiler.records().find(|r| r.name == "memcpyHtoDbatched").unwrap();
+        assert_eq!(rec.calls, 1);
+        // One latency for the whole batch: cheaper than two separate uploads.
+        let calib = d.calibration().clone();
+        let separate = calib.transfer_time_us(4000, Direction::HostToDevice)
+            + calib.transfer_time_us(12000, Direction::HostToDevice);
+        let batched = calib.transfer_time_us(16000, Direction::HostToDevice);
+        assert!((rec.total_us - batched).abs() < 1e-9);
+        assert!(batched < separate);
+        let outs = d.device2host_batch_on(&[a, b], StreamId::DEFAULT).unwrap();
+        assert_eq!(outs, vec![da, db]);
+        assert_eq!(d.profiler.records().find(|r| r.name == "memcpyDtoHbatched").unwrap().calls, 1);
+        d.synchronize();
+    }
+
+    #[test]
+    fn failed_batch_upload_mutates_nothing() {
+        let mut d = Device::gtx480();
+        let a = d.malloc(4).unwrap();
+        let b = d.malloc(4).unwrap();
+        d.poke(a, &[9, 9, 9, 9]).unwrap();
+        // Second part has a size mismatch: the whole batch must be rejected
+        // before any copy or charge happens.
+        let good: Vec<i32> = vec![1, 2, 3, 4];
+        let bad: Vec<i32> = vec![1, 2, 3];
+        assert!(d.host2device_batch_on(&[(&good, a), (&bad, b)], StreamId::DEFAULT).is_err());
+        assert_eq!(d.peek(a).unwrap(), &[9, 9, 9, 9]);
+        assert_eq!(d.profiler.records().count(), 0);
+        // Empty batch is a no-op, not a zero-byte transfer.
+        d.host2device_batch_on(&[], StreamId::DEFAULT).unwrap();
+        assert!(d.device2host_batch_on(&[], StreamId::DEFAULT).unwrap().is_empty());
+        assert_eq!(d.profiler.records().count(), 0);
     }
 
     #[test]

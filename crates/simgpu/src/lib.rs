@@ -31,6 +31,7 @@ pub mod device;
 pub mod emit;
 pub mod exec;
 pub mod kir;
+pub mod planopt;
 pub mod profiler;
 pub mod runtime;
 pub mod schedule;
@@ -39,6 +40,7 @@ pub use cost::{Calibration, Engine};
 pub use device::{BufferId, Device, DeviceConfig, EventId, MemPool, StreamId};
 pub use exec::{LaunchConfig, LaunchStats};
 pub use kir::{BinOp, Instr, Kernel, KernelArg, KernelFlavor, Param, Reg, Special};
+pub use planopt::{optimize, PlanOptLevel, PlanOptReport};
 pub use profiler::{AllocStats, OpClass, Profiler, Record, Span};
 pub use runtime::GpuRuntime;
 pub use schedule::{

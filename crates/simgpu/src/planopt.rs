@@ -1,0 +1,784 @@
+//! Plan-level transfer-elimination passes over [`LaunchPlan`].
+//!
+//! PRs 1–4 left the HD run transfer-bound: fusion cut kernel launches but
+//! every frame still uploads all inputs and downloads all outputs, so the
+//! 2-stream time plateaued at the H2D engine's busy time. This module
+//! attacks that at the shared launch-plan IR, in the spirit of rewrite-rule
+//! optimisers: a small pass manager with named, individually-toggleable
+//! passes that rewrite a validated plan into a cheaper equivalent one.
+//!
+//! The passes, in the order [`optimize`] runs them:
+//!
+//! 1. **Device-residency propagation** ([`PlanOptLevel::residency`]) — a
+//!    forward walk tracking which arrays hold their *current logical value*
+//!    on the device (`dev_valid`) and on the host (`host_valid`). An upload
+//!    of an already-device-valid array and a download of an already-
+//!    host-valid array are redundant and dropped — this is what keeps
+//!    producer→consumer intermediates device-resident across steps. For
+//!    arrays the route declares content-independent across frames
+//!    ([`LaunchPlan::invariant`]), the surviving upload is hoisted into the
+//!    plan [`LaunchPlan::prologue`]: uploaded once per lane, reused by every
+//!    frame.
+//! 2. **Dead upload/download elimination**
+//!    ([`PlanOptLevel::dead_transfers`]) — a backward liveness walk from the
+//!    declared outputs. A download whose host copy is never read afterwards
+//!    (not an output, not a host-op input, not re-uploaded) and an upload
+//!    whose device copy is never consumed are dropped. Kernel launches
+//!    conservatively count *every* argument as a device read, including
+//!    writable ones — a writable parameter may read-modify-write in place —
+//!    so a transfer feeding any launch is never dropped.
+//! 3. **Step reordering** ([`PlanOptLevel::reorder`]) — uploads bubble
+//!    toward the front of the frame and downloads toward the back, past
+//!    steps they do not conflict with. This lengthens the H2D / compute /
+//!    D2H overlap window under multi-stream pipelining, and it clusters
+//!    transfers into adjacent runs the coalescing pass can batch. Transfers
+//!    never reorder against same-direction transfers, so each engine's
+//!    operation order is stable.
+//! 4. **Transfer coalescing** ([`PlanOptLevel::coalesce`]) — two rewrites
+//!    that both trade per-transfer latency for nothing: a chunked transfer
+//!    (`chunks > 1`) becomes one whole-buffer transfer (same bytes, one
+//!    latency), and an adjacent run of uploads (or downloads) becomes one
+//!    [`PlanStep::UploadBatch`] / [`PlanStep::DownloadBatch`] charged as a
+//!    single transfer of the summed bytes. Kernel launches are *not*
+//!    coalesced here: merging launches changes kernel code, which is the
+//!    compiler's fusion pass (SaC WITH-loop folding, the Gaspard tiler
+//!    composition), not a plan-level rewrite.
+//!
+//! Every pass re-validates the plan after rewriting ([`LaunchPlan::
+//! validate`], which since the residency fixes also tracks stale host/device
+//! copies), so an unsound rewrite fails loudly instead of corrupting
+//! outputs. What each pass changed is reported as [`PlanOptReport`] notes,
+//! which the route wrappers surface as profiler notes next to the timings.
+//!
+//! The knob rides in [`ExecOptions::optimize`](crate::schedule::ExecOptions)
+//! and defaults to [`PlanOptLevel::OFF`] — a strict no-op, so every
+//! paper-faithful number is untouched unless an experiment opts in.
+
+use crate::schedule::{LaunchPlan, PlanStep, ScheduleError};
+
+/// Which planopt passes to run. Each pass is independently toggleable so
+/// ablations can attribute savings; [`PlanOptLevel::OFF`] (the default) runs
+/// nothing and leaves the plan byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptLevel {
+    /// Device-residency propagation: drop re-uploads of device-valid arrays
+    /// and re-downloads of host-valid arrays; hoist invariant uploads into
+    /// the per-lane prologue.
+    pub residency: bool,
+    /// Dead transfer elimination: drop uploads/downloads whose produced copy
+    /// is never read.
+    pub dead_transfers: bool,
+    /// Hoist independent uploads ahead of kernel chains and sink downloads
+    /// behind them.
+    pub reorder: bool,
+    /// Merge chunked transfers and batch adjacent same-direction transfers
+    /// into single operations.
+    pub coalesce: bool,
+}
+
+impl PlanOptLevel {
+    /// No passes: [`optimize`] is a strict no-op.
+    pub const OFF: PlanOptLevel =
+        PlanOptLevel { residency: false, dead_transfers: false, reorder: false, coalesce: false };
+    /// Every pass.
+    pub const ALL: PlanOptLevel =
+        PlanOptLevel { residency: true, dead_transfers: true, reorder: true, coalesce: true };
+    /// Only the residency-propagation pass.
+    pub const RESIDENCY: PlanOptLevel = PlanOptLevel { residency: true, ..Self::OFF };
+    /// Only dead-transfer elimination.
+    pub const DEAD_TRANSFERS: PlanOptLevel = PlanOptLevel { dead_transfers: true, ..Self::OFF };
+    /// Only step reordering.
+    pub const REORDER: PlanOptLevel = PlanOptLevel { reorder: true, ..Self::OFF };
+    /// Only transfer coalescing.
+    pub const COALESCE: PlanOptLevel = PlanOptLevel { coalesce: true, ..Self::OFF };
+
+    /// Whether no pass is enabled.
+    pub fn is_off(&self) -> bool {
+        *self == Self::OFF
+    }
+}
+
+impl Default for PlanOptLevel {
+    fn default() -> Self {
+        Self::OFF
+    }
+}
+
+/// What [`optimize`] changed: one human-readable note per pass that rewrote
+/// something, in pass order. Route wrappers push these into the device
+/// profiler's notes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanOptReport {
+    /// One note per pass that changed the plan.
+    pub notes: Vec<String>,
+}
+
+/// Run the enabled passes over `plan`, in the fixed order residency →
+/// dead-transfers → reorder → coalesce, re-validating after each.
+///
+/// With [`PlanOptLevel::OFF`] this is a strict no-op: the plan is not
+/// touched (not even validated) and the report is empty, so default-option
+/// executions are bit-identical to pre-planopt builds.
+pub fn optimize(
+    plan: &mut LaunchPlan<'_>,
+    level: PlanOptLevel,
+) -> Result<PlanOptReport, ScheduleError> {
+    let mut report = PlanOptReport::default();
+    if level.is_off() {
+        return Ok(report);
+    }
+    // Passes assume they start from a consistent plan.
+    plan.validate()?;
+    type Pass = fn(&mut LaunchPlan<'_>) -> Option<String>;
+    let passes: [(bool, &str, Pass); 4] = [
+        (level.residency, "residency", residency_pass),
+        (level.dead_transfers, "dead-transfers", dead_transfers_pass),
+        (level.reorder, "reorder", reorder_pass),
+        (level.coalesce, "coalesce", coalesce_pass),
+    ];
+    for (enabled, name, pass) in passes {
+        if !enabled {
+            continue;
+        }
+        if let Some(note) = pass(plan) {
+            plan.validate().map_err(|e| {
+                ScheduleError::Plan(format!("planopt {name} produced an invalid plan: {e}"))
+            })?;
+            report.notes.push(format!("planopt {name}: {note}"));
+        }
+    }
+    Ok(report)
+}
+
+/// Array ids a launch may modify (its writable buffer parameters).
+fn written_by(plan: &LaunchPlan<'_>, kernel: usize) -> Vec<usize> {
+    plan.kernels[kernel].written_args().collect()
+}
+
+/// Forward residency propagation; see the module docs. Returns a note when
+/// any transfer was dropped or hoisted.
+fn residency_pass(plan: &mut LaunchPlan<'_>) -> Option<String> {
+    let n = plan.arrays.len();
+    let mut dev_valid = vec![false; n];
+    let mut host_valid = vec![false; n];
+    for &id in &plan.inputs {
+        host_valid[id] = true;
+    }
+    // A pre-existing prologue already established device residency for its
+    // uploads (they are invariant, so their value never goes stale).
+    for step in &plan.prologue {
+        if let PlanStep::Upload { array, .. } = *step {
+            dev_valid[array] = true;
+        }
+    }
+
+    let mut kept = Vec::with_capacity(plan.steps.len());
+    let mut dropped_up = 0usize;
+    let mut dropped_down = 0usize;
+    for step in &plan.steps {
+        match *step {
+            PlanStep::Upload { array, .. } => {
+                if dev_valid[array] {
+                    dropped_up += 1;
+                    continue;
+                }
+                dev_valid[array] = true;
+            }
+            PlanStep::Alloc { .. } => {
+                // Allocation says nothing about contents: on a warm frame
+                // the reused buffer holds the previous frame's data, so it
+                // must not count as holding this frame's value.
+            }
+            PlanStep::Launch { kernel } => {
+                for a in written_by(plan, kernel) {
+                    dev_valid[a] = true;
+                    host_valid[a] = false;
+                }
+            }
+            PlanStep::Download { array, .. } => {
+                if host_valid[array] {
+                    dropped_down += 1;
+                    continue;
+                }
+                host_valid[array] = true;
+            }
+            PlanStep::Host { op } => {
+                let h = &plan.host_ops[op];
+                host_valid[h.target] = true;
+                dev_valid[h.target] = false;
+            }
+            PlanStep::UploadBatch { batch } => {
+                for &a in &plan.batches[batch] {
+                    dev_valid[a] = true;
+                }
+            }
+            PlanStep::DownloadBatch { batch } => {
+                for &a in &plan.batches[batch] {
+                    host_valid[a] = true;
+                }
+            }
+        }
+        kept.push(*step);
+    }
+    plan.steps = kept;
+
+    // Cross-frame half: an invariant array's upload can move to the
+    // prologue — uploaded once per lane, device-resident for every frame.
+    // (Validation already guarantees invariant arrays are inputs and are
+    // never written on the device or re-produced by a host op.)
+    let mut hoisted = 0usize;
+    for id in plan.invariant.clone() {
+        let already = plan
+            .prologue
+            .iter()
+            .any(|s| matches!(*s, PlanStep::Upload { array, .. } if array == id));
+        if already {
+            continue;
+        }
+        if let Some(pos) = plan
+            .steps
+            .iter()
+            .position(|s| matches!(*s, PlanStep::Upload { array, .. } if array == id))
+        {
+            let step = plan.steps.remove(pos);
+            plan.prologue.push(step);
+            hoisted += 1;
+        }
+    }
+
+    if dropped_up + dropped_down + hoisted == 0 {
+        return None;
+    }
+    Some(format!(
+        "dropped {dropped_up} redundant upload(s) and {dropped_down} redundant download(s), \
+         hoisted {hoisted} invariant upload(s) to the per-lane prologue"
+    ))
+}
+
+/// Backward liveness from the declared outputs; see the module docs.
+fn dead_transfers_pass(plan: &mut LaunchPlan<'_>) -> Option<String> {
+    let n = plan.arrays.len();
+    let mut host_needed = vec![false; n];
+    let mut dev_needed = vec![false; n];
+    for &id in &plan.outputs {
+        host_needed[id] = true;
+    }
+    let mut kept_rev = Vec::with_capacity(plan.steps.len());
+    let mut dropped_up = 0usize;
+    let mut dropped_down = 0usize;
+    for step in plan.steps.iter().rev() {
+        match *step {
+            PlanStep::Download { array, .. } => {
+                if !host_needed[array] {
+                    dropped_down += 1;
+                    continue;
+                }
+                // Defines the host copy, reads the device copy.
+                host_needed[array] = false;
+                dev_needed[array] = true;
+            }
+            PlanStep::Upload { array, .. } => {
+                if !dev_needed[array] {
+                    dropped_up += 1;
+                    continue;
+                }
+                dev_needed[array] = false;
+                host_needed[array] = true;
+            }
+            PlanStep::Launch { kernel } => {
+                // Conservative: every argument counts as a device read —
+                // a writable parameter may read-modify-write in place.
+                for &a in &plan.kernels[kernel].args {
+                    dev_needed[a] = true;
+                }
+            }
+            PlanStep::Host { op } => {
+                let h = &plan.host_ops[op];
+                host_needed[h.target] = false;
+                for &a in &h.reads {
+                    host_needed[a] = true;
+                }
+            }
+            PlanStep::Alloc { .. } => {}
+            // Batched transfers are kept as-is: they only exist after the
+            // coalescing pass, which runs last.
+            PlanStep::UploadBatch { batch } => {
+                for &a in &plan.batches[batch] {
+                    host_needed[a] = true;
+                }
+            }
+            PlanStep::DownloadBatch { batch } => {
+                for &a in &plan.batches[batch] {
+                    dev_needed[a] = true;
+                }
+            }
+        }
+        kept_rev.push(*step);
+    }
+    kept_rev.reverse();
+    plan.steps = kept_rev;
+    if dropped_up + dropped_down == 0 {
+        return None;
+    }
+    Some(format!("dropped {dropped_up} dead upload(s) and {dropped_down} dead download(s)"))
+}
+
+/// Whether `step` reads or writes the host copy of `a`.
+fn touches_host(plan: &LaunchPlan<'_>, step: PlanStep, a: usize) -> bool {
+    match step {
+        PlanStep::Upload { array, .. } => array == a,
+        PlanStep::Download { array, .. } => array == a,
+        PlanStep::Host { op } => {
+            let h = &plan.host_ops[op];
+            h.target == a || h.reads.contains(&a)
+        }
+        PlanStep::UploadBatch { batch } | PlanStep::DownloadBatch { batch } => {
+            plan.batches[batch].contains(&a)
+        }
+        PlanStep::Alloc { .. } | PlanStep::Launch { .. } => false,
+    }
+}
+
+/// Whether `step` reads or writes the device copy of `a`.
+fn touches_device(plan: &LaunchPlan<'_>, step: PlanStep, a: usize) -> bool {
+    match step {
+        PlanStep::Upload { array, .. } | PlanStep::Alloc { array } => array == a,
+        PlanStep::Download { array, .. } => array == a,
+        PlanStep::Launch { kernel } => plan.kernels[kernel].args.contains(&a),
+        PlanStep::Host { .. } => false,
+        PlanStep::UploadBatch { batch } | PlanStep::DownloadBatch { batch } => {
+            plan.batches[batch].contains(&a)
+        }
+    }
+}
+
+fn is_h2d(step: PlanStep) -> bool {
+    matches!(step, PlanStep::Upload { .. } | PlanStep::UploadBatch { .. })
+}
+
+fn is_d2h(step: PlanStep) -> bool {
+    matches!(step, PlanStep::Download { .. } | PlanStep::DownloadBatch { .. })
+}
+
+/// Bubble uploads left and downloads right past non-conflicting steps; see
+/// the module docs. Same-engine transfer order is kept stable.
+fn reorder_pass(plan: &mut LaunchPlan<'_>) -> Option<String> {
+    let mut moves = 0usize;
+    loop {
+        let mut moved = false;
+        // Uploads drift toward the frame start.
+        for i in 1..plan.steps.len() {
+            let (prev, cur) = (plan.steps[i - 1], plan.steps[i]);
+            let PlanStep::Upload { array, .. } = cur else { continue };
+            // Never reorder H2D against H2D (engine order stays stable), and
+            // never move past a step that defines this array's host copy or
+            // touches its device copy.
+            if is_h2d(prev) || touches_host(plan, prev, array) || touches_device(plan, prev, array)
+            {
+                continue;
+            }
+            plan.steps.swap(i - 1, i);
+            moves += 1;
+            moved = true;
+        }
+        // Downloads drift toward the frame end.
+        for i in (0..plan.steps.len().saturating_sub(1)).rev() {
+            let (cur, next) = (plan.steps[i], plan.steps[i + 1]);
+            let PlanStep::Download { array, .. } = cur else { continue };
+            if is_d2h(next) || touches_host(plan, next, array) || touches_device(plan, next, array)
+            {
+                continue;
+            }
+            plan.steps.swap(i, i + 1);
+            moves += 1;
+            moved = true;
+        }
+        if !moved {
+            break;
+        }
+    }
+    if moves == 0 {
+        None
+    } else {
+        Some(format!("moved transfers {moves} step(s) to lengthen the overlap window"))
+    }
+}
+
+/// Merge chunked transfers into whole-buffer ones and batch adjacent
+/// same-direction runs; see the module docs.
+fn coalesce_pass(plan: &mut LaunchPlan<'_>) -> Option<String> {
+    let mut merged_chunks = 0usize;
+    for step in &mut plan.steps {
+        match step {
+            PlanStep::Upload { chunks, .. } | PlanStep::Download { chunks, .. } if *chunks > 1 => {
+                merged_chunks += *chunks - 1;
+                *chunks = 1;
+            }
+            _ => {}
+        }
+    }
+
+    let mut batched_runs = 0usize;
+    let mut out = Vec::with_capacity(plan.steps.len());
+    let mut i = 0;
+    while i < plan.steps.len() {
+        let run_upload = matches!(plan.steps[i], PlanStep::Upload { .. });
+        let run_download = matches!(plan.steps[i], PlanStep::Download { .. });
+        if !(run_upload || run_download) {
+            out.push(plan.steps[i]);
+            i += 1;
+            continue;
+        }
+        let mut ids = Vec::new();
+        let mut j = i;
+        while j < plan.steps.len() {
+            match plan.steps[j] {
+                PlanStep::Upload { array, .. } if run_upload => ids.push(array),
+                PlanStep::Download { array, .. } if run_download => ids.push(array),
+                _ => break,
+            }
+            j += 1;
+        }
+        // A batch of one is just the transfer it replaces — leave it alone.
+        if ids.len() >= 2 {
+            plan.batches.push(ids);
+            let batch = plan.batches.len() - 1;
+            out.push(if run_upload {
+                PlanStep::UploadBatch { batch }
+            } else {
+                PlanStep::DownloadBatch { batch }
+            });
+            batched_runs += 1;
+        } else {
+            out.push(plan.steps[i]);
+        }
+        i = j;
+    }
+    plan.steps = out;
+
+    if merged_chunks + batched_runs == 0 {
+        return None;
+    }
+    Some(format!(
+        "merged {merged_chunks} chunk transfer(s) and batched {batched_runs} adjacent transfer run(s)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::exec::LaunchConfig;
+    use crate::kir::{BinOp, Kernel, KernelBuilder, KernelFlavor, Special};
+    use crate::schedule::{ArrayDecl, BatchScheduler, ExecOptions, PlanKernel};
+    use mdarray::NdArray;
+
+    /// t = 2*src (writes t); o = t + t (writes o). Two kernels so the plan
+    /// has a device-resident intermediate.
+    fn dbl_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("dbl", KernelFlavor::Cuda);
+        let src = b.buffer_param("src", false);
+        let dst = b.buffer_param("dst", true);
+        let gid = b.special(Special::GlobalIdX);
+        let v = b.load(src, gid);
+        let two = b.constant(2);
+        let w = b.bin(BinOp::Mul, v, two);
+        b.store(dst, gid, w);
+        b.finish()
+    }
+
+    /// The paper-shaped naive placement: per kernel, upload the input,
+    /// alloc + launch, download the output — the intermediate `t` makes a
+    /// full host round trip between the two kernels.
+    fn naive_plan(kernel: &Kernel, n: usize) -> LaunchPlan<'_> {
+        let config = LaunchConfig::cover_1d(n, n.min(64) as u32);
+        LaunchPlan {
+            arrays: vec![
+                ArrayDecl { name: "src".into(), shape: vec![n] },
+                ArrayDecl { name: "t".into(), shape: vec![n] },
+                ArrayDecl { name: "o".into(), shape: vec![n] },
+            ],
+            inputs: vec![0],
+            outputs: vec![2],
+            kernels: vec![
+                PlanKernel { kernel, config, args: vec![0, 1] },
+                PlanKernel { kernel, config, args: vec![1, 2] },
+            ],
+            host_ops: Vec::new(),
+            steps: vec![
+                PlanStep::Upload { array: 0, chunks: 1 },
+                PlanStep::Alloc { array: 1 },
+                PlanStep::Launch { kernel: 0 },
+                PlanStep::Download { array: 1, chunks: 1 },
+                PlanStep::Upload { array: 1, chunks: 1 },
+                PlanStep::Alloc { array: 2 },
+                PlanStep::Launch { kernel: 1 },
+                PlanStep::Download { array: 2, chunks: 1 },
+            ],
+            prologue: Vec::new(),
+            invariant: Vec::new(),
+            batches: Vec::new(),
+            lane_label: "stream lanes",
+        }
+    }
+
+    fn run_plan(plan: &LaunchPlan<'_>, n: usize) -> (Vec<Vec<NdArray<i64>>>, crate::RunStats, f64) {
+        let frames: Vec<Vec<NdArray<i64>>> =
+            (0..3).map(|f| vec![NdArray::from_fn([n], |ix| (f * 50 + ix[0]) as i64)]).collect();
+        let mut device = Device::gtx480();
+        let (outs, stats) =
+            BatchScheduler::new(plan).run(&mut device, &frames, &ExecOptions::default()).unwrap();
+        (outs, stats, device.now_us())
+    }
+
+    #[test]
+    fn off_is_a_strict_noop() {
+        let kernel = dbl_kernel();
+        let mut plan = naive_plan(&kernel, 16);
+        let before = plan.steps.clone();
+        let report = optimize(&mut plan, PlanOptLevel::OFF).unwrap();
+        assert!(report.notes.is_empty());
+        assert_eq!(plan.steps, before);
+        assert!(plan.prologue.is_empty() && plan.batches.is_empty());
+    }
+
+    #[test]
+    fn residency_drops_the_intermediate_reupload() {
+        let kernel = dbl_kernel();
+        let mut plan = naive_plan(&kernel, 16);
+        let report = optimize(&mut plan, PlanOptLevel::RESIDENCY).unwrap();
+        assert_eq!(report.notes.len(), 1, "{:?}", report.notes);
+        assert!(report.notes[0].contains("dropped 1 redundant upload"), "{:?}", report.notes);
+        // The re-upload of `t` is gone; its (now useless) download survives
+        // until the dead-transfer pass runs.
+        assert!(!plan.steps.iter().any(|s| matches!(*s, PlanStep::Upload { array: 1, .. })));
+    }
+
+    #[test]
+    fn residency_plus_dead_recover_the_smart_placement() {
+        let kernel = dbl_kernel();
+        let mut plan = naive_plan(&kernel, 16);
+        let level = PlanOptLevel { residency: true, dead_transfers: true, ..PlanOptLevel::OFF };
+        optimize(&mut plan, level).unwrap();
+        assert_eq!(
+            plan.steps,
+            vec![
+                PlanStep::Upload { array: 0, chunks: 1 },
+                PlanStep::Alloc { array: 1 },
+                PlanStep::Launch { kernel: 0 },
+                PlanStep::Alloc { array: 2 },
+                PlanStep::Launch { kernel: 1 },
+                PlanStep::Download { array: 2, chunks: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn every_pass_combination_preserves_outputs_and_moves_fewer_bytes() {
+        let kernel = dbl_kernel();
+        let n = 256;
+        let (base_outs, base_stats, base_us) = run_plan(&naive_plan(&kernel, n), n);
+        for bits in 1..16u32 {
+            let level = PlanOptLevel {
+                residency: bits & 1 != 0,
+                dead_transfers: bits & 2 != 0,
+                reorder: bits & 4 != 0,
+                coalesce: bits & 8 != 0,
+            };
+            let mut plan = naive_plan(&kernel, n);
+            optimize(&mut plan, level).unwrap();
+            let (outs, stats, us) = run_plan(&plan, n);
+            assert_eq!(outs, base_outs, "{level:?}");
+            assert!(
+                stats.h2d_bytes <= base_stats.h2d_bytes && stats.d2h_bytes <= base_stats.d2h_bytes,
+                "{level:?}"
+            );
+            assert!(us <= base_us + 1e-9, "{level:?}: {us} > {base_us}");
+        }
+        // All passes together strictly reduce both bytes and time here.
+        let mut plan = naive_plan(&kernel, n);
+        optimize(&mut plan, PlanOptLevel::ALL).unwrap();
+        let (_, stats, us) = run_plan(&plan, n);
+        assert!(stats.h2d_bytes < base_stats.h2d_bytes);
+        assert!(stats.d2h_bytes < base_stats.d2h_bytes);
+        assert!(us < base_us);
+    }
+
+    /// Two independent chains: src0 -> o0, src1 -> o1, interleaved so the
+    /// second upload sits behind the first chain's kernel.
+    fn two_chain_plan(kernel: &Kernel, n: usize) -> LaunchPlan<'_> {
+        let config = LaunchConfig::cover_1d(n, n as u32);
+        LaunchPlan {
+            arrays: vec![
+                ArrayDecl { name: "src0".into(), shape: vec![n] },
+                ArrayDecl { name: "o0".into(), shape: vec![n] },
+                ArrayDecl { name: "src1".into(), shape: vec![n] },
+                ArrayDecl { name: "o1".into(), shape: vec![n] },
+            ],
+            inputs: vec![0, 2],
+            outputs: vec![1, 3],
+            kernels: vec![
+                PlanKernel { kernel, config, args: vec![0, 1] },
+                PlanKernel { kernel, config, args: vec![2, 3] },
+            ],
+            host_ops: Vec::new(),
+            steps: vec![
+                PlanStep::Upload { array: 0, chunks: 1 },
+                PlanStep::Alloc { array: 1 },
+                PlanStep::Launch { kernel: 0 },
+                PlanStep::Download { array: 1, chunks: 1 },
+                PlanStep::Upload { array: 2, chunks: 1 },
+                PlanStep::Alloc { array: 3 },
+                PlanStep::Launch { kernel: 1 },
+                PlanStep::Download { array: 3, chunks: 1 },
+            ],
+            prologue: Vec::new(),
+            invariant: Vec::new(),
+            batches: Vec::new(),
+            lane_label: "stream lanes",
+        }
+    }
+
+    #[test]
+    fn reorder_hoists_uploads_and_sinks_downloads() {
+        let kernel = dbl_kernel();
+        let n = 16;
+        let mut plan = two_chain_plan(&kernel, n);
+        optimize(&mut plan, PlanOptLevel::REORDER).unwrap();
+        // Both uploads lead the frame; both downloads trail it.
+        assert!(is_h2d(plan.steps[0]) && is_h2d(plan.steps[1]), "{:?}", plan.steps);
+        let len = plan.steps.len();
+        assert!(is_d2h(plan.steps[len - 1]) && is_d2h(plan.steps[len - 2]), "{:?}", plan.steps);
+        // Engine order stayed stable: src0 before src1, o0 before o1.
+        assert!(matches!(plan.steps[0], PlanStep::Upload { array: 0, .. }));
+        assert!(matches!(plan.steps[len - 2], PlanStep::Download { array: 1, .. }));
+    }
+
+    #[test]
+    fn coalesce_merges_chunks_and_batches_adjacent_runs() {
+        let kernel = dbl_kernel();
+        let n = 16;
+        let mut plan = two_chain_plan(&kernel, n);
+        plan.steps[0] = PlanStep::Upload { array: 0, chunks: 4 };
+        // Reorder first so the transfers cluster into adjacent runs.
+        let level = PlanOptLevel { reorder: true, coalesce: true, ..PlanOptLevel::OFF };
+        let report = optimize(&mut plan, level).unwrap();
+        assert!(report.notes.iter().any(|m| m.contains("coalesce")), "{:?}", report.notes);
+        assert!(!plan
+            .steps
+            .iter()
+            .any(|s| matches!(*s, PlanStep::Upload { chunks, .. } if chunks > 1)));
+        // The clustered runs became one batched transfer per direction.
+        assert_eq!(plan.batches, vec![vec![0, 2], vec![1, 3]], "{:?}", plan.steps);
+        assert!(matches!(plan.steps[0], PlanStep::UploadBatch { .. }), "{:?}", plan.steps);
+        assert!(
+            matches!(plan.steps.last(), Some(PlanStep::DownloadBatch { .. })),
+            "{:?}",
+            plan.steps
+        );
+    }
+
+    #[test]
+    fn invariant_uploads_hoist_to_the_prologue() {
+        // c is declared frame-invariant: residency moves its upload into the
+        // prologue, so a 3-frame run uploads it once instead of three times.
+        let mut b = KernelBuilder::new("addc", KernelFlavor::Cuda);
+        let c = b.buffer_param("c", false);
+        let y = b.buffer_param("y", true);
+        let gid = b.special(Special::GlobalIdX);
+        let cv = b.load(c, gid);
+        let yv = b.load(y, gid);
+        let sum = b.bin(BinOp::Add, cv, yv);
+        b.store(y, gid, sum);
+        let kernel = b.finish();
+        let n = 16;
+        let config = LaunchConfig::cover_1d(n, n as u32);
+        let mut plan = LaunchPlan {
+            arrays: vec![
+                ArrayDecl { name: "c".into(), shape: vec![n] },
+                ArrayDecl { name: "a".into(), shape: vec![n] },
+            ],
+            inputs: vec![0, 1],
+            outputs: vec![1],
+            kernels: vec![PlanKernel { kernel: &kernel, config, args: vec![0, 1] }],
+            host_ops: Vec::new(),
+            steps: vec![
+                PlanStep::Upload { array: 0, chunks: 1 },
+                PlanStep::Upload { array: 1, chunks: 1 },
+                PlanStep::Launch { kernel: 0 },
+                PlanStep::Download { array: 1, chunks: 1 },
+            ],
+            prologue: Vec::new(),
+            invariant: vec![0],
+            batches: Vec::new(),
+            lane_label: "stream lanes",
+        };
+        let report = optimize(&mut plan, PlanOptLevel::RESIDENCY).unwrap();
+        assert!(report.notes[0].contains("hoisted 1 invariant upload"), "{:?}", report.notes);
+        assert_eq!(plan.prologue, vec![PlanStep::Upload { array: 0, chunks: 1 }]);
+
+        let constants = NdArray::from_fn([n], |ix| (ix[0] * 3) as i64);
+        let frames: Vec<Vec<NdArray<i64>>> = (0..3)
+            .map(|f| vec![constants.clone(), NdArray::from_fn([n], |ix| (f + ix[0]) as i64)])
+            .collect();
+        let mut device = Device::gtx480();
+        let (outs, stats) =
+            BatchScheduler::new(&plan).run(&mut device, &frames, &ExecOptions::default()).unwrap();
+        for (f, out) in outs.iter().enumerate() {
+            assert_eq!(out[0], NdArray::from_fn([n], |ix| (f + ix[0] * 4) as i64));
+        }
+        // 1 prologue upload + 1 payload upload per frame, not 2 per frame.
+        assert_eq!(stats.h2d, 4);
+    }
+
+    #[test]
+    fn host_rewrites_block_residency_elision() {
+        // Upload a, download it, rewrite it on the host, re-upload: the
+        // second upload is NOT redundant (the host op invalidated the device
+        // copy) and must survive every pass.
+        let kernel = dbl_kernel();
+        let n = 16;
+        let config = LaunchConfig::cover_1d(n, n as u32);
+        let host_op = crate::schedule::HostOp {
+            name: "bump(host)".into(),
+            target: 0,
+            reads: vec![0],
+            run: Box::new(|arrs| {
+                let out = NdArray::from_fn([arrs[0].as_slice().len()], |ix| {
+                    arrs[0].as_slice()[ix[0]] + 1
+                });
+                Ok((out, 10))
+            }),
+        };
+        let mut plan = LaunchPlan {
+            arrays: vec![
+                ArrayDecl { name: "a".into(), shape: vec![n] },
+                ArrayDecl { name: "o".into(), shape: vec![n] },
+            ],
+            inputs: vec![0],
+            outputs: vec![1],
+            kernels: vec![PlanKernel { kernel: &kernel, config, args: vec![0, 1] }],
+            host_ops: vec![host_op],
+            steps: vec![
+                PlanStep::Upload { array: 0, chunks: 1 },
+                PlanStep::Host { op: 0 },
+                PlanStep::Upload { array: 0, chunks: 1 },
+                PlanStep::Alloc { array: 1 },
+                PlanStep::Launch { kernel: 0 },
+                PlanStep::Download { array: 1, chunks: 1 },
+            ],
+            prologue: Vec::new(),
+            invariant: Vec::new(),
+            batches: Vec::new(),
+            lane_label: "stream lanes",
+        };
+        optimize(&mut plan, PlanOptLevel::ALL).unwrap();
+        // The first upload is dead (its device copy is clobbered before any
+        // launch reads it); the post-rewrite upload must remain.
+        let uploads: Vec<_> =
+            plan.steps.iter().enumerate().filter(|(_, s)| is_h2d(**s)).map(|(i, _)| i).collect();
+        assert_eq!(uploads.len(), 1, "{:?}", plan.steps);
+        let host_pos = plan.steps.iter().position(|s| matches!(s, PlanStep::Host { .. })).unwrap();
+        assert!(uploads[0] > host_pos, "{:?}", plan.steps);
+    }
+}

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Golden-numbers smoke check: rerun the three headline ablations on the
+# Golden-numbers smoke check: rerun the four headline ablations on the
 # hd1080 scenario and diff the machine-readable records byte-for-byte
 # against the checked-in expected values.
 #
 # The simulator is deterministic and the JSON writer renders floats via
 # Rust's shortest-roundtrip formatting, so an exact diff is the right
 # check — any drift in the published numbers (streams 3.611s -> 2.001s,
-# memory 3.612s/2.781s pooled, fusion 2.246s / 3 launches) fails loudly.
+# memory 3.612s/2.781s pooled, fusion 2.246s / 3 launches, planopt
+# 1.408s -> 1.399s fused) fails loudly.
 #
 # Usage: scripts/check_golden.sh [--bless]
 #   --bless  regenerate expected/*.json instead of diffing
@@ -25,7 +26,7 @@ out_dir=$(mktemp -d)
 trap 'rm -rf "$out_dir"' EXIT
 
 status=0
-for exp in streams memory fusion; do
+for exp in streams memory fusion planopt; do
   record="${exp}_hd1080.json"
   ./target/release/reproduce "$exp" --scenario hd1080 --json "$out_dir/$record" \
     > /dev/null

@@ -82,18 +82,209 @@ fn gaspard_wrapper_is_the_scheduler_differentially() {
     assert_same_timeline(&legacy_dev, &direct_dev, "Gaspard");
 }
 
-/// The deprecated per-route option structs are aliases of the one unified
-/// type; code written against any of the old names keeps compiling for one
-/// release and produces the same configuration.
+/// When a plan requests a chunk count that does not divide the array length
+/// the device falls back to a single transfer; the run stats must report the
+/// one transfer actually issued, not the requested chunk count.
 #[test]
-#[allow(deprecated)]
-fn deprecated_option_aliases_resolve_to_the_unified_type() {
-    let sac: sac_cuda::PipelineOptions = ExecOptions { streams: 3, ..Default::default() };
-    let gasp: gaspard::OpenClPipelineOptions = sac;
-    let batch: downscaler::pipelines::BatchOptions = gasp;
-    let unified: ExecOptions = batch;
-    assert_eq!(unified.streams, 3);
-    assert_eq!(unified, ExecOptions { streams: 3, ..Default::default() });
+fn chunk_fallback_reports_actual_transfer_counts() {
+    use simgpu::kir::{BinOp, KernelBuilder, KernelFlavor, Special};
+    use simgpu::schedule::{ArrayDecl, LaunchPlan, PlanKernel, PlanStep};
+    use simgpu::LaunchConfig;
+
+    let n = 10usize; // not divisible by the requested 3 chunks
+    let mut b = KernelBuilder::new("dbl", KernelFlavor::Cuda);
+    let x = b.buffer_param("x", true);
+    let gid = b.special(Special::GlobalIdX);
+    let v = b.load(x, gid);
+    let two = b.constant(2);
+    let w = b.bin(BinOp::Mul, v, two);
+    b.store(x, gid, w);
+    let kernel = b.finish();
+
+    let plan = LaunchPlan {
+        arrays: vec![ArrayDecl { name: "x".into(), shape: vec![n] }],
+        inputs: vec![0],
+        outputs: vec![0],
+        kernels: vec![PlanKernel {
+            kernel: &kernel,
+            config: LaunchConfig::cover_1d(n, n as u32),
+            args: vec![0],
+        }],
+        host_ops: Vec::new(),
+        steps: vec![
+            PlanStep::Upload { array: 0, chunks: 3 },
+            PlanStep::Launch { kernel: 0 },
+            PlanStep::Download { array: 0, chunks: 3 },
+        ],
+        prologue: Vec::new(),
+        invariant: Vec::new(),
+        batches: Vec::new(),
+        lane_label: "stream lanes",
+    };
+
+    let frames = vec![vec![mdarray::NdArray::from_fn([n], |ix| ix[0] as i64)]; 2];
+    let mut dev = Device::gtx480();
+    let (_, stats) =
+        BatchScheduler::new(&plan).run(&mut dev, &frames, &ExecOptions::default()).unwrap();
+
+    // Per frame: one upload and one download actually issued, not three.
+    assert_eq!(stats.h2d, 2);
+    assert_eq!(stats.d2h, 2);
+    assert!(dev.profiler.notes().any(|n| n.contains("fell back")), "fallback must be noted");
+
+    // The issued count matches the profiler's own call count.
+    let h2d_calls: u64 =
+        dev.profiler.records().filter(|r| r.name.starts_with("memcpyHtoD")).map(|r| r.calls).sum();
+    assert_eq!(stats.h2d as u64, h2d_calls);
+}
+
+/// Array length used by the random-plan property; divisible by every chunk
+/// count the generator requests, so no fallback noise in the comparison.
+const PROP_N: usize = 12;
+
+/// One chain-link kernel for the random-plan property: `y = 2*x + add`,
+/// with a distinct `add` per link so a misrouted transfer changes outputs.
+fn prop_kernel(name: String, add: i64) -> simgpu::kir::Kernel {
+    use simgpu::kir::{BinOp, KernelBuilder, KernelFlavor, Special};
+    let mut b = KernelBuilder::new(name, KernelFlavor::Cuda);
+    let x = b.buffer_param("x", false);
+    let y = b.buffer_param("y", true);
+    let gid = b.special(Special::GlobalIdX);
+    let v = b.load(x, gid);
+    let two = b.constant(2);
+    let w = b.bin(BinOp::Mul, v, two);
+    let w = b.bin_imm(BinOp::Add, w, add);
+    b.store(y, gid, w);
+    b.finish()
+}
+
+/// Build a valid naive-placement plan from the property's parameters:
+/// independent kernel chains, per-kernel host round trips, chains
+/// interleaved by a seeded shuffle. Deterministic in its arguments, so the
+/// baseline and each optimized run rebuild the identical plan (LaunchPlan
+/// is not Clone).
+fn prop_plan<'a>(
+    kernels: &'a [simgpu::kir::Kernel],
+    chains: &[usize],
+    chunks: usize,
+    order_seed: u64,
+) -> simgpu::schedule::LaunchPlan<'a> {
+    use simgpu::schedule::{ArrayDecl, LaunchPlan, PlanKernel, PlanStep};
+    use simgpu::LaunchConfig;
+    let mut arrays = Vec::new();
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut plan_kernels = Vec::new();
+    let mut queues: Vec<std::collections::VecDeque<PlanStep>> = Vec::new();
+    let mut kid = 0;
+    for (c, &len) in chains.iter().enumerate() {
+        let base = arrays.len();
+        for i in 0..=len {
+            arrays.push(ArrayDecl { name: format!("a{c}_{i}"), shape: vec![PROP_N] });
+        }
+        inputs.push(base);
+        outputs.push(base + len);
+        let mut steps = std::collections::VecDeque::new();
+        steps.push_back(PlanStep::Upload { array: base, chunks });
+        for i in 0..len {
+            let k = plan_kernels.len();
+            plan_kernels.push(PlanKernel {
+                kernel: &kernels[kid],
+                config: LaunchConfig::cover_1d(PROP_N, PROP_N as u32),
+                args: vec![base + i, base + i + 1],
+            });
+            kid += 1;
+            steps.push_back(PlanStep::Alloc { array: base + i + 1 });
+            steps.push_back(PlanStep::Launch { kernel: k });
+            steps.push_back(PlanStep::Download { array: base + i + 1, chunks });
+            if i + 1 < len {
+                steps.push_back(PlanStep::Upload { array: base + i + 1, chunks });
+            }
+        }
+        queues.push(steps);
+    }
+    // Interleave the chains with a seeded LCG; intra-chain order is kept, so
+    // the merge preserves validity.
+    let mut steps = Vec::new();
+    let mut state = order_seed | 1;
+    while queues.iter().any(|q| !q.is_empty()) {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let live: Vec<usize> = (0..queues.len()).filter(|&i| !queues[i].is_empty()).collect();
+        let pick = live[(state >> 33) as usize % live.len()];
+        steps.push(queues[pick].pop_front().unwrap());
+    }
+    LaunchPlan {
+        arrays,
+        inputs,
+        outputs,
+        kernels: plan_kernels,
+        host_ops: Vec::new(),
+        steps,
+        prologue: Vec::new(),
+        invariant: Vec::new(),
+        batches: Vec::new(),
+        lane_label: "stream lanes",
+    }
+}
+
+proptest! {
+    /// Every planopt pass subset, applied to a random valid naive-placement
+    /// plan, preserves frame outputs bit-identically against the
+    /// unoptimized plan — under 1 and 2 queues, on a capacity-constrained
+    /// device with the degradation ladder enabled.
+    #[test]
+    fn planopt_passes_preserve_outputs_on_random_plans(
+        chains in proptest::collection::vec(1usize..=3, 1..=3),
+        chunks in 1usize..=4,
+        order_seed in any::<u64>(),
+    ) {
+        let kernels: Vec<_> = chains
+            .iter()
+            .enumerate()
+            .flat_map(|(c, &len)| {
+                (0..len).map(move |i| prop_kernel(format!("k{c}_{i}"), (c * 7 + i + 1) as i64))
+            })
+            .collect();
+        let frames: Vec<Vec<mdarray::NdArray<i64>>> = (0..3)
+            .map(|f| {
+                (0..chains.len())
+                    .map(|c| {
+                        mdarray::NdArray::from_fn([PROP_N], |ix| {
+                            (f * 31 + c * 13 + ix[0]) as i64
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let plan = prop_plan(&kernels, &chains, chunks, order_seed);
+        plan.validate().expect("generated plan must be valid");
+        let mut base_dev = Device::gtx480();
+        let (base_outs, _) = BatchScheduler::new(&plan)
+            .run(&mut base_dev, &frames, &ExecOptions::default())
+            .unwrap();
+        let capacity = base_dev.peak_allocated_bytes() * 2;
+
+        for mask in 1u32..16 {
+            let level = simgpu::PlanOptLevel {
+                residency: mask & 1 != 0,
+                dead_transfers: mask & 2 != 0,
+                reorder: mask & 4 != 0,
+                coalesce: mask & 8 != 0,
+            };
+            for streams in [1usize, 2] {
+                let mut plan = prop_plan(&kernels, &chains, chunks, order_seed);
+                simgpu::optimize(&mut plan, level).unwrap();
+                let opts = ExecOptions { streams, degrade_on_oom: true, ..Default::default() };
+                let mut dev = Device::new(DeviceConfig::toy(capacity), Calibration::gtx480());
+                let (outs, _) = BatchScheduler::new(&plan).run(&mut dev, &frames, &opts).unwrap();
+                prop_assert_eq!(
+                    &outs, &base_outs,
+                    "outputs diverged under mask {:#06b}, {} queue(s)", mask, streams
+                );
+            }
+        }
+    }
 }
 
 /// Baselines for the degradation property, computed once: the routes, the
