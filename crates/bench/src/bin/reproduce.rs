@@ -13,7 +13,7 @@ use simgpu::Calibration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|fusion|planopt|sweep|emit-artifacts|all] \
+        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|fusion|planopt|serve|sweep|emit-artifacts|all] \
          [--scenario hd1080|cif|tiny] [--json <path>]"
     );
     std::process::exit(2);
@@ -38,7 +38,7 @@ fn main() {
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             cmd if !cmd.starts_with('-') => {
-                const KNOWN: [&str; 17] = [
+                const KNOWN: [&str; 18] = [
                     "all",
                     "fig3",
                     "fig8",
@@ -54,6 +54,7 @@ fn main() {
                     "memory",
                     "fusion",
                     "planopt",
+                    "serve",
                     "sweep",
                     "emit-artifacts",
                 ];
@@ -193,6 +194,19 @@ fn main() {
                 }
             }
             Err(e) => eprintln!("planopt ablation failed: {e}"),
+        }
+    }
+    if run("serve") {
+        match exp::serve_ablation(s) {
+            Ok(a) => {
+                println!("{}", report::render_serve(&a));
+                if command == "serve" {
+                    if let Some(path) = &json_path {
+                        write_json(path, &bench::json::serve_json(s, &a));
+                    }
+                }
+            }
+            Err(e) => eprintln!("serve ablation failed: {e}"),
         }
     }
     if run("sweep") {

@@ -3,8 +3,8 @@
 use crate::calibration::{HOST_NS_PER_OP, SEQ_CPU_NS_PER_OP};
 use downscaler::frames::FrameGenerator;
 use downscaler::pipelines::{
-    build_gaspard, build_gaspard_fused, build_sac, run_gaspard_batch, run_gaspard_batch_placed,
-    run_sac_batch, ExecOptions, PipelineError, SacRoute,
+    build_gaspard, build_gaspard_fused, build_sac, reference_downscale, run_gaspard_batch,
+    run_gaspard_batch_placed, run_sac_batch, ExecOptions, PipelineError, SacRoute,
 };
 use downscaler::sac_src::{Part, Variant};
 use downscaler::Scenario;
@@ -744,6 +744,336 @@ pub fn totals_with_calibration(
     run_on_device_opts(&route.cuda, &mut device, &[test_frame(s)], default_exec(s))?;
     let sac_total = device.now_us() * s.frames as f64 / 1e6;
     Ok((sac_total, gaspard_total))
+}
+
+/// One row of the serving scaling/policy table.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Fleet width (device count).
+    pub devices: usize,
+    /// Sharding policy name.
+    pub policy: String,
+    /// Jobs offered by the trace.
+    pub jobs: usize,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Jobs shed by admission control.
+    pub shed: usize,
+    /// Frames served by completed jobs.
+    pub frames: usize,
+    /// Served frames per second of trace time.
+    pub fps: f64,
+    /// Median completed-job latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile completed-job latency, ms (nearest rank).
+    pub p99_ms: f64,
+    /// Completion time of the last job, seconds.
+    pub makespan_s: f64,
+}
+
+/// One row of the arrival-rate sweep (fixed fleet, varying offered load).
+#[derive(Debug, Clone)]
+pub struct ServeRateRow {
+    /// Offered load as a fraction of fleet capacity (1.0 = jobs arrive
+    /// exactly as fast as the fleet can serve them).
+    pub load_factor: f64,
+    /// Nominal offered arrival rate, jobs/s.
+    pub offered_jobs_per_s: f64,
+    /// Fleet width.
+    pub devices: usize,
+    /// Jobs offered by the trace.
+    pub jobs: usize,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Jobs shed by admission control.
+    pub shed: usize,
+    /// Served frames per second of trace time.
+    pub fps: f64,
+    /// Median completed-job latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile completed-job latency, ms (nearest rank).
+    pub p99_ms: f64,
+}
+
+/// Result of the overload run: admission-control shedding plus the OOM
+/// degradation ladder acting as per-job load-shedding, with zero output
+/// corruption on completed jobs.
+#[derive(Debug, Clone)]
+pub struct ServeShedDemo {
+    /// Fleet width (memory-constrained toy devices).
+    pub devices: usize,
+    /// Constrained per-device capacity, bytes (sized for one lane, not two).
+    pub capacity_bytes: usize,
+    /// Jobs offered in one burst.
+    pub jobs: usize,
+    /// Jobs that ran to completion (degraded to fewer lanes).
+    pub completed: usize,
+    /// Jobs shed at the door by the bounded queue.
+    pub shed: usize,
+    /// Degradation-ladder notes in the merged fleet profiler.
+    pub degradation_notes: usize,
+    /// Admission-control shed notes in the merged fleet profiler.
+    pub shed_notes: usize,
+    /// Whether every completed job's outputs are bit-identical to the
+    /// golden-model reference (shed jobs produce nothing — no partial work).
+    pub outputs_ok: bool,
+}
+
+/// Result of [`serve_ablation`].
+#[derive(Debug, Clone)]
+pub struct ServeAblation {
+    /// Frames per job in the scaling trace.
+    pub frames_per_job: usize,
+    /// Measured single-job service time, ms.
+    pub job_ms: f64,
+    /// Fleet-width scaling rows (round-robin at 1/2/4/8 devices) followed by
+    /// the policy comparison at 4 devices.
+    pub scaling: Vec<ServeRow>,
+    /// Arrival-rate sweep at 4 devices (replay-only jobs, bounded queues).
+    pub rates: Vec<ServeRateRow>,
+    /// Overload/shedding demonstration on memory-constrained devices.
+    pub shed: ServeShedDemo,
+    /// Whether the functional jobs' outputs were bit-identical across every
+    /// fleet width and policy (and matched the golden-model reference).
+    pub outputs_match_across_widths: bool,
+    /// Throughput ratio of the 4-device row over the 1-device row.
+    pub speedup_1_to_4: f64,
+}
+
+fn serve_err(e: serve::ServeError) -> PipelineError {
+    PipelineError::Config(e.to_string())
+}
+
+/// Fleet-serving ablation: shard one open-loop trace of downscale jobs
+/// across 1/2/4/8 simulated devices and report frames/s and p50/p99 job
+/// latency, compare sharding policies at fixed width, sweep the offered
+/// arrival rate against a fixed fleet, and demonstrate graceful load
+/// shedding under overload (bounded queues + the OOM degradation ladder).
+///
+/// Jobs run the fused Gaspard route's launch plan — the route-agnostic
+/// `LaunchPlan` from PR 4 is exactly what lets one lowered plan serve on
+/// any number of devices. A handful of jobs per configuration execute
+/// functionally (their outputs are bit-checked across every width and
+/// policy against the golden model); the rest replay a captured
+/// [`serve::JobTemplate`] for exact timing at zero compute, which is what
+/// makes thousand-job traces affordable.
+pub fn serve_ablation(s: &Scenario) -> Result<ServeAblation, PipelineError> {
+    use std::collections::BTreeMap;
+
+    let route = build_gaspard_fused(s)?;
+    let plan = gaspard::exec::lower_plan(&route.opencl);
+    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 0xD05C);
+
+    // Scenario-scaled trace shape: HD's 300 frames become 60 five-frame
+    // jobs; smaller scenarios shrink proportionally (min 4 jobs, 1 frame).
+    let fpj = (s.frames / 60).max(1);
+    let jobs_n = (s.frames / fpj).max(4);
+    let exec = ExecOptions {
+        streams: 2,
+        executed: 1,
+        pool: true,
+        host_ns_per_op: HOST_NS_PER_OP,
+        ..Default::default()
+    };
+
+    // Measure the job shape once on a scratch device; every serving run
+    // (any width, any policy) replays this same template, which is what
+    // makes the cross-width comparison exact.
+    let mut templates = BTreeMap::new();
+    let mut probe = Device::gtx480();
+    probe.set_pool_enabled(true);
+    let tpl = serve::JobTemplate::capture(&plan, &mut probe, &exec, &[gen.frame_channels(0)], fpj)
+        .map_err(serve_err)?;
+    let job_us = tpl.dur_us;
+    templates.insert(fpj, tpl);
+
+    // Open-loop burst: ~1ms mean inter-arrival over 4 tenants. The first
+    // two jobs are functional (1 measured frame + replay to `fpj`) so every
+    // serving run produces real outputs to bit-check; the rest are
+    // replay-only.
+    let functional = 2.min(jobs_n);
+    let trace = crate::arrivals::arrival_trace(0x0A21, jobs_n, 1_000.0, 4);
+    let jobs: Vec<serve::Job> = trace
+        .iter()
+        .enumerate()
+        .map(|(j, a)| {
+            if j < functional {
+                serve::Job {
+                    id: j,
+                    tenant: a.tenant,
+                    submit_us: a.submit_us,
+                    frames: vec![gen.frame_channels(j)],
+                    total_frames: fpj,
+                }
+            } else {
+                serve::Job::replay(j, a.tenant, a.submit_us, fpj)
+            }
+        })
+        .collect();
+    let submits: Vec<f64> = jobs.iter().map(|j| j.submit_us).collect();
+    let expected: Vec<NdArray<i64>> =
+        (0..functional).map(|j| reference_downscale(s, &gen.frame_rank3(j))).collect();
+
+    let base_cfg = serve::ServeConfig {
+        policy: serve::ShardPolicy::RoundRobin,
+        queue_capacity: jobs_n,
+        tenant_weights: vec![1; 4],
+        exec,
+    };
+
+    let mut outputs_match = true;
+    let mut scaling = Vec::new();
+    let run = |devices: usize,
+               policy: serve::ShardPolicy,
+               templates: &mut BTreeMap<usize, serve::JobTemplate>,
+               outputs_match: &mut bool|
+     -> Result<ServeRow, PipelineError> {
+        let mut fleet = simgpu::Fleet::gtx480(devices).map_err(|e| serve_err(e.into()))?;
+        let cfg = serve::ServeConfig { policy, ..base_cfg.clone() };
+        let report = serve::serve_with_templates(&mut fleet, &plan, &jobs, &cfg, templates)
+            .map_err(serve_err)?;
+        for (j, exp) in expected.iter().enumerate() {
+            match &report.outcomes[j] {
+                serve::JobOutcome::Completed { outputs, .. } => {
+                    let planes = FrameGenerator::unstack(exp);
+                    *outputs_match &= outputs.len() == 1 && outputs[0] == planes;
+                }
+                serve::JobOutcome::Shed { .. } => *outputs_match = false,
+            }
+        }
+        Ok(ServeRow {
+            devices,
+            policy: policy.name().into(),
+            jobs: jobs_n,
+            completed: report.completed,
+            shed: report.shed,
+            frames: report.total_frames,
+            fps: report.throughput_fps(),
+            p50_ms: report.latency_percentile_us(&submits, 50.0) / 1e3,
+            p99_ms: report.latency_percentile_us(&submits, 99.0) / 1e3,
+            makespan_s: report.makespan_us / 1e6,
+        })
+    };
+
+    for devices in [1usize, 2, 4, 8] {
+        scaling.push(run(
+            devices,
+            serve::ShardPolicy::RoundRobin,
+            &mut templates,
+            &mut outputs_match,
+        )?);
+    }
+    for policy in [serve::ShardPolicy::LeastLoaded, serve::ShardPolicy::StickyByTenant] {
+        scaling.push(run(4, policy, &mut templates, &mut outputs_match)?);
+    }
+    let speedup_1_to_4 = scaling[2].fps / scaling[0].fps;
+
+    // Arrival-rate sweep: a fixed 4-device fleet, replay-only jobs, bounded
+    // queues, offered load below / at / far above fleet capacity.
+    let rate_devices = 4usize;
+    let capacity_jps = rate_devices as f64 * 1e6 / job_us;
+    let rate_jobs = jobs_n * 6;
+    let mut rates = Vec::new();
+    for (i, load) in [0.3f64, 1.0, 3.0].iter().enumerate() {
+        let gap_us = 1e6 / (capacity_jps * load);
+        let tr = crate::arrivals::arrival_trace(0x0A31 + i as u64, rate_jobs, gap_us, 4);
+        let rjobs: Vec<serve::Job> = tr
+            .iter()
+            .enumerate()
+            .map(|(j, a)| serve::Job::replay(j, a.tenant, a.submit_us, fpj))
+            .collect();
+        let rsubmits: Vec<f64> = rjobs.iter().map(|j| j.submit_us).collect();
+        let mut fleet = simgpu::Fleet::gtx480(rate_devices).map_err(|e| serve_err(e.into()))?;
+        let cfg = serve::ServeConfig {
+            policy: serve::ShardPolicy::LeastLoaded,
+            queue_capacity: 8,
+            ..base_cfg.clone()
+        };
+        let report = serve::serve_with_templates(&mut fleet, &plan, &rjobs, &cfg, &mut templates)
+            .map_err(serve_err)?;
+        rates.push(ServeRateRow {
+            load_factor: *load,
+            offered_jobs_per_s: capacity_jps * load,
+            devices: rate_devices,
+            jobs: rate_jobs,
+            completed: report.completed,
+            shed: report.shed,
+            fps: report.throughput_fps(),
+            p50_ms: report.latency_percentile_us(&rsubmits, 50.0) / 1e3,
+            p99_ms: report.latency_percentile_us(&rsubmits, 99.0) / 1e3,
+        });
+    }
+
+    // Overload demonstration: two memory-constrained devices sized for one
+    // stream lane each, six two-frame functional jobs arriving in one
+    // burst, queue depth 1. Admission control sheds the overflow at the
+    // door; every admitted job OOMs at two lanes and the degradation
+    // ladder completes it at one lane — visible as notes in the merged
+    // fleet profiler, with outputs bit-identical to the golden model.
+    let shed_exec = ExecOptions { pool: false, degrade_on_oom: true, ..exec };
+    let mut fprobe = Device::gtx480();
+    let two_frames: Vec<Vec<NdArray<i64>>> = (0..2).map(|k| gen.frame_channels(100 + k)).collect();
+    simgpu::BatchScheduler::new(&plan)
+        .run(&mut fprobe, &two_frames, &ExecOptions { streams: 1, pool: false, ..shed_exec })
+        .map_err(|e| serve_err(e.into()))?;
+    let capacity = fprobe.peak_allocated_bytes();
+    let mut fleet = simgpu::Fleet::homogeneous(
+        2,
+        simgpu::DeviceConfig::toy(capacity),
+        simgpu::Calibration::gtx480(),
+    )
+    .map_err(|e| serve_err(e.into()))?;
+    let shed_trace = crate::arrivals::arrival_trace(0x0A41, 6, 50.0, 2);
+    let shed_jobs: Vec<serve::Job> = shed_trace
+        .iter()
+        .enumerate()
+        .map(|(j, a)| {
+            serve::Job::functional(
+                j,
+                a.tenant,
+                a.submit_us,
+                (0..2).map(|k| gen.frame_channels(100 + j * 2 + k)).collect(),
+            )
+        })
+        .collect();
+    let shed_cfg = serve::ServeConfig {
+        policy: serve::ShardPolicy::RoundRobin,
+        queue_capacity: 1,
+        tenant_weights: vec![1; 2],
+        exec: shed_exec,
+    };
+    let report = serve::serve(&mut fleet, &plan, &shed_jobs, &shed_cfg).map_err(serve_err)?;
+    let mut outputs_ok = true;
+    for (j, o) in report.outcomes.iter().enumerate() {
+        if let serve::JobOutcome::Completed { outputs, .. } = o {
+            outputs_ok &= outputs.len() == 2;
+            for (k, out) in outputs.iter().enumerate() {
+                let exp = reference_downscale(s, &gen.frame_rank3(100 + j * 2 + k));
+                outputs_ok &= *out == FrameGenerator::unstack(&exp);
+            }
+        }
+    }
+    let merged = fleet.merged_profiler();
+    let shed_demo = ServeShedDemo {
+        devices: 2,
+        capacity_bytes: capacity,
+        jobs: shed_jobs.len(),
+        completed: report.completed,
+        shed: report.shed,
+        degradation_notes: merged.notes().filter(|n| n.contains("degraded")).count(),
+        shed_notes: merged.notes().filter(|n| n.starts_with("shed:")).count(),
+        outputs_ok,
+    };
+
+    Ok(ServeAblation {
+        frames_per_job: fpj,
+        job_ms: job_us / 1e3,
+        scaling,
+        rates,
+        shed: shed_demo,
+        outputs_match_across_widths: outputs_match,
+        speedup_1_to_4,
+    })
 }
 
 #[cfg(test)]

@@ -2,7 +2,9 @@
 //! deliberately carries no serde dependency, and the benchmark records are
 //! small flat tables, so a tiny value tree with an escaping writer is enough.
 
-use crate::experiments::{DegradationDemo, FusionAblation, MemoryRow, PlanoptAblation, StreamsRow};
+use crate::experiments::{
+    DegradationDemo, FusionAblation, MemoryRow, PlanoptAblation, ServeAblation, StreamsRow,
+};
 use downscaler::Scenario;
 
 /// A JSON value. Construct with the variant constructors and render with
@@ -220,6 +222,70 @@ pub fn memory_json(s: &Scenario, rows: &[MemoryRow], demo: &DegradationDemo) -> 
     .render()
 }
 
+/// The machine-readable record `reproduce serve --json <path>` writes:
+/// scenario, trace shape, the width/policy scaling table, the arrival-rate
+/// sweep, and the overload/shedding demonstration.
+pub fn serve_json(s: &Scenario, a: &ServeAblation) -> String {
+    let scaling = a
+        .scaling
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("devices".into(), Json::Int(r.devices as i64)),
+                ("policy".into(), Json::Str(r.policy.clone())),
+                ("jobs".into(), Json::Int(r.jobs as i64)),
+                ("completed".into(), Json::Int(r.completed as i64)),
+                ("shed".into(), Json::Int(r.shed as i64)),
+                ("frames".into(), Json::Int(r.frames as i64)),
+                ("frames_per_s".into(), Json::Num(r.fps)),
+                ("p50_ms".into(), Json::Num(r.p50_ms)),
+                ("p99_ms".into(), Json::Num(r.p99_ms)),
+                ("makespan_s".into(), Json::Num(r.makespan_s)),
+            ])
+        })
+        .collect();
+    let rates = a
+        .rates
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("load_factor".into(), Json::Num(r.load_factor)),
+                ("offered_jobs_per_s".into(), Json::Num(r.offered_jobs_per_s)),
+                ("devices".into(), Json::Int(r.devices as i64)),
+                ("jobs".into(), Json::Int(r.jobs as i64)),
+                ("completed".into(), Json::Int(r.completed as i64)),
+                ("shed".into(), Json::Int(r.shed as i64)),
+                ("frames_per_s".into(), Json::Num(r.fps)),
+                ("p50_ms".into(), Json::Num(r.p50_ms)),
+                ("p99_ms".into(), Json::Num(r.p99_ms)),
+            ])
+        })
+        .collect();
+    let d = &a.shed;
+    let shed = Json::Obj(vec![
+        ("devices".into(), Json::Int(d.devices as i64)),
+        ("capacity_bytes".into(), Json::Int(d.capacity_bytes as i64)),
+        ("jobs".into(), Json::Int(d.jobs as i64)),
+        ("completed".into(), Json::Int(d.completed as i64)),
+        ("shed".into(), Json::Int(d.shed as i64)),
+        ("degradation_notes".into(), Json::Int(d.degradation_notes as i64)),
+        ("shed_notes".into(), Json::Int(d.shed_notes as i64)),
+        ("outputs_ok".into(), Json::Bool(d.outputs_ok)),
+    ]);
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("serve".into())),
+        ("scenario".into(), scenario_json(s)),
+        ("frames_per_job".into(), Json::Int(a.frames_per_job as i64)),
+        ("job_ms".into(), Json::Num(a.job_ms)),
+        ("speedup_1_to_4".into(), Json::Num(a.speedup_1_to_4)),
+        ("outputs_match_across_widths".into(), Json::Bool(a.outputs_match_across_widths)),
+        ("scaling".into(), Json::Arr(scaling)),
+        ("rates".into(), Json::Arr(rates)),
+        ("overload".into(), shed),
+    ])
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +428,69 @@ mod tests {
             r#""launches_per_frame":3"#,
             r#""peak_bytes":4096"#,
             r#""fused_outputs_match":true"#,
+        ] {
+            assert!(text.contains(needle), "{needle} missing from {text}");
+        }
+    }
+
+    #[test]
+    fn serve_record_has_all_fields() {
+        use crate::experiments::{ServeRateRow, ServeRow, ServeShedDemo};
+        let s = Scenario::tiny();
+        let a = ServeAblation {
+            frames_per_job: 5,
+            job_ms: 26.2,
+            scaling: vec![ServeRow {
+                devices: 4,
+                policy: "round-robin".into(),
+                jobs: 60,
+                completed: 60,
+                shed: 0,
+                frames: 300,
+                fps: 754.1,
+                p50_ms: 27.5,
+                p99_ms: 41.0,
+                makespan_s: 0.398,
+            }],
+            rates: vec![ServeRateRow {
+                load_factor: 3.0,
+                offered_jobs_per_s: 457.0,
+                devices: 4,
+                jobs: 360,
+                completed: 153,
+                shed: 207,
+                fps: 605.0,
+                p50_ms: 391.0,
+                p99_ms: 760.0,
+            }],
+            shed: ServeShedDemo {
+                devices: 2,
+                capacity_bytes: 65536,
+                jobs: 6,
+                completed: 4,
+                shed: 2,
+                degradation_notes: 4,
+                shed_notes: 2,
+                outputs_ok: true,
+            },
+            outputs_match_across_widths: true,
+            speedup_1_to_4: 3.96,
+        };
+        let text = serve_json(&s, &a);
+        for needle in [
+            r#""experiment":"serve""#,
+            r#""scenario":{"name":"#,
+            r#""frames_per_job":5"#,
+            r#""speedup_1_to_4":3.96"#,
+            r#""outputs_match_across_widths":true"#,
+            r#""policy":"round-robin""#,
+            r#""frames_per_s":754.1"#,
+            r#""load_factor":3"#,
+            r#""offered_jobs_per_s":457"#,
+            r#""overload":{"devices":2,"capacity_bytes":65536"#,
+            r#""degradation_notes":4"#,
+            r#""shed_notes":2"#,
+            r#""outputs_ok":true"#,
         ] {
             assert!(text.contains(needle), "{needle} missing from {text}");
         }

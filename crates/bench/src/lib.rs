@@ -14,6 +14,7 @@
 //! that model, so experiments simulate one frame and scale to the scenario's
 //! frame count exactly.
 
+pub mod arrivals;
 pub mod calibration;
 pub mod experiments;
 pub mod json;

@@ -1,0 +1,98 @@
+//! Serving-run summaries: throughput, tail latency, per-tenant accounting.
+
+use simgpu::RunStats;
+
+use crate::engine::JobOutcome;
+
+/// Per-tenant accounting for one serving run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant id (index into [`crate::ServeConfig::tenant_weights`]).
+    pub tenant: usize,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Jobs shed by admission control.
+    pub shed: usize,
+    /// Frames charged by the tenant's completed jobs.
+    pub frames: usize,
+}
+
+/// The result of serving one arrival trace.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-job outcome, indexed like the input trace.
+    pub outcomes: Vec<JobOutcome>,
+    /// Execution counters accumulated over every completed job.
+    pub stats: RunStats,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Jobs shed by admission control.
+    pub shed: usize,
+    /// Frames charged by completed jobs (functional + timing-replayed).
+    pub total_frames: usize,
+    /// Trace-timeline completion time of the last job, µs.
+    pub makespan_us: f64,
+    /// Per-tenant accounting, indexed by tenant id.
+    pub tenants: Vec<TenantStats>,
+}
+
+impl ServeReport {
+    /// Served frames per second of trace time: `total_frames` over
+    /// [`ServeReport::makespan_us`]. Zero when nothing completed.
+    pub fn throughput_fps(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            return 0.0;
+        }
+        self.total_frames as f64 / (self.makespan_us / 1e6)
+    }
+
+    /// Job latencies (`end − submit`, µs) of completed jobs, sorted
+    /// ascending. Shed jobs have no latency — they are counted in
+    /// [`ServeReport::shed`], not here.
+    pub fn latencies_us(&self, jobs_submit_us: &[f64]) -> Vec<f64> {
+        let mut lat: Vec<f64> = self
+            .outcomes
+            .iter()
+            .zip(jobs_submit_us)
+            .filter_map(|(o, &submit)| match o {
+                JobOutcome::Completed { end_us, .. } => Some(end_us - submit),
+                JobOutcome::Shed { .. } => None,
+            })
+            .collect();
+        lat.sort_by(f64::total_cmp);
+        lat
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100) over completed-job
+    /// latencies. Returns 0 when nothing completed.
+    pub fn latency_percentile_us(&self, jobs_submit_us: &[f64], p: f64) -> f64 {
+        let lat = self.latencies_us(jobs_submit_us);
+        percentile_nearest_rank(&lat, p)
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice: the smallest
+/// value such that at least `p`% of samples are ≤ it. Deterministic and
+/// interpolation-free, so golden-able.
+pub(crate) fn percentile_nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_nearest_rank(&v, 50.0), 50.0);
+        assert_eq!(percentile_nearest_rank(&v, 99.0), 99.0);
+        assert_eq!(percentile_nearest_rank(&v, 100.0), 100.0);
+        assert_eq!(percentile_nearest_rank(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile_nearest_rank(&[], 50.0), 0.0);
+    }
+}

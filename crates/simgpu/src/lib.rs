@@ -30,6 +30,7 @@ pub mod cost;
 pub mod device;
 pub mod emit;
 pub mod exec;
+pub mod fleet;
 pub mod kir;
 pub mod planopt;
 pub mod profiler;
@@ -39,6 +40,7 @@ pub mod schedule;
 pub use cost::{Calibration, Engine};
 pub use device::{BufferId, Device, DeviceConfig, EventId, MemPool, StreamId};
 pub use exec::{LaunchConfig, LaunchStats};
+pub use fleet::Fleet;
 pub use kir::{BinOp, Instr, Kernel, KernelArg, KernelFlavor, Param, Reg, Special};
 pub use planopt::{optimize, PlanOptLevel, PlanOptReport};
 pub use profiler::{AllocStats, OpClass, Profiler, Record, Span};

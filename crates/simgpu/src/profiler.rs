@@ -258,6 +258,38 @@ impl Profiler {
         self.alloc.evictions *= factor;
     }
 
+    /// Fold another profiler's observations into this one — the fleet-level
+    /// roll-up: records merge by `(name, class)` (calls and times sum), spans
+    /// and notes are appended, and allocation counters add up (byte
+    /// watermarks sum too: each device's footprint is independent memory, so
+    /// the fleet's peak is the sum of per-device peaks at worst).
+    ///
+    /// Merged *span* times keep each contributor's own clock (every device
+    /// starts at 0), so per-engine busy sums stay meaningful across the
+    /// merge while [`Profiler::makespan_us`] of a merged profiler is the
+    /// slowest device's makespan, not a wall-clock union.
+    pub fn merge(&mut self, other: &Profiler) {
+        for r in other.records.values() {
+            let e = self.records.entry((r.name.clone(), r.class)).or_insert_with(|| Record {
+                name: r.name.clone(),
+                class: r.class,
+                calls: 0,
+                total_us: 0.0,
+            });
+            e.calls += r.calls;
+            e.total_us += r.total_us;
+        }
+        self.spans.extend(other.spans.iter().cloned());
+        self.notes.extend(other.notes.iter().cloned());
+        self.alloc.mallocs += other.alloc.mallocs;
+        self.alloc.frees += other.alloc.frees;
+        self.alloc.pool_hits += other.alloc.pool_hits;
+        self.alloc.pool_misses += other.alloc.pool_misses;
+        self.alloc.evictions += other.alloc.evictions;
+        self.alloc.current_bytes += other.alloc.current_bytes;
+        self.alloc.peak_bytes += other.alloc.peak_bytes;
+    }
+
     /// Timeline makespan: the latest span completion time, µs (0 when no
     /// spans were recorded).
     pub fn makespan_us(&self) -> f64 {
@@ -646,5 +678,34 @@ mod tests {
     #[test]
     fn empty_alloc_stats_have_zero_hit_rate() {
         assert_eq!(AllocStats::default().hit_rate_percent(), 0.0);
+    }
+
+    #[test]
+    fn merge_folds_records_spans_notes_and_alloc() {
+        let mut a = Profiler::new();
+        a.record("k", OpClass::Kernel, 10.0);
+        a.record_span("k", OpClass::Kernel, 0, 0.0, 10.0);
+        a.note("from a");
+        a.alloc.mallocs = 2;
+        a.alloc.peak_bytes = 100;
+
+        let mut b = Profiler::new();
+        b.record("k", OpClass::Kernel, 5.0);
+        b.record("up", OpClass::H2D, 7.0);
+        b.record_span("up", OpClass::H2D, 0, 0.0, 7.0);
+        b.note("from b");
+        b.alloc.mallocs = 3;
+        b.alloc.peak_bytes = 50;
+
+        a.merge(&b);
+        let k = a.records().find(|r| r.name == "k").unwrap();
+        assert_eq!((k.calls, k.total_us), (2, 15.0));
+        assert_eq!(a.class_total_us(OpClass::H2D), 7.0);
+        assert_eq!(a.spans().count(), 2);
+        assert_eq!(a.notes().collect::<Vec<_>>(), vec!["from a", "from b"]);
+        assert_eq!(a.alloc.mallocs, 5);
+        assert_eq!(a.alloc.peak_bytes, 150);
+        // The merged-into profiler changed; the source is untouched.
+        assert_eq!(b.records().count(), 2);
     }
 }

@@ -1,0 +1,133 @@
+//! The batch-serving front-end in miniature: a seeded open-loop arrival
+//! trace of downscale jobs is sharded across a simulated device fleet,
+//! and the serving report (throughput, tail latency, per-tenant service,
+//! shedding) is printed alongside the fleet-wide profiler roll-up.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo [-- jobs] [--devices N]
+//! ```
+//!
+//! Uses the CIF-sized scenario so it runs in seconds; `cargo run --release
+//! -p bench --bin reproduce -- serve` does the full HD ablation with the
+//! device-count and arrival-rate sweeps. The fleet's simulated clocks are
+//! deterministic, so rerunning with the same flags reproduces every number
+//! byte for byte.
+
+use gpu_abstractions::{downscaler, gaspard, serve, simgpu};
+
+use bench::arrivals::arrival_trace;
+use downscaler::frames::FrameGenerator;
+use downscaler::pipelines::{build_gaspard_fused, reference_downscale};
+use downscaler::Scenario;
+use serve::{Job, JobOutcome, ServeConfig, ShardPolicy};
+use simgpu::schedule::ExecOptions;
+use simgpu::Fleet;
+
+const TENANTS: usize = 3;
+
+fn main() {
+    let mut jobs_n: usize = 24;
+    let mut devices: usize = 4;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--devices" {
+            devices = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--devices needs a positive integer");
+        } else if let Ok(n) = a.parse() {
+            jobs_n = n;
+        }
+    }
+
+    let s = Scenario::cif();
+    let route = build_gaspard_fused(&s).expect("fused Gaspard route");
+    let plan = gaspard::exec::lower_plan(&route.opencl);
+    println!(
+        "serving {jobs_n} downscale jobs ({}x{} -> {}x{}, 2 frames each) across {devices} \
+         simulated GTX480s\n",
+        s.rows,
+        s.cols,
+        s.out_shape().0,
+        s.out_shape().1,
+    );
+
+    // A deterministic open-loop trace: arrivals do not wait for service.
+    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 0xD05C);
+    let trace = arrival_trace(0x5EED, jobs_n, 8_000.0, TENANTS);
+    let jobs: Vec<Job> = trace
+        .iter()
+        .enumerate()
+        .map(|(j, a)| {
+            let frames = vec![gen.frame_channels(2 * j), gen.frame_channels(2 * j + 1)];
+            Job::functional(j, a.tenant, a.submit_us, frames)
+        })
+        .collect();
+
+    let cfg = ServeConfig {
+        policy: ShardPolicy::LeastLoaded,
+        queue_capacity: 8,
+        tenant_weights: vec![2, 1, 1],
+        exec: ExecOptions { streams: 2, pool: true, ..Default::default() },
+    };
+    let mut fleet = Fleet::gtx480(devices).expect("fleet");
+    let report = serve::serve(&mut fleet, &plan, &jobs, &cfg).expect("serve");
+
+    // Every completed job is checked against the golden CPU filters.
+    for (j, o) in report.outcomes.iter().enumerate() {
+        if let JobOutcome::Completed { outputs, .. } = o {
+            for (k, planes) in outputs.iter().enumerate() {
+                let expect = reference_downscale(&s, &gen.frame_rank3(2 * j + k));
+                assert_eq!(FrameGenerator::stack(planes), expect, "job {j} frame {k} diverged");
+            }
+        }
+    }
+
+    let submits: Vec<f64> = jobs.iter().map(|j| j.submit_us).collect();
+    println!(
+        "policy {} | queue depth {} | tenant weights {:?}",
+        cfg.policy.name(),
+        cfg.queue_capacity,
+        cfg.tenant_weights
+    );
+    println!(
+        "completed {} / shed {} of {} jobs | {} frames | {:.1} frames/s | makespan {:.1} ms",
+        report.completed,
+        report.shed,
+        jobs.len(),
+        report.total_frames,
+        report.throughput_fps(),
+        report.makespan_us / 1e3
+    );
+    println!(
+        "job latency p50 {:.2} ms, p99 {:.2} ms\n",
+        report.latency_percentile_us(&submits, 50.0) / 1e3,
+        report.latency_percentile_us(&submits, 99.0) / 1e3
+    );
+
+    println!("per-tenant service:");
+    for t in &report.tenants {
+        println!(
+            "  tenant {} (weight {}): {} completed, {} shed, {} frames",
+            t.tenant, cfg.tenant_weights[t.tenant], t.completed, t.shed, t.frames
+        );
+    }
+
+    let merged = fleet.merged_profiler();
+    println!(
+        "\nfleet roll-up: {} kernel launches across {} devices",
+        report.stats.launches, devices
+    );
+    for d in 0..fleet.len() {
+        println!(
+            "  device {}: clock {:.1} ms, kernel engine busy {:.1} ms",
+            d,
+            fleet.device(d).now_us() / 1e3,
+            fleet.device(d).profiler.engine_busy_us(simgpu::profiler::OpClass::Kernel) / 1e3
+        );
+    }
+    let shed_notes = merged.notes().filter(|n| n.starts_with("shed:")).count();
+    if shed_notes > 0 {
+        println!("  {shed_notes} admission-control shed notes in the merged profiler");
+    }
+}

@@ -14,7 +14,9 @@
 //! * [`simgpu`] — the deterministic GPU simulator and profiler,
 //! * [`sac_cuda`] — the SaC → CUDA backend,
 //! * [`gaspard`] — the MDE/MARTE → OpenCL chain,
-//! * [`downscaler`] — the H.263 downscaler case study.
+//! * [`downscaler`] — the H.263 downscaler case study,
+//! * [`serve`] — the fleet batch-serving front-end (sharding, admission
+//!   control, tenant fairness, load shedding).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for the
 //! full system inventory.
@@ -25,4 +27,5 @@ pub use gaspard;
 pub use mdarray;
 pub use sac_cuda;
 pub use sac_lang;
+pub use serve;
 pub use simgpu;
