@@ -13,7 +13,7 @@ use simgpu::Calibration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|fusion|planopt|serve|sweep|emit-artifacts|all] \
+        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|fusion|planopt|serve|scenarios|sweep|emit-artifacts|all] \
          [--scenario hd1080|cif|tiny] [--json <path>]"
     );
     std::process::exit(2);
@@ -38,7 +38,7 @@ fn main() {
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             cmd if !cmd.starts_with('-') => {
-                const KNOWN: [&str; 18] = [
+                const KNOWN: [&str; 19] = [
                     "all",
                     "fig3",
                     "fig8",
@@ -55,6 +55,7 @@ fn main() {
                     "fusion",
                     "planopt",
                     "serve",
+                    "scenarios",
                     "sweep",
                     "emit-artifacts",
                 ];
@@ -207,6 +208,19 @@ fn main() {
                 }
             }
             Err(e) => eprintln!("serve ablation failed: {e}"),
+        }
+    }
+    if run("scenarios") {
+        match exp::scenarios_ablation(s) {
+            Ok(a) => {
+                println!("{}", report::render_scenarios(&a));
+                if command == "scenarios" {
+                    if let Some(path) = &json_path {
+                        write_json(path, &bench::json::scenarios_json(s, &a));
+                    }
+                }
+            }
+            Err(e) => eprintln!("scenarios ablation failed: {e}"),
         }
     }
     if run("sweep") {

@@ -270,7 +270,7 @@ pub fn sweep(scales: &[usize]) -> Result<Vec<SweepRow>, PipelineError> {
     let mut out = Vec::new();
     for &k in scales {
         let (rows, cols) = (9 * k, 16 * k);
-        let mut s = Scenario::new(&format!("sweep{k}"), 3, rows, cols, 1);
+        let mut s = Scenario::new(&format!("sweep{k}"), 3, rows, cols, 1)?;
         s.frames = 1;
         let route = build_sac(&s, Variant::NonGeneric, Part::Full, &Default::default())?;
         let frame = test_frame(&s);
@@ -1076,6 +1076,209 @@ pub fn serve_ablation(s: &Scenario) -> Result<ServeAblation, PipelineError> {
     })
 }
 
+/// One execution row of the workload-registry ablation.
+#[derive(Debug, Clone)]
+pub struct ScenarioRow {
+    /// Registry entry name.
+    pub scenario: String,
+    /// Compilation route (`sac` / `gaspard`).
+    pub route: String,
+    /// Scheduler configuration (`serial` / `pipelined` / `planopt`).
+    pub config: String,
+    /// Functionally executed frames (the rest of the batch timing-replays).
+    pub frames: usize,
+    /// Simulated makespan of the whole batch, seconds.
+    pub total_s: f64,
+    /// Kernel launches over the executed frames.
+    pub launches: usize,
+    /// Whether every executed frame matched the CPU reference bit-exactly.
+    pub outputs_ok: bool,
+}
+
+/// One serving row of the workload-registry ablation: the entry's default
+/// job mix served on a 2-device fleet.
+#[derive(Debug, Clone)]
+pub struct ScenarioServeRow {
+    /// Registry entry name.
+    pub scenario: String,
+    /// Jobs in the mix's arrival trace.
+    pub jobs: usize,
+    /// Frames charged per job.
+    pub frames_per_job: usize,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Jobs shed by admission control.
+    pub shed: usize,
+    /// Served frames per second of trace time.
+    pub fps: f64,
+    /// Median completed-job latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile completed-job latency, ms (nearest rank).
+    pub p99_ms: f64,
+    /// Whether the functional job's outputs matched the CPU reference.
+    pub outputs_ok: bool,
+}
+
+/// Result of [`scenarios_ablation`].
+#[derive(Debug, Clone)]
+pub struct ScenariosAblation {
+    /// Execution rows: entry × route × scheduler configuration.
+    pub rows: Vec<ScenarioRow>,
+    /// Serving rows: one per entry, default mix on a 2-device fleet.
+    pub serve: Vec<ScenarioServeRow>,
+    /// Whether every entry's outputs were bit-identical across both routes
+    /// and all three scheduler configurations.
+    pub cross_route_match: bool,
+    /// Whether the temporal (carry) entry's 2-stream makespan equalled its
+    /// serial makespan on both routes — the carry chain honestly collapses
+    /// pipelining back to the serial clock.
+    pub temporal_serialized: bool,
+}
+
+/// Workload-registry ablation: run every registry entry on both routes
+/// under three scheduler configurations (serialized, 2-stream pipelined +
+/// pool, pipelined + planopt ALL), bit-check each run against the entry's
+/// CPU reference and across routes, then serve each entry's default job
+/// mix on a 2-device fleet.
+///
+/// The full registry — including the 1080p and 4K downscaler sizes — runs
+/// for the `hd1080` scenario selection; other selections use the small
+/// registry, which is what CI smoke-tests.
+pub fn scenarios_ablation(s: &Scenario) -> Result<ScenariosAblation, PipelineError> {
+    use std::collections::BTreeMap;
+
+    let entries =
+        if s.name == "hd1080" { scenarios::registry() } else { scenarios::registry_small() };
+    let cfg_err = |e: scenarios::ScenarioError| PipelineError::Config(e.to_string());
+
+    let mut rows = Vec::new();
+    let mut serve_rows = Vec::new();
+    let mut cross_route_match = true;
+    let mut temporal_serialized = true;
+
+    for (i, w) in entries.iter().enumerate() {
+        let built = w.build().map_err(cfg_err)?;
+        // One functional frame per configuration suffices for the
+        // bit-checks (per-frame cost is content-independent); the temporal
+        // entry executes three so the carry chain is actually exercised.
+        let executed = if w.temporal() { 3.min(w.frames) } else { 1 };
+        let base = ExecOptions { executed, host_ns_per_op: HOST_NS_PER_OP, ..Default::default() };
+        let configs: [(&str, ExecOptions); 3] = [
+            ("serial", base),
+            ("pipelined", ExecOptions { streams: 2, pool: true, ..base }),
+            (
+                "planopt",
+                ExecOptions { streams: 2, pool: true, optimize: simgpu::PlanOptLevel::ALL, ..base },
+            ),
+        ];
+
+        let mut serial_outs: Vec<Vec<NdArray<i64>>> = Vec::new();
+        for route in scenarios::Route::BOTH {
+            let mut cfg_outs: Vec<Vec<NdArray<i64>>> = Vec::new();
+            let mut cfg_times = Vec::new();
+            for (config, opts) in &configs {
+                let mut device = Device::gtx480();
+                let (outs, stats) = built.run(route, &mut device, opts).map_err(cfg_err)?;
+                let outputs_ok = outs.iter().enumerate().all(|(f, o)| *o == built.reference(f));
+                rows.push(ScenarioRow {
+                    scenario: w.name.into(),
+                    route: route.name().into(),
+                    config: (*config).into(),
+                    frames: executed,
+                    total_s: device.now_us() / 1e6,
+                    launches: stats.launches,
+                    outputs_ok,
+                });
+                cfg_times.push(device.now_us());
+                cfg_outs.push(outs);
+            }
+            cross_route_match &= cfg_outs.iter().all(|o| *o == cfg_outs[0]);
+            if w.temporal() {
+                temporal_serialized &= (cfg_times[0] - cfg_times[1]).abs() < 1e-9;
+            }
+            serial_outs.push(cfg_outs.swap_remove(0));
+        }
+        cross_route_match &= serial_outs[0] == serial_outs[1];
+
+        // Serve the entry's default mix: the Gaspard plan, one functional
+        // job (bit-checked), the rest replaying a captured template.
+        let plan = built.plan(scenarios::Route::Gaspard).map_err(cfg_err)?;
+        let mix = w.mix;
+        let exec = ExecOptions {
+            streams: 2,
+            executed: 1,
+            pool: true,
+            host_ns_per_op: HOST_NS_PER_OP,
+            ..Default::default()
+        };
+        let mut templates = BTreeMap::new();
+        let mut probe = Device::gtx480();
+        probe.set_pool_enabled(true);
+        let probe_frames = built.frames(scenarios::Route::Gaspard, 1);
+        let tpl = serve::JobTemplate::capture(
+            &plan,
+            &mut probe,
+            &exec,
+            &probe_frames,
+            mix.frames_per_job,
+        )
+        .map_err(serve_err)?;
+        templates.insert(mix.frames_per_job, tpl);
+        let trace = crate::arrivals::arrival_trace(
+            0x0A51 + i as u64,
+            mix.jobs,
+            mix.mean_gap_us,
+            mix.tenants,
+        );
+        let jobs: Vec<serve::Job> = trace
+            .iter()
+            .enumerate()
+            .map(|(j, a)| {
+                if j == 0 {
+                    serve::Job {
+                        id: j,
+                        tenant: a.tenant,
+                        submit_us: a.submit_us,
+                        frames: built.frames(scenarios::Route::Gaspard, 1),
+                        total_frames: mix.frames_per_job,
+                    }
+                } else {
+                    serve::Job::replay(j, a.tenant, a.submit_us, mix.frames_per_job)
+                }
+            })
+            .collect();
+        let submits: Vec<f64> = jobs.iter().map(|j| j.submit_us).collect();
+        let mut fleet = simgpu::Fleet::gtx480(2).map_err(|e| serve_err(e.into()))?;
+        let cfg = serve::ServeConfig {
+            policy: serve::ShardPolicy::RoundRobin,
+            queue_capacity: mix.jobs,
+            tenant_weights: vec![1; mix.tenants],
+            exec,
+        };
+        let report = serve::serve_with_templates(&mut fleet, &plan, &jobs, &cfg, &mut templates)
+            .map_err(serve_err)?;
+        let outputs_ok = match &report.outcomes[0] {
+            serve::JobOutcome::Completed { outputs, .. } => {
+                outputs.len() == 1 && built.canon(outputs[0].clone()) == built.reference(0)
+            }
+            serve::JobOutcome::Shed { .. } => false,
+        };
+        serve_rows.push(ScenarioServeRow {
+            scenario: w.name.into(),
+            jobs: mix.jobs,
+            frames_per_job: mix.frames_per_job,
+            completed: report.completed,
+            shed: report.shed,
+            fps: report.throughput_fps(),
+            p50_ms: report.latency_percentile_us(&submits, 50.0) / 1e3,
+            p99_ms: report.latency_percentile_us(&submits, 99.0) / 1e3,
+            outputs_ok,
+        });
+    }
+
+    Ok(ScenariosAblation { rows, serve: serve_rows, cross_route_match, temporal_serialized })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1089,7 +1292,7 @@ mod tests {
         // Big enough that per-kernel launch overhead does not dominate the
         // (simulated) GPU side; the qualitative orderings are scale-free
         // beyond that point.
-        let small = Scenario::new("small", 3, 270, 480, 10);
+        let small = Scenario::new("small", 3, 270, 480, 10).unwrap();
         let rows = figure9(&small).unwrap();
         assert_eq!(rows.len(), 4);
         let by = |label: &str| {
@@ -1129,7 +1332,7 @@ mod tests {
     fn streams_ablation_overlap_strictly_beats_sync() {
         // The acceptance shape of the HD run at test-friendly scale: same
         // frame count (300), smaller frames.
-        let s = Scenario::new("hd-ish", 3, 90, 160, 300);
+        let s = Scenario::new("hd-ish", 3, 90, 160, 300).unwrap();
         let rows = streams_ablation(&s, &[1, 2, 4]).unwrap();
         assert_eq!(rows.len(), 3);
         let (sync, two, four) = (&rows[0], &rows[1], &rows[2]);
@@ -1166,7 +1369,7 @@ mod tests {
 
     #[test]
     fn memory_ablation_pooled_never_slower() {
-        let s = Scenario::new("mem", 3, 90, 160, 30);
+        let s = Scenario::new("mem", 3, 90, 160, 30).unwrap();
         let rows = memory_ablation(&s).unwrap();
         assert_eq!(rows.len(), 2);
         let (naive, pooled) = (&rows[0], &rows[1]);
@@ -1186,7 +1389,7 @@ mod tests {
 
     #[test]
     fn degradation_demo_completes_where_naive_fails() {
-        let s = Scenario::new("deg", 3, 90, 160, 8);
+        let s = Scenario::new("deg", 3, 90, 160, 8).unwrap();
         let d = oom_degradation_demo(&s).unwrap();
         assert!(d.naive_error.contains("out of memory"), "{}", d.naive_error);
         assert!(d.outputs_match_baseline);
@@ -1197,7 +1400,7 @@ mod tests {
     #[test]
     fn fusion_ablation_fused_strictly_wins() {
         // The acceptance shape of the HD run at test-friendly scale.
-        let s = Scenario::new("hd-ish", 3, 90, 160, 300);
+        let s = Scenario::new("hd-ish", 3, 90, 160, 300).unwrap();
         let a = fusion_ablation(&s).unwrap();
         assert_eq!(a.rows.len(), 8);
         assert!(a.fused_outputs_match);
@@ -1231,7 +1434,7 @@ mod tests {
     #[test]
     fn planopt_ablation_recovers_resident_placement_and_wins() {
         // The acceptance shape of the HD run at test-friendly scale.
-        let s = Scenario::new("hd-ish", 3, 90, 160, 300);
+        let s = Scenario::new("hd-ish", 3, 90, 160, 300).unwrap();
         let a = planopt_ablation(&s).unwrap();
         assert_eq!(a.rows.len(), 16);
         assert!(a.outputs_match);

@@ -3,7 +3,8 @@
 //! small flat tables, so a tiny value tree with an escaping writer is enough.
 
 use crate::experiments::{
-    DegradationDemo, FusionAblation, MemoryRow, PlanoptAblation, ServeAblation, StreamsRow,
+    DegradationDemo, FusionAblation, MemoryRow, PlanoptAblation, ScenariosAblation, ServeAblation,
+    StreamsRow,
 };
 use downscaler::Scenario;
 
@@ -286,6 +287,54 @@ pub fn serve_json(s: &Scenario, a: &ServeAblation) -> String {
     .render()
 }
 
+/// The machine-readable record `reproduce scenarios --json <path>` writes:
+/// scenario selection, the per-entry execution rows (route × scheduler
+/// configuration), the per-entry serving rows, and the cross-route /
+/// temporal-serialization flags.
+pub fn scenarios_json(s: &Scenario, a: &ScenariosAblation) -> String {
+    let rows = a
+        .rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("scenario".into(), Json::Str(r.scenario.clone())),
+                ("route".into(), Json::Str(r.route.clone())),
+                ("config".into(), Json::Str(r.config.clone())),
+                ("frames".into(), Json::Int(r.frames as i64)),
+                ("simulated_s".into(), Json::Num(r.total_s)),
+                ("launches".into(), Json::Int(r.launches as i64)),
+                ("outputs_ok".into(), Json::Bool(r.outputs_ok)),
+            ])
+        })
+        .collect();
+    let serve = a
+        .serve
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("scenario".into(), Json::Str(r.scenario.clone())),
+                ("jobs".into(), Json::Int(r.jobs as i64)),
+                ("frames_per_job".into(), Json::Int(r.frames_per_job as i64)),
+                ("completed".into(), Json::Int(r.completed as i64)),
+                ("shed".into(), Json::Int(r.shed as i64)),
+                ("frames_per_s".into(), Json::Num(r.fps)),
+                ("p50_ms".into(), Json::Num(r.p50_ms)),
+                ("p99_ms".into(), Json::Num(r.p99_ms)),
+                ("outputs_ok".into(), Json::Bool(r.outputs_ok)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("scenarios".into())),
+        ("scenario".into(), scenario_json(s)),
+        ("cross_route_match".into(), Json::Bool(a.cross_route_match)),
+        ("temporal_serialized".into(), Json::Bool(a.temporal_serialized)),
+        ("rows".into(), Json::Arr(rows)),
+        ("serve".into(), Json::Arr(serve)),
+    ])
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +477,53 @@ mod tests {
             r#""launches_per_frame":3"#,
             r#""peak_bytes":4096"#,
             r#""fused_outputs_match":true"#,
+        ] {
+            assert!(text.contains(needle), "{needle} missing from {text}");
+        }
+    }
+
+    #[test]
+    fn scenarios_record_has_all_fields() {
+        use crate::experiments::{ScenarioRow, ScenarioServeRow};
+        let s = Scenario::tiny();
+        let a = ScenariosAblation {
+            rows: vec![ScenarioRow {
+                scenario: "delta".into(),
+                route: "gaspard".into(),
+                config: "pipelined".into(),
+                frames: 3,
+                total_s: 0.012,
+                launches: 3,
+                outputs_ok: true,
+            }],
+            serve: vec![ScenarioServeRow {
+                scenario: "delta".into(),
+                jobs: 16,
+                frames_per_job: 4,
+                completed: 16,
+                shed: 0,
+                fps: 812.5,
+                p50_ms: 4.25,
+                p99_ms: 9.5,
+                outputs_ok: true,
+            }],
+            cross_route_match: true,
+            temporal_serialized: true,
+        };
+        let text = scenarios_json(&s, &a);
+        for needle in [
+            r#""experiment":"scenarios""#,
+            r#""scenario":{"name":"#,
+            r#""cross_route_match":true"#,
+            r#""temporal_serialized":true"#,
+            r#""scenario":"delta""#,
+            r#""route":"gaspard""#,
+            r#""config":"pipelined""#,
+            r#""simulated_s":0.012"#,
+            r#""launches":3"#,
+            r#""frames_per_job":4"#,
+            r#""frames_per_s":812.5"#,
+            r#""outputs_ok":true"#,
         ] {
             assert!(text.contains(needle), "{needle} missing from {text}");
         }

@@ -2,7 +2,7 @@
 
 use crate::experiments::{
     DegradationDemo, Fig12, Fig9Row, FusionAblation, MemoryRow, PlanoptAblation, ProfileTable,
-    ServeAblation, StreamsRow,
+    ScenariosAblation, ServeAblation, StreamsRow,
 };
 
 /// Render Figure 9 as labelled ASCII bars.
@@ -335,6 +335,64 @@ pub fn render_serve(a: &ServeAblation) -> String {
         d.shed,
         d.shed_notes,
         if d.outputs_ok { "bit-identical to the golden model" } else { "CORRUPTED" },
+    ));
+    out
+}
+
+/// Render the workload-registry ablation: per-entry execution table on
+/// both routes, serving table, and the cross-route / temporal headlines.
+pub fn render_scenarios(a: &ScenariosAblation) -> String {
+    let mut out = String::from(
+        "Ablation: workload registry (crates/scenarios)\n\
+         (every entry expressed on both routes and bit-checked against its\n\
+         CPU reference; serialized vs 2-stream pipelined + pool vs planopt\n\
+         ALL; one functional frame per run, three for the temporal entry)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<18} {:<8} {:<10} {:>6} {:>11} {:>9} {:>4}\n",
+        "scenario", "route", "config", "frames", "total", "launches", "ok"
+    ));
+    for r in &a.rows {
+        out.push_str(&format!(
+            "{:<18} {:<8} {:<10} {:>6} {:>10.3}s {:>9} {:>4}\n",
+            r.scenario,
+            r.route,
+            r.config,
+            r.frames,
+            r.total_s,
+            r.launches,
+            if r.outputs_ok { "yes" } else { "NO" },
+        ));
+    }
+
+    out.push_str(
+        "\nserving each entry's default job mix (2-device fleet, round-robin,\n\
+         one functional job + template replays):\n",
+    );
+    out.push_str(&format!(
+        "{:<18} {:>5} {:>6} {:>9} {:>5} {:>9} {:>9} {:>9} {:>4}\n",
+        "scenario", "jobs", "f/job", "completed", "shed", "frames/s", "p50 ms", "p99 ms", "ok"
+    ));
+    for r in &a.serve {
+        out.push_str(&format!(
+            "{:<18} {:>5} {:>6} {:>9} {:>5} {:>9.1} {:>9.3} {:>9.3} {:>4}\n",
+            r.scenario,
+            r.jobs,
+            r.frames_per_job,
+            r.completed,
+            r.shed,
+            r.fps,
+            r.p50_ms,
+            r.p99_ms,
+            if r.outputs_ok { "yes" } else { "NO" },
+        ));
+    }
+
+    out.push_str(&format!(
+        "\ncross-route outputs {} on every entry and configuration\n\
+         temporal carry {} pipelining to the serial clock (2 streams == serial)\n",
+        if a.cross_route_match { "bit-identical" } else { "DIFFER" },
+        if a.temporal_serialized { "collapses" } else { "FAILS to collapse" },
     ));
     out
 }

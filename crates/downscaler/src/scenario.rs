@@ -1,6 +1,7 @@
 //! Problem-size presets.
 
 use crate::filter::FilterSpec;
+use crate::pipelines::PipelineError;
 
 /// A downscaler problem instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,11 +24,27 @@ pub struct Scenario {
 
 impl Scenario {
     /// Build a scenario with the paper's 8→3 horizontal / 9→4 vertical
-    /// interpolation. `rows` must be divisible by 9 and `cols` by 8.
-    pub fn new(name: &str, channels: usize, rows: usize, cols: usize, frames: usize) -> Self {
-        assert_eq!(rows % 9, 0, "rows must be divisible by 9 (9->4 vertical scaling)");
-        assert_eq!(cols % 8, 0, "cols must be divisible by 8 (8->3 horizontal scaling)");
-        Scenario {
+    /// interpolation. `rows` must be divisible by 9 and `cols` by 8;
+    /// violations are typed [`PipelineError::Config`] errors, never panics,
+    /// so registries and sweeps can enumerate candidate sizes safely.
+    pub fn new(
+        name: &str,
+        channels: usize,
+        rows: usize,
+        cols: usize,
+        frames: usize,
+    ) -> Result<Self, PipelineError> {
+        if !rows.is_multiple_of(9) {
+            return Err(PipelineError::Config(format!(
+                "scenario '{name}': rows {rows} must be divisible by 9 (9->4 vertical scaling)"
+            )));
+        }
+        if !cols.is_multiple_of(8) {
+            return Err(PipelineError::Config(format!(
+                "scenario '{name}': cols {cols} must be divisible by 8 (8->3 horizontal scaling)"
+            )));
+        }
+        Ok(Scenario {
             name: name.into(),
             channels,
             rows,
@@ -35,30 +52,30 @@ impl Scenario {
             frames,
             h: FilterSpec::paper_horizontal(),
             v: FilterSpec::paper_vertical(),
-        }
+        })
     }
 
     /// The paper's evaluation setting: 1080×1920 HD frames, RGB,
     /// 300 iterations (§VIII).
     pub fn hd1080() -> Self {
-        Scenario::new("hd1080", 3, 1080, 1920, 300)
+        Scenario::new("hd1080", 3, 1080, 1920, 300).expect("preset dimensions are valid")
     }
 
     /// CIF input (352×288) as in the case-study introduction (§III):
     /// 352 → 132 columns, 288 → 128 rows, 2000 frames of a 25 fps /
     /// 80 second clip.
     pub fn cif() -> Self {
-        Scenario::new("cif", 3, 288, 352, 2000)
+        Scenario::new("cif", 3, 288, 352, 2000).expect("preset dimensions are valid")
     }
 
     /// A small but structurally faithful instance for tests.
     pub fn tiny() -> Self {
-        Scenario::new("tiny", 3, 18, 32, 2)
+        Scenario::new("tiny", 3, 18, 32, 2).expect("preset dimensions are valid")
     }
 
     /// A single-channel micro instance for the fastest tests.
     pub fn micro() -> Self {
-        Scenario::new("micro", 1, 9, 16, 1)
+        Scenario::new("micro", 1, 9, 16, 1).expect("preset dimensions are valid")
     }
 
     /// Output columns of the horizontal filter.
@@ -124,14 +141,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "divisible by 9")]
-    fn rejects_bad_rows() {
-        Scenario::new("bad", 1, 10, 16, 1);
+    fn rejects_bad_rows_as_typed_error() {
+        let err = Scenario::new("bad", 1, 10, 16, 1);
+        assert!(
+            matches!(&err, Err(PipelineError::Config(m)) if m.contains("divisible by 9")),
+            "{err:?}"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "divisible by 8")]
-    fn rejects_bad_cols() {
-        Scenario::new("bad", 1, 9, 15, 1);
+    fn rejects_bad_cols_as_typed_error() {
+        let err = Scenario::new("bad", 1, 9, 15, 1);
+        assert!(
+            matches!(&err, Err(PipelineError::Config(m)) if m.contains("divisible by 8")),
+            "{err:?}"
+        );
+    }
+
+    /// The ISSUE 8 regression shape: a 17×33 request — indivisible on both
+    /// axes — is a typed configuration error, not a panic.
+    #[test]
+    fn arbitrary_bad_request_is_an_error_not_a_panic() {
+        let err = Scenario::new("odd", 3, 17, 33, 1);
+        assert!(matches!(err, Err(PipelineError::Config(_))), "{err:?}");
     }
 }

@@ -120,6 +120,7 @@ pub fn lower_plan_with(prog: &OpenClProgram, placement: Placement) -> LaunchPlan
         prologue: Vec::new(),
         invariant: Vec::new(),
         batches: Vec::new(),
+        carries: Vec::new(),
         lane_label: "command queues",
     }
 }

@@ -76,6 +76,17 @@ fn validate_component(model: &Model, c: &Component) -> Result<(), GaspardError> 
                     }
                 }
             }
+            if let ElementaryOp::WeightedSum { weights } = op {
+                if weights.len() != in_len {
+                    return Err(invalid(
+                        &c.name,
+                        format!(
+                            "weighted sum has {} weights but the input pattern holds {in_len}",
+                            weights.len()
+                        ),
+                    ));
+                }
+            }
         }
         ComponentKind::Repetitive { repetition, inner, input_tilers, output_tilers } => {
             let inner_c = model.component(inner).ok_or_else(|| GaspardError::UnknownElement {

@@ -63,6 +63,14 @@ pub enum ElementaryOp {
     },
     /// Single-element output: the sum of the pattern.
     SumReduce,
+    /// Single-element output: the dot product of the pattern with a fixed
+    /// integer weight vector — the elementary form of a 1-D convolution
+    /// stencil (blur `[1,2,1]`, gradient `[-1,0,1]`, delta `[1,-1]`, …).
+    /// `weights.len()` must equal the input pattern length.
+    WeightedSum {
+        /// One weight per pattern element.
+        weights: Vec<i64>,
+    },
     /// `out = in` (pattern copy).
     Copy,
     /// Two fused elementary stages (built by the fusion pass, never written
@@ -92,7 +100,7 @@ impl ElementaryOp {
         match self {
             ElementaryOp::InterpolateWindows { windows, .. } => windows.len(),
             ElementaryOp::AffineMap { .. } | ElementaryOp::Copy => in_len,
-            ElementaryOp::SumReduce => 1,
+            ElementaryOp::SumReduce | ElementaryOp::WeightedSum { .. } => 1,
             ElementaryOp::Composed { outer, outer_gathers, .. } => {
                 let per_row = outer_gathers.first().map_or(0, |row| outer.out_len(row.len()));
                 outer_gathers.len() * per_row
@@ -114,6 +122,10 @@ impl ElementaryOp {
                 pattern.iter().map(|&v| v * mul + add).collect()
             }
             ElementaryOp::SumReduce => vec![pattern.iter().sum()],
+            ElementaryOp::WeightedSum { weights } => {
+                debug_assert_eq!(pattern.len(), weights.len());
+                vec![pattern.iter().zip(weights).map(|(&p, &w)| p * w).sum()]
+            }
             ElementaryOp::Copy => pattern.to_vec(),
             ElementaryOp::Composed { inner, inner_count, inner_in_len, outer, outer_gathers } => {
                 debug_assert_eq!(pattern.len(), inner_count * inner_in_len);

@@ -136,6 +136,7 @@ pub fn lower_plan(prog: &CudaProgram, channel_chunks: usize) -> Result<LaunchPla
         prologue: Vec::new(),
         invariant: Vec::new(),
         batches: Vec::new(),
+        carries: Vec::new(),
         lane_label: "stream lanes",
     })
 }

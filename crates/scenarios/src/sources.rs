@@ -1,0 +1,95 @@
+//! SaC program sources for the registry's non-downscaler pipelines.
+//!
+//! Each source is a `main` over a single input array, written in the same
+//! WITH-loop style as the paper's downscaler (gathers with computed
+//! indices, `genarray` result shapes baked in), so the existing
+//! `sac-lang` → `sac-cuda` chain lowers every stage to a kernel with no
+//! host fallbacks.
+
+/// Halide-style three-stage column-stencil chain:
+/// blur `[1,2,1]` → gradient `[-1,0,1]` → sharpen `[-1,3,-1]`.
+///
+/// Each stage slides a width-3 window along columns, so the frame narrows
+/// by two columns per stage: `[R,C] → [R,C-2] → [R,C-4] → [R,C-6]`.
+pub fn imagepipe_src(rows: usize, cols: usize) -> String {
+    format!(
+        r#"
+int[*] main(int[{r},{c}] frame)
+{{
+    b = with {{
+        (. <= [i,j] <= .) : frame[[i,j]] + 2*frame[[i,j+1]] + frame[[i,j+2]];
+    }} : genarray( [{r},{c2}]);
+    g = with {{
+        (. <= [i,j] <= .) : b[[i,j+2]] - b[[i,j]];
+    }} : genarray( [{r},{c4}]);
+    s = with {{
+        (. <= [i,j] <= .) : 3*g[[i,j+1]] - g[[i,j]] - g[[i,j+2]];
+    }} : genarray( [{r},{c6}]);
+    return( s);
+}}
+"#,
+        r = rows,
+        c = cols,
+        c2 = cols - 2,
+        c4 = cols - 4,
+        c6 = cols - 6,
+    )
+}
+
+/// Delta encoding over a stacked `[2,R,C]` input: plane 0 is the current
+/// frame, plane 1 the previous one, and the output is their difference.
+///
+/// The program itself is stateless — the cross-frame threading (frame `N`
+/// reads frame `N-1`) is added after lowering by
+/// [`crate::temporal::temporalize`], which is route-agnostic plan surgery.
+pub fn delta_src(rows: usize, cols: usize) -> String {
+    format!(
+        r#"
+int[*] main(int[2,{r},{c}] frame)
+{{
+    d = with {{
+        (. <= [i,j] <= .) : frame[[0,i,j]] - frame[[1,i,j]];
+    }} : genarray( [{r},{c}]);
+    return( d);
+}}
+"#,
+        r = rows,
+        c = cols,
+    )
+}
+
+/// Block reduction + affine remap: sum each horizontal 4-pixel block, then
+/// map `x ↦ 2x + 10`. Integer-exact (no division), so the cross-route
+/// bit-identity check is meaningful. `[R,C] → [R,C/4]`.
+pub fn blockmean_src(rows: usize, cols: usize) -> String {
+    format!(
+        r#"
+int[*] main(int[{r},{c}] frame)
+{{
+    s = with {{
+        (. <= [i,j] <= .) : frame[[i,4*j]] + frame[[i,4*j+1]] + frame[[i,4*j+2]] + frame[[i,4*j+3]];
+    }} : genarray( [{r},{cb}]);
+    m = with {{
+        (. <= [i,j] <= .) : 2*s[[i,j]] + 10;
+    }} : genarray( [{r},{cb}]);
+    return( m);
+}}
+"#,
+        r = rows,
+        c = cols,
+        cb = cols / 4,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_parse_and_typecheck() {
+        for src in [imagepipe_src(8, 16), delta_src(6, 10), blockmean_src(6, 16)] {
+            let prog = sac_lang::parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            sac_lang::types::check_program(&prog).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        }
+    }
+}

@@ -499,6 +499,7 @@ mod tests {
             prologue: Vec::new(),
             invariant: Vec::new(),
             batches: Vec::new(),
+            carries: Vec::new(),
             lane_label: "stream lanes",
         }
     }

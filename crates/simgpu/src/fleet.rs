@@ -137,6 +137,17 @@ impl Fleet {
     ) -> Result<BatchOutput, ScheduleError> {
         opts.validate().map_err(ScheduleError::Config)?;
         let n = self.devices.len();
+        // Frame sharding assumes frames are independent; a plan with carries
+        // chains frame f+1 on frame f's host result, which round-robin
+        // dealing across devices would silently break (each device would
+        // thread only its own subsequence). Rejected as configuration, not
+        // worked around: a temporal workload needs a single device batch.
+        if !plan.carries.is_empty() && n > 1 {
+            return Err(ScheduleError::Config(format!(
+                "plan carries cross-frame state; round-robin frame sharding across {n} devices \
+                 would break the carry chain (run temporal plans on one device)"
+            )));
+        }
         let total = if opts.total_frames == 0 { frames.len() } else { opts.total_frames };
         if total < frames.len() {
             return Err(ScheduleError::Config(format!(
@@ -219,6 +230,7 @@ mod tests {
             prologue: Vec::new(),
             invariant: Vec::new(),
             batches: Vec::new(),
+            carries: Vec::new(),
             lane_label: "stream lanes",
         }
     }
@@ -335,6 +347,26 @@ mod tests {
         for d in fleet.devices() {
             assert!(d.now_us() > 0.0);
         }
+    }
+
+    #[test]
+    fn carry_plans_are_rejected_at_fleet_width_above_one() {
+        let n = 16;
+        let (kernel, config) = double_kernel(n);
+        let mut plan = double_plan(&kernel, config, n);
+        plan.carries = vec![crate::schedule::Carry { from: 0, to: 0 }];
+
+        // Width 1 is fine: one device threads the whole chain.
+        let mut single = Fleet::gtx480(1).unwrap();
+        single.run_round_robin(&plan, &frames(3, n), &ExecOptions::default()).unwrap();
+
+        // Width > 1 would silently break the chain — typed rejection.
+        let mut fleet = Fleet::gtx480(2).unwrap();
+        let err = fleet.run_round_robin(&plan, &frames(3, n), &ExecOptions::default());
+        assert!(
+            matches!(&err, Err(ScheduleError::Config(m)) if m.contains("carry chain")),
+            "{err:?}"
+        );
     }
 
     #[test]

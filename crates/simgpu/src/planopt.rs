@@ -263,6 +263,11 @@ fn dead_transfers_pass(plan: &mut LaunchPlan<'_>) -> Option<String> {
     for &id in &plan.outputs {
         host_needed[id] = true;
     }
+    // A carried value is read off the host at frame end, exactly like an
+    // output: the download producing it must not be eliminated.
+    for c in &plan.carries {
+        host_needed[c.from] = true;
+    }
     let mut kept_rev = Vec::with_capacity(plan.steps.len());
     let mut dropped_up = 0usize;
     let mut dropped_down = 0usize;
@@ -518,6 +523,7 @@ mod tests {
             prologue: Vec::new(),
             invariant: Vec::new(),
             batches: Vec::new(),
+            carries: Vec::new(),
             lane_label: "stream lanes",
         }
     }
@@ -635,6 +641,7 @@ mod tests {
             prologue: Vec::new(),
             invariant: Vec::new(),
             batches: Vec::new(),
+            carries: Vec::new(),
             lane_label: "stream lanes",
         }
     }
@@ -711,6 +718,7 @@ mod tests {
             prologue: Vec::new(),
             invariant: vec![0],
             batches: Vec::new(),
+            carries: Vec::new(),
             lane_label: "stream lanes",
         };
         let report = optimize(&mut plan, PlanOptLevel::RESIDENCY).unwrap();
@@ -770,6 +778,7 @@ mod tests {
             prologue: Vec::new(),
             invariant: Vec::new(),
             batches: Vec::new(),
+            carries: Vec::new(),
             lane_label: "stream lanes",
         };
         optimize(&mut plan, PlanOptLevel::ALL).unwrap();

@@ -24,7 +24,7 @@
 //! stream pipelining, pooled allocation and OOM degradation land once and
 //! apply to every route.
 
-use crate::device::{BufferId, Device, StreamId};
+use crate::device::{BufferId, Device, EventId, StreamId};
 use crate::exec::LaunchConfig;
 use crate::kir::{Kernel, KernelArg, Param};
 use crate::profiler::OpClass;
@@ -160,6 +160,30 @@ impl std::fmt::Debug for HostOp<'_> {
     }
 }
 
+/// A cross-frame data dependency: after frame `f` completes, the
+/// host-resident value of array [`Carry::from`] becomes frame `f+1`'s
+/// binding for the input array [`Carry::to`], replacing whatever the caller
+/// supplied for that position (the caller's value seeds frame 0 only).
+///
+/// Carries express temporal workloads — motion detection, delta encoding —
+/// where frame `f` reads a value produced while processing frame `f-1`.
+/// They come at a pipelining cost the scheduler models honestly: a frame
+/// with an incoming carry cannot start before its predecessor finishes, so
+/// the scheduler chains an event from each frame's stream to the next and
+/// multi-lane overlap collapses to the serial schedule.
+///
+/// [`LaunchPlan::validate`] requires `from`/`to` to be declared arrays of
+/// equal shape, `to` to be a frame input that is not frame-invariant, at
+/// most one carry per target, and `from` to be host-resident at frame end
+/// (like an output — the value must exist to be carried).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Carry {
+    /// Array id whose end-of-frame host value is carried forward.
+    pub from: usize,
+    /// Input array id the carried value is bound to on the next frame.
+    pub to: usize,
+}
+
 /// A route-agnostic per-frame execution plan.
 ///
 /// Executing a frame means: bind the frame's input arrays to
@@ -198,6 +222,11 @@ pub struct LaunchPlan<'a> {
     /// Array-id groups referenced by [`PlanStep::UploadBatch`] /
     /// [`PlanStep::DownloadBatch`]. A side table keeps [`PlanStep`] `Copy`.
     pub batches: Vec<Vec<usize>>,
+    /// Cross-frame dependencies: each frame's end-of-frame host value of
+    /// [`Carry::from`] becomes the next frame's binding for the input
+    /// [`Carry::to`]. Empty for the ordinary stateless-frame plans; when
+    /// non-empty, frames serialize (see [`Carry`]).
+    pub carries: Vec<Carry>,
     /// What a pipeline lane is called in this route's vocabulary ("stream
     /// lanes" for CUDA, "command queues" for OpenCL) — used verbatim in the
     /// OOM-degradation profiler note.
@@ -306,6 +335,43 @@ impl LaunchPlan<'_> {
                         "prologue may only contain Upload and Alloc steps".into(),
                     ))
                 }
+            }
+        }
+
+        // Carries rebind an input between frames, so the target must be a
+        // non-invariant frame input (an invariant array's prologue upload
+        // would go stale the moment the carry rebinds it), shapes must
+        // agree (the carried value replaces a declared input verbatim), and
+        // two carries must not race for one target.
+        for (i, c) in self.carries.iter().enumerate() {
+            arr(c.from, "carry source")?;
+            arr(c.to, "carry target")?;
+            if !self.inputs.contains(&c.to) {
+                return Err(ScheduleError::Plan(format!(
+                    "carry target '{}' is not a frame input",
+                    self.arrays[c.to].name
+                )));
+            }
+            if self.invariant.contains(&c.to) {
+                return Err(ScheduleError::Plan(format!(
+                    "carry target '{}' is declared frame-invariant",
+                    self.arrays[c.to].name
+                )));
+            }
+            if self.arrays[c.from].shape != self.arrays[c.to].shape {
+                return Err(ScheduleError::Plan(format!(
+                    "carry source '{}' shape {:?} does not match target '{}' shape {:?}",
+                    self.arrays[c.from].name,
+                    self.arrays[c.from].shape,
+                    self.arrays[c.to].name,
+                    self.arrays[c.to].shape
+                )));
+            }
+            if self.carries[..i].iter().any(|p| p.to == c.to) {
+                return Err(ScheduleError::Plan(format!(
+                    "array '{}' is the target of more than one carry",
+                    self.arrays[c.to].name
+                )));
             }
         }
 
@@ -418,6 +484,16 @@ impl LaunchPlan<'_> {
                 return Err(ScheduleError::Plan(format!(
                     "output '{}' is not host-resident at frame end",
                     name(id)
+                )));
+            }
+        }
+        // A carried value is read off the host after the frame, exactly
+        // like an output.
+        for c in &self.carries {
+            if !on_host[c.from] {
+                return Err(ScheduleError::Plan(format!(
+                    "carry source '{}' is not host-resident at frame end",
+                    name(c.from)
                 )));
             }
         }
@@ -739,13 +815,35 @@ impl<'a> BatchScheduler<'a> {
         let mut stats = RunStats::default();
         let mut frame_ops: Vec<(String, OpClass, f64)> = Vec::new();
         let mut frame_stats = RunStats::default();
+        // Cross-frame carries: each frame's carried host values override the
+        // next frame's carry-target bindings, and an event recorded on each
+        // frame's stream gates the next frame's stream — frame `f+1` cannot
+        // start before frame `f` finished producing the carried value, so
+        // multi-lane overlap honestly collapses to the serial schedule.
+        let has_carries = !self.plan.carries.is_empty();
+        let mut carried: Vec<Option<NdArray<i64>>> = vec![None; self.plan.carries.len()];
+        let mut prev_frame_done: Option<EventId> = None;
         for (f, inputs) in frames.iter().enumerate() {
             let lane = f % lanes;
+            if let Some(ev) = prev_frame_done {
+                device.wait_event(streams[lane], ev)?;
+            }
             // The first frame on each lane is "cold": it runs the plan's
             // prologue (invariant uploads) before the per-frame steps.
             let cold = f < lanes;
-            let run =
-                self.exec_frame(device, inputs, opts, &mut buffer_sets[lane], streams[lane], cold)?;
+            let run = self.exec_frame(
+                device,
+                inputs,
+                opts,
+                &mut buffer_sets[lane],
+                streams[lane],
+                cold,
+                &carried,
+            )?;
+            if has_carries {
+                prev_frame_done = Some(device.record_event(streams[lane])?);
+                carried = run.carried.into_iter().map(Some).collect();
+            }
             if f == 0 {
                 // The replay template is the *warm* frame schedule: spans
                 // recorded after the prologue finished, and the per-step
@@ -767,8 +865,17 @@ impl<'a> BatchScheduler<'a> {
         let total = if opts.total_frames == 0 { frames.len() } else { opts.total_frames };
         for f in frames.len()..total {
             let lane = f % lanes;
+            // Replayed frames keep the carry serialization: the timing of a
+            // carried batch must not overlap frames the functional run
+            // could not have overlapped.
+            if let Some(ev) = prev_frame_done {
+                device.wait_event(streams[lane], ev)?;
+            }
             for (name, class, us) in &frame_ops {
                 device.replay_on(name, *class, *us, streams[lane])?;
+            }
+            if has_carries {
+                prev_frame_done = Some(device.record_event(streams[lane])?);
             }
             stats.accumulate(&frame_stats);
         }
@@ -782,6 +889,11 @@ impl<'a> BatchScheduler<'a> {
     /// `buffers` entries that are `Some` are reused in place (a later frame
     /// on the same lane overwrites them); `None` entries are allocated on
     /// demand and left allocated for the caller to free or reuse.
+    ///
+    /// `carried` holds the previous frame's carry values positionally per
+    /// [`LaunchPlan::carries`]; `Some` entries override the caller-supplied
+    /// binding of that carry's target (`None` on frame 0 keeps the seed).
+    #[allow(clippy::too_many_arguments)]
     fn exec_frame(
         &self,
         device: &mut Device,
@@ -790,6 +902,7 @@ impl<'a> BatchScheduler<'a> {
         buffers: &mut [Option<BufferId>],
         stream: StreamId,
         cold: bool,
+        carried: &[Option<NdArray<i64>>],
     ) -> Result<FrameRun, ScheduleError> {
         let plan = self.plan;
         if inputs.len() != plan.inputs.len() {
@@ -811,6 +924,13 @@ impl<'a> BatchScheduler<'a> {
             }
             host[id] = Some(arr.clone());
         }
+        // Warm frames rebind carry targets to the previous frame's carried
+        // values; validate() guarantees the shapes match the declarations.
+        for (c, v) in plan.carries.iter().zip(carried) {
+            if let Some(v) = v {
+                host[c.to] = Some(v.clone());
+            }
+        }
 
         let mut prologue_stats = RunStats::default();
         if cold {
@@ -829,6 +949,20 @@ impl<'a> BatchScheduler<'a> {
         let mut step_stats = RunStats::default();
         self.run_steps(device, &plan.steps, &mut host, opts, buffers, stream, &mut step_stats)?;
 
+        // Carried values are cloned out before the outputs are moved: a
+        // carry source may itself be a declared output.
+        let carried_out: Vec<NdArray<i64>> = plan
+            .carries
+            .iter()
+            .map(|c| {
+                host[c.from].clone().ok_or_else(|| {
+                    ScheduleError::Plan(format!(
+                        "carry source '{}' never reached the host",
+                        plan.arrays[c.from].name
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
         let outputs: Vec<NdArray<i64>> = plan
             .outputs
             .iter()
@@ -841,7 +975,7 @@ impl<'a> BatchScheduler<'a> {
                 })
             })
             .collect::<Result<_, _>>()?;
-        Ok(FrameRun { outputs, prologue_stats, step_stats, warm_span_mark })
+        Ok(FrameRun { outputs, carried: carried_out, prologue_stats, step_stats, warm_span_mark })
     }
 
     /// Walk one step list against a lane's buffer set, accumulating into
@@ -1007,6 +1141,9 @@ impl<'a> BatchScheduler<'a> {
 /// schedule.
 struct FrameRun {
     outputs: Vec<NdArray<i64>>,
+    /// End-of-frame host values of the plan's carry sources, positionally
+    /// per [`LaunchPlan::carries`] — the next frame's carry-target bindings.
+    carried: Vec<NdArray<i64>>,
     prologue_stats: RunStats,
     step_stats: RunStats,
     warm_span_mark: usize,
@@ -1080,6 +1217,7 @@ mod tests {
             prologue: Vec::new(),
             invariant: Vec::new(),
             batches: Vec::new(),
+            carries: Vec::new(),
             lane_label: "stream lanes",
         }
     }
@@ -1310,6 +1448,7 @@ mod tests {
             prologue: Vec::new(),
             invariant: Vec::new(),
             batches: Vec::new(),
+            carries: Vec::new(),
             lane_label: "stream lanes",
         };
         let mut device = Device::gtx480();
@@ -1372,6 +1511,7 @@ mod tests {
             prologue: Vec::new(),
             invariant: Vec::new(),
             batches: Vec::new(),
+            carries: Vec::new(),
             lane_label: "stream lanes",
         };
         let err = plan.validate();
@@ -1445,6 +1585,7 @@ mod tests {
             prologue: vec![PlanStep::Upload { array: 0, chunks: 1 }],
             invariant: vec![0],
             batches: Vec::new(),
+            carries: Vec::new(),
             lane_label: "stream lanes",
         }
     }
@@ -1525,6 +1666,7 @@ mod tests {
             prologue: Vec::new(),
             invariant: Vec::new(),
             batches: vec![vec![0, 1]],
+            carries: Vec::new(),
             lane_label: "stream lanes",
         };
         let mut device = Device::gtx480();
@@ -1588,6 +1730,162 @@ mod tests {
         let err = plan.validate();
         assert!(
             matches!(&err, Err(ScheduleError::Plan(m)) if m.contains("batch 0 is empty")),
+            "{err:?}"
+        );
+    }
+
+    /// s is the carried state (seeded by frame 0's caller input), a the
+    /// per-frame payload: a += s on the device, then a's end-of-frame value
+    /// becomes the next frame's s — a running prefix sum across frames.
+    fn carry_plan(kernel: &Kernel, config: LaunchConfig, n: usize) -> LaunchPlan<'_> {
+        LaunchPlan {
+            arrays: vec![
+                ArrayDecl { name: "s".into(), shape: vec![n] },
+                ArrayDecl { name: "a".into(), shape: vec![n] },
+            ],
+            inputs: vec![0, 1],
+            outputs: vec![1],
+            kernels: vec![PlanKernel { kernel, config, args: vec![0, 1] }],
+            host_ops: Vec::new(),
+            steps: vec![
+                PlanStep::Upload { array: 0, chunks: 1 },
+                PlanStep::Upload { array: 1, chunks: 1 },
+                PlanStep::Launch { kernel: 0 },
+                PlanStep::Download { array: 1, chunks: 1 },
+            ],
+            prologue: Vec::new(),
+            invariant: Vec::new(),
+            batches: Vec::new(),
+            carries: vec![Carry { from: 1, to: 0 }],
+            lane_label: "stream lanes",
+        }
+    }
+
+    fn carry_frames(n_frames: usize, n: usize) -> Vec<Vec<NdArray<i64>>> {
+        (0..n_frames)
+            .map(|f| {
+                vec![
+                    NdArray::filled([n], 0i64), // state seed; only frame 0's is used
+                    NdArray::from_fn([n], |ix| (f * 100 + ix[0]) as i64),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn carry_threads_state_across_frames() {
+        let n = 16;
+        let (kernel, config) = add_kernel(n);
+        let plan = carry_plan(&kernel, config, n);
+        let mut device = Device::gtx480();
+        let (outs, _) = BatchScheduler::new(&plan)
+            .run(&mut device, &carry_frames(4, n), &ExecOptions::default())
+            .unwrap();
+        // out_f = sum of payloads 0..=f (prefix sum across frames).
+        let mut expect = NdArray::filled([n], 0i64);
+        for (f, out) in outs.iter().enumerate() {
+            let prev = expect.clone();
+            expect = NdArray::from_fn([n], |ix| prev.as_slice()[ix[0]] + (f * 100 + ix[0]) as i64);
+            assert_eq!(out[0], expect, "frame {f}");
+        }
+    }
+
+    #[test]
+    fn carry_results_are_lane_count_invariant_and_serialize() {
+        let n = 2048;
+        let (kernel, config) = add_kernel(n);
+        let plan = carry_plan(&kernel, config, n);
+
+        let mut serial = Device::gtx480();
+        let (expect, _) = BatchScheduler::new(&plan)
+            .run(&mut serial, &carry_frames(6, n), &ExecOptions::default())
+            .unwrap();
+
+        let mut piped = Device::gtx480();
+        let (got, _) = BatchScheduler::new(&plan)
+            .run(&mut piped, &carry_frames(6, n), &ExecOptions { streams: 2, ..Default::default() })
+            .unwrap();
+
+        // Same values regardless of lane count, and no dishonest overlap:
+        // the event chain collapses the 2-lane schedule to the serial clock.
+        assert_eq!(got, expect);
+        assert_eq!(piped.now_us(), serial.now_us());
+    }
+
+    #[test]
+    fn carry_replay_keeps_the_serialized_clock() {
+        let n = 256;
+        let (kernel, config) = add_kernel(n);
+        let plan = carry_plan(&kernel, config, n);
+
+        let mut full = Device::gtx480();
+        BatchScheduler::new(&plan)
+            .run(&mut full, &carry_frames(5, n), &ExecOptions { streams: 2, ..Default::default() })
+            .unwrap();
+
+        let mut replayed = Device::gtx480();
+        BatchScheduler::new(&plan)
+            .run(
+                &mut replayed,
+                &carry_frames(2, n),
+                &ExecOptions { streams: 2, total_frames: 5, ..Default::default() },
+            )
+            .unwrap();
+        assert_eq!(replayed.now_us(), full.now_us());
+    }
+
+    #[test]
+    fn carry_validation_rejects_malformed_plans() {
+        let n = 8;
+        let (kernel, config) = add_kernel(n);
+
+        // Target is not a frame input.
+        let mut plan = carry_plan(&kernel, config, n);
+        plan.arrays.push(ArrayDecl { name: "x".into(), shape: vec![n] });
+        plan.carries = vec![Carry { from: 1, to: 2 }];
+        let err = plan.validate();
+        assert!(
+            matches!(&err, Err(ScheduleError::Plan(m)) if m.contains("not a frame input")),
+            "{err:?}"
+        );
+
+        // Two carries racing for one target.
+        let mut plan = carry_plan(&kernel, config, n);
+        plan.carries = vec![Carry { from: 1, to: 0 }, Carry { from: 1, to: 0 }];
+        let err = plan.validate();
+        assert!(
+            matches!(&err, Err(ScheduleError::Plan(m)) if m.contains("more than one carry")),
+            "{err:?}"
+        );
+
+        // Shape mismatch between source and target.
+        let mut plan = carry_plan(&kernel, config, n);
+        plan.arrays[0].shape = vec![n, 2];
+        let err = plan.validate();
+        assert!(
+            matches!(&err, Err(ScheduleError::Plan(m)) if m.contains("does not match target")),
+            "{err:?}"
+        );
+
+        // Source never host-resident at frame end (download dropped): the
+        // carried value would not exist.
+        let mut plan = carry_plan(&kernel, config, n);
+        plan.steps.pop();
+        plan.outputs = vec![0]; // keep the outputs check satisfied
+        let err = plan.validate();
+        assert!(
+            matches!(&err, Err(ScheduleError::Plan(m))
+                if m.contains("carry source") && m.contains("not host-resident")),
+            "{err:?}"
+        );
+
+        // Target declared frame-invariant.
+        let (add, cfg) = add_kernel(n);
+        let mut plan = invariant_plan(&add, cfg, n);
+        plan.carries = vec![Carry { from: 1, to: 0 }];
+        let err = plan.validate();
+        assert!(
+            matches!(&err, Err(ScheduleError::Plan(m)) if m.contains("frame-invariant")),
             "{err:?}"
         );
     }

@@ -15,6 +15,8 @@
 //! * [`sac_cuda`] — the SaC → CUDA backend,
 //! * [`gaspard`] — the MDE/MARTE → OpenCL chain,
 //! * [`downscaler`] — the H.263 downscaler case study,
+//! * [`scenarios`] — the multi-pipeline workload registry (each entry
+//!   expressed on both routes, bit-checked cross-route, servable),
 //! * [`serve`] — the fleet batch-serving front-end (sharding, admission
 //!   control, tenant fairness, load shedding).
 //!
@@ -27,5 +29,6 @@ pub use gaspard;
 pub use mdarray;
 pub use sac_cuda;
 pub use sac_lang;
+pub use scenarios;
 pub use serve;
 pub use simgpu;

@@ -185,6 +185,47 @@ fn fusion_refuses_multi_consumer_diamond() {
     );
 }
 
+/// Every registry workload — not just the downscaler — is bit-identical
+/// across both routes, 1 vs 2 streams, and planopt OFF vs ALL, and every
+/// configuration matches the entry's CPU reference. This is the paper's
+/// core property lifted from one case study to a family of pipelines.
+#[test]
+fn registry_workloads_agree_across_routes_streams_and_planopt() {
+    use scenarios::{registry_small, Route};
+    use simgpu::PlanOptLevel;
+
+    for w in registry_small() {
+        let built = w.build().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let mut baseline: Option<Vec<NdArray<i64>>> = None;
+        for route in Route::BOTH {
+            for streams in [1usize, 2] {
+                for (passes, optimize) in [("off", PlanOptLevel::OFF), ("all", PlanOptLevel::ALL)] {
+                    let label =
+                        format!("{} ({} streams={streams} passes={passes})", w.name, route.name());
+                    let opts = simgpu::schedule::ExecOptions {
+                        streams,
+                        pool: streams > 1,
+                        executed: 3,
+                        optimize,
+                        ..Default::default()
+                    };
+                    let mut device = Device::gtx480();
+                    let (outs, _) = built
+                        .run(route, &mut device, &opts)
+                        .unwrap_or_else(|e| panic!("{label}: {e}"));
+                    for (f, out) in outs.iter().enumerate() {
+                        assert_eq!(out, &built.reference(f), "{label}: frame {f} vs CPU reference");
+                    }
+                    match &baseline {
+                        None => baseline = Some(outs),
+                        Some(b) => assert_eq!(&outs, b, "{label}: diverges from first config"),
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn gaspard_and_sac_kernel_structure_differs_as_published() {
     // The structural finding of §VIII.C: same maths, different kernel

@@ -8,7 +8,7 @@ use sac_lang::opt::OptConfig;
 
 fn scenario() -> Scenario {
     // Large enough that launch overhead does not dominate the simulated GPU.
-    Scenario::new("claims", 3, 270, 480, 10)
+    Scenario::new("claims", 3, 270, 480, 10).unwrap()
 }
 
 /// §VIII.C: "the final fused WITH-loop for horizontal filter after applying

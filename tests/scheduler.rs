@@ -119,6 +119,7 @@ fn chunk_fallback_reports_actual_transfer_counts() {
         prologue: Vec::new(),
         invariant: Vec::new(),
         batches: Vec::new(),
+        carries: Vec::new(),
         lane_label: "stream lanes",
     };
 
@@ -223,6 +224,7 @@ fn prop_plan<'a>(
         prologue: Vec::new(),
         invariant: Vec::new(),
         batches: Vec::new(),
+        carries: Vec::new(),
         lane_label: "stream lanes",
     }
 }

@@ -196,6 +196,51 @@ fn degenerate_serving_configs_are_typed_errors() {
     assert!(matches!(&err, Err(ServeError::Config(m)) if m.contains("weight 0")), "{err:?}");
 }
 
+/// Every registry workload's default mix serves end to end: functional
+/// two-frame jobs on a 1-device fleet complete with outputs bit-identical
+/// to the entry's CPU reference. The temporal carry entry also serves on
+/// a *2-device* fleet — each job is its own batch, so fleets can shard
+/// carry plans that `Fleet::run_round_robin` must reject at width > 1.
+#[test]
+fn registry_mixes_serve_with_reference_outputs() {
+    use gpu_abstractions::scenarios::{registry_small, Route};
+
+    for w in registry_small() {
+        let built = w.build().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let plan = built.plan(Route::Gaspard).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let tenants = w.mix.tenants;
+        let jobs: Vec<Job> = (0..4)
+            .map(|j| {
+                Job::functional(
+                    j,
+                    j % tenants,
+                    w.mix.mean_gap_us * j as f64,
+                    built.frames(Route::Gaspard, 2),
+                )
+            })
+            .collect();
+        let cfg = cfg(ShardPolicy::RoundRobin, tenants);
+
+        let widths: &[usize] = if w.temporal() { &[1, 2] } else { &[1] };
+        for &devices in widths {
+            let mut fleet = Fleet::gtx480(devices).unwrap();
+            let report = serve::serve(&mut fleet, &plan, &jobs, &cfg).unwrap();
+            assert_eq!(report.completed, jobs.len(), "{} at {devices} devices", w.name);
+            for (j, outputs) in completed_outputs(&report.outcomes) {
+                assert_eq!(outputs.len(), 2, "{} job {j}", w.name);
+                for (f, frame_outs) in outputs.iter().enumerate() {
+                    assert_eq!(
+                        built.canon(frame_outs.clone()),
+                        built.reference(f),
+                        "{} job {j} frame {f} at {devices} devices",
+                        w.name
+                    );
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     /// Any fleet width x any sharding policy x any arrival spacing serves
     /// bit-identical job outputs: sharding and queueing decide *when and
