@@ -16,6 +16,9 @@
 //!   scatter semantics, `e_i = o + F·i mod s_array`, `ref_r = o + P·r mod s_array`,
 //! * [`compose`] — tiler composition: fusing producer→consumer task pairs
 //!   into one task that never materialises the intermediate array,
+//! * [`access`] — plan-level tiled-access descriptions (plain-data tilers and
+//!   elementary ops) that route frontends attach to kernel launches so the
+//!   composition algebra can fuse them after lowering,
 //! * [`task`] — elementary, repetitive and hierarchical tasks with tiled ports,
 //! * [`graph`] — application graphs, single-assignment validation and
 //!   dependence-respecting schedules,
@@ -31,6 +34,7 @@
 //! [`graph::ApplicationGraph::validate`] statically enforces the single
 //! assignment property that makes this safe.
 
+pub mod access;
 pub mod compose;
 pub mod dot;
 pub mod exec;
@@ -40,6 +44,7 @@ pub mod task;
 pub mod tiler;
 pub mod validate;
 
+pub use access::{compose_access, ElementaryOp, TiledAccess, TilerSpec, WindowSpec};
 pub use compose::{compose, ComposeError, FusedTiling, StagePorts};
 pub use graph::{ApplicationGraph, ArrayDecl, ArrayId, TaskId};
 pub use linalg::{IMat, IVec};

@@ -13,7 +13,7 @@ use simgpu::Calibration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|fusion|planopt|serve|scenarios|sweep|emit-artifacts|all] \
+        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|fusion|fusion-parity|planopt|serve|scenarios|sweep|emit-artifacts|all] \
          [--scenario hd1080|cif|tiny] [--json <path>]"
     );
     std::process::exit(2);
@@ -38,7 +38,7 @@ fn main() {
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             cmd if !cmd.starts_with('-') => {
-                const KNOWN: [&str; 19] = [
+                const KNOWN: [&str; 20] = [
                     "all",
                     "fig3",
                     "fig8",
@@ -53,6 +53,7 @@ fn main() {
                     "streams",
                     "memory",
                     "fusion",
+                    "fusion-parity",
                     "planopt",
                     "serve",
                     "scenarios",
@@ -182,6 +183,19 @@ fn main() {
                 }
             }
             Err(e) => eprintln!("fusion ablation failed: {e}"),
+        }
+    }
+    if run("fusion-parity") {
+        match exp::fusion_parity_ablation(s) {
+            Ok(a) => {
+                println!("{}", report::render_fusion_parity(&a));
+                if command == "fusion-parity" {
+                    if let Some(path) = &json_path {
+                        write_json(path, &bench::json::fusion_parity_json(s, &a));
+                    }
+                }
+            }
+            Err(e) => eprintln!("fusion-parity ablation failed: {e}"),
         }
     }
     if run("planopt") {

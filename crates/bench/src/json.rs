@@ -3,8 +3,8 @@
 //! small flat tables, so a tiny value tree with an escaping writer is enough.
 
 use crate::experiments::{
-    DegradationDemo, FusionAblation, MemoryRow, PlanoptAblation, ScenariosAblation, ServeAblation,
-    StreamsRow,
+    DegradationDemo, FusionAblation, FusionParityAblation, MemoryRow, PlanoptAblation,
+    ScenariosAblation, ServeAblation, StreamsRow,
 };
 use downscaler::Scenario;
 
@@ -126,6 +126,52 @@ pub fn fusion_json(s: &Scenario, a: &FusionAblation) -> String {
         ("scenario".into(), scenario_json(s)),
         ("fused_outputs_match".into(), Json::Bool(a.fused_outputs_match)),
         ("rows".into(), Json::Arr(rows)),
+    ])
+    .render()
+}
+
+/// The machine-readable record `reproduce fusion-parity --json <path>`
+/// writes: scenario, the parity verdicts, one row per fusion strategy with
+/// per-plan launch counts and kernel-class calls, and the static downscaler
+/// size sweep.
+pub fn fusion_parity_json(s: &Scenario, a: &FusionParityAblation) -> String {
+    let rows = a
+        .rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("config".into(), Json::Str(r.config.clone())),
+                ("route".into(), Json::Str(r.route.clone())),
+                ("plan_fusion".into(), Json::Bool(r.plan_fusion)),
+                ("launches_per_frame".into(), Json::Int(r.launches_per_frame as i64)),
+                ("kernel_calls".into(), Json::Int(r.kernel_calls as i64)),
+                ("simulated_s".into(), Json::Num(r.total_s)),
+                ("outputs_match".into(), Json::Bool(r.outputs_match)),
+            ])
+        })
+        .collect();
+    let sweep = a
+        .sweep
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("scenario".into(), Json::Str(r.scenario.clone())),
+                ("rows".into(), Json::Int(r.rows_px as i64)),
+                ("cols".into(), Json::Int(r.cols_px as i64)),
+                ("route".into(), Json::Str(r.route.clone())),
+                ("launches_unfused".into(), Json::Int(r.launches_unfused as i64)),
+                ("launches_fused".into(), Json::Int(r.launches_fused as i64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("fusion-parity".into())),
+        ("scenario".into(), scenario_json(s)),
+        ("wlf_recovered".into(), Json::Bool(a.wlf_recovered)),
+        ("stencil_single_kernel".into(), Json::Bool(a.stencil_single_kernel)),
+        ("outputs_match".into(), Json::Bool(a.outputs_match)),
+        ("rows".into(), Json::Arr(rows)),
+        ("sweep".into(), Json::Arr(sweep)),
     ])
     .render()
 }
@@ -477,6 +523,54 @@ mod tests {
             r#""launches_per_frame":3"#,
             r#""peak_bytes":4096"#,
             r#""fused_outputs_match":true"#,
+        ] {
+            assert!(text.contains(needle), "{needle} missing from {text}");
+        }
+    }
+
+    #[test]
+    fn fusion_parity_record_has_all_fields() {
+        use crate::experiments::{FusionParityRow, FusionParitySweepRow};
+        let s = Scenario::tiny();
+        let a = FusionParityAblation {
+            rows: vec![FusionParityRow {
+                config: "SaC WLF off + plan fusion".into(),
+                route: "sac".into(),
+                plan_fusion: true,
+                launches_per_frame: 1,
+                kernel_calls: 300,
+                total_s: 1.684,
+                outputs_match: true,
+            }],
+            sweep: vec![FusionParitySweepRow {
+                scenario: "downscale-8k".into(),
+                rows_px: 4320,
+                cols_px: 7680,
+                route: "gaspard".into(),
+                launches_unfused: 3,
+                launches_fused: 3,
+            }],
+            wlf_recovered: true,
+            stencil_single_kernel: true,
+            outputs_match: true,
+        };
+        let text = fusion_parity_json(&s, &a);
+        for needle in [
+            r#""experiment":"fusion-parity""#,
+            r#""scenario":{"name":"#,
+            r#""wlf_recovered":true"#,
+            r#""stencil_single_kernel":true"#,
+            r#""outputs_match":true"#,
+            r#""config":"SaC WLF off + plan fusion""#,
+            r#""plan_fusion":true"#,
+            r#""launches_per_frame":1"#,
+            r#""kernel_calls":300"#,
+            r#""simulated_s":1.684"#,
+            r#""scenario":"downscale-8k""#,
+            r#""rows":4320"#,
+            r#""cols":7680"#,
+            r#""launches_unfused":3"#,
+            r#""launches_fused":3"#,
         ] {
             assert!(text.contains(needle), "{needle} missing from {text}");
         }

@@ -1,8 +1,8 @@
 //! Text rendering of experiment results (ASCII bars and the paper's tables).
 
 use crate::experiments::{
-    DegradationDemo, Fig12, Fig9Row, FusionAblation, MemoryRow, PlanoptAblation, ProfileTable,
-    ScenariosAblation, ServeAblation, StreamsRow,
+    DegradationDemo, Fig12, Fig9Row, FusionAblation, FusionParityAblation, MemoryRow,
+    PlanoptAblation, ProfileTable, ScenariosAblation, ServeAblation, StreamsRow,
 };
 
 /// Render Figure 9 as labelled ASCII bars.
@@ -149,6 +149,55 @@ pub fn render_fusion(a: &FusionAblation) -> String {
     out.push_str(&format!(
         "fused outputs {} the unfused route\n",
         if a.fused_outputs_match { "bit-identical to" } else { "DIFFER from" },
+    ));
+    out
+}
+
+/// Render the fusion-parity ablation (plan-level pass vs route-local
+/// fusion stages).
+pub fn render_fusion_parity(a: &FusionParityAblation) -> String {
+    let mut out = String::from(
+        "Ablation: plan-level kernel fusion vs route-local fusion (parity)\n\
+         (imagepipe stencil chain; SaC's native fusion is WITH-loop folding,\n\
+         Gaspard2's is fuse_model; the plan-level pass must recover both)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<26} {:>8} {:>11} {:>14} {:>12} {:>9}\n",
+        "config", "route", "plan-fusion", "launches/frame", "kernel calls", "total"
+    ));
+    for r in &a.rows {
+        out.push_str(&format!(
+            "{:<26} {:>8} {:>11} {:>14} {:>12} {:>8.3}s\n",
+            r.config,
+            r.route,
+            if r.plan_fusion { "on" } else { "off" },
+            r.launches_per_frame,
+            r.kernel_calls,
+            r.total_s,
+        ));
+    }
+    out.push_str("\nDownscaler size sweep (static plan metrics, launches/frame):\n");
+    out.push_str(&format!(
+        "{:<18} {:>12} {:>8} {:>9} {:>7}\n",
+        "scenario", "pixels", "route", "unfused", "fused"
+    ));
+    for r in &a.sweep {
+        out.push_str(&format!(
+            "{:<18} {:>5}x{:<6} {:>8} {:>9} {:>7}\n",
+            r.scenario, r.rows_px, r.cols_px, r.route, r.launches_unfused, r.launches_fused,
+        ));
+    }
+    out.push_str(&format!(
+        "\nWLF recovery: plan fusion {} WLF-on launch counts and makespan\n",
+        if a.wlf_recovered { "matches or beats" } else { "MISSES" },
+    ));
+    out.push_str(&format!(
+        "stencil chain: {} kernel/frame via the plan-level pass\n",
+        if a.stencil_single_kernel { "1" } else { ">1" },
+    ));
+    out.push_str(&format!(
+        "outputs {} the CPU reference\n",
+        if a.outputs_match { "bit-identical to" } else { "DIFFER from" },
     ));
     out
 }
@@ -501,6 +550,46 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("bit-identical"), "{text}");
+    }
+
+    #[test]
+    fn fusion_parity_renders_verdicts() {
+        use crate::experiments::{FusionParityAblation, FusionParityRow, FusionParitySweepRow};
+        let row = |config: &str, route: &str, plan_fusion: bool, launches: usize, total_s: f64| {
+            FusionParityRow {
+                config: config.into(),
+                route: route.into(),
+                plan_fusion,
+                launches_per_frame: launches,
+                kernel_calls: (launches * 300) as u64,
+                total_s,
+                outputs_match: true,
+            }
+        };
+        let a = FusionParityAblation {
+            rows: vec![
+                row("SaC WLF on", "sac", false, 1, 1.950),
+                row("SaC WLF off + plan fusion", "sac", true, 1, 1.684),
+            ],
+            sweep: vec![FusionParitySweepRow {
+                scenario: "downscale-8k".into(),
+                rows_px: 4320,
+                cols_px: 7680,
+                route: "sac".into(),
+                launches_unfused: 14,
+                launches_fused: 14,
+            }],
+            wlf_recovered: true,
+            stencil_single_kernel: true,
+            outputs_match: true,
+        };
+        let text = render_fusion_parity(&a);
+        assert!(text.contains("SaC WLF off + plan fusion"), "{text}");
+        assert!(text.contains("downscale-8k"), "{text}");
+        assert!(text.contains("4320x7680"), "{text}");
+        assert!(text.contains("plan fusion matches or beats WLF-on launch counts"), "{text}");
+        assert!(text.contains("stencil chain: 1 kernel/frame via the plan-level pass"), "{text}");
+        assert!(text.contains("outputs bit-identical to the CPU reference"), "{text}");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::sac_src::{program_src, Part, Variant};
 use crate::scenario::Scenario;
 use gaspard::codegen::{generate_opencl, OpenClProgram};
 use gaspard::exec::run_opencl_frames;
+#[allow(deprecated)] // kept as the parity baseline for the plan-level pass
 use gaspard::fusion::{generate_opencl_fused, FusionReport};
 use gaspard::transform::{deploy, schedule, ScheduledModel};
 use gaspard::Platform;
@@ -118,6 +119,7 @@ pub fn build_gaspard_fused(s: &Scenario) -> Result<GaspardRoute, PipelineError> 
     let (model, alloc) = crate::model::downscaler_model(s);
     let deployed = deploy(model, Platform::cpu_gpu(), alloc)?;
     let scheduled = schedule(&deployed)?;
+    #[allow(deprecated)]
     let (opencl, fusion) = generate_opencl_fused(&scheduled)?;
     Ok(GaspardRoute { scheduled, opencl, fusion })
 }

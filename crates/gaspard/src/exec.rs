@@ -82,10 +82,17 @@ pub fn lower_plan_with(prog: &OpenClProgram, placement: Placement) -> LaunchPlan
         .iter()
         .map(|a| ArrayDecl { name: a.name.clone(), shape: a.shape.clone() })
         .collect();
+    // Each generated kernel pairs 1:1 with its scheduled task, whose tilers
+    // describe the access; attaching them lets `simgpu::planopt`'s fusion
+    // pass re-fuse the plan without consulting GASPARD2 internals.
     let kernels: Vec<PlanKernel<'_>> = prog
         .kernels
         .iter()
-        .map(|k| PlanKernel { kernel: &k.kernel, config: k.config, args: vec![k.output, k.input] })
+        .zip(&sm.kernels)
+        .map(|(k, sk)| {
+            PlanKernel::new(&k.kernel, k.config, vec![k.output, k.input])
+                .with_access(crate::codegen::access_of(sk))
+        })
         .collect();
     let mut steps = Vec::with_capacity(sm.inputs.len() + 2 * prog.kernels.len() + sm.outputs.len());
     match placement {

@@ -60,6 +60,11 @@ fn spec_of(t: &Tiler) -> TilerSpec {
 /// Fuse every legal producer→consumer kernel pair in `sm`, pruning arrays the
 /// fused kernels no longer touch. Infallible: anything that cannot fuse stays
 /// unfused and is recorded in the report.
+#[deprecated(
+    since = "0.9.0",
+    note = "use the route-agnostic plan-level pass instead: lower the plan with \
+            tiled accesses attached and enable `simgpu::PlanOptLevel` `fusion`"
+)]
 pub fn fuse_model(sm: &ScheduledModel) -> (ScheduledModel, FusionReport) {
     let mut model = sm.clone();
     let mut report = FusionReport::default();
@@ -222,9 +227,15 @@ fn prune_arrays(model: &mut ScheduledModel) {
 /// Fuse the model, then generate OpenCL kernels for what remains. The
 /// report's events ride along as program notes so batch runs surface them in
 /// the profiler.
+#[deprecated(
+    since = "0.9.0",
+    note = "use `generate_opencl` and enable the plan-level `fusion` pass via \
+            `simgpu::PlanOptLevel` in `ExecOptions::optimize`"
+)]
 pub fn generate_opencl_fused(
     sm: &ScheduledModel,
 ) -> Result<(OpenClProgram, FusionReport), GaspardError> {
+    #[allow(deprecated)]
     let (fused, report) = fuse_model(sm);
     let mut prog = generate_opencl(&fused)?;
     prog.notes = report.profiler_notes();
@@ -232,6 +243,7 @@ pub fn generate_opencl_fused(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy entry points stay pinned until removal
 mod tests {
     use super::*;
     use crate::fixtures::mini_two_stage_model;

@@ -45,6 +45,7 @@ pub use exec::{
     lower_plan, lower_plan_with, run_opencl, run_opencl_frames, run_opencl_frames_placed,
     ExecOptions, Placement,
 };
+#[allow(deprecated)]
 pub use fusion::{fuse_model, generate_opencl_fused, FusionReport};
 pub use model::{
     Allocation, Component, ComponentKind, Connection, ElementaryOp, HwKind, Model, PartRef,

@@ -1,148 +1,7 @@
 //! Model elements: a Rust rendering of the UML/MARTE models GASPARD2 takes
 //! as input (Papyrus being the graphical front end in the paper).
 
-/// A tiler specification attached to a connector (MARTE RSM).
-///
-/// Identical in meaning to [`arrayol::Tiler`]; kept as plain data here
-/// because models are declarative documents.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TilerSpec {
-    /// Origin vector.
-    pub origin: Vec<i64>,
-    /// Fitting matrix rows (array-space rank × pattern rank).
-    pub fitting: Vec<Vec<i64>>,
-    /// Paving matrix rows (array-space rank × repetition rank).
-    pub paving: Vec<Vec<i64>>,
-}
-
-impl TilerSpec {
-    /// Convert to an executable ArrayOL tiler.
-    pub fn to_tiler(&self) -> arrayol::Tiler {
-        let rows = self.fitting.len();
-        let fcols = self.fitting.first().map_or(0, |r| r.len());
-        let pcols = self.paving.first().map_or(0, |r| r.len());
-        let fitting =
-            arrayol::IMat::new(rows, fcols, self.fitting.iter().flatten().copied().collect());
-        let paving = arrayol::IMat::new(
-            self.paving.len(),
-            pcols,
-            self.paving.iter().flatten().copied().collect(),
-        );
-        arrayol::Tiler::new(self.origin.clone(), fitting, paving)
-    }
-}
-
-/// One interpolation window of an elementary filter task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct WindowSpec {
-    /// Offset of the window within the input pattern.
-    pub offset: usize,
-    /// Window length.
-    pub len: usize,
-}
-
-/// The computation an elementary task performs on one pattern — the "IP"
-/// (intellectual property block) the model links against.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ElementaryOp {
-    /// The H.263 downscaler interpolation: output `k` is
-    /// `t/divisor - t%divisor` where `t` sums window `k` of the pattern
-    /// (the paper's Figure 5 arithmetic).
-    InterpolateWindows {
-        /// One window per output element.
-        windows: Vec<WindowSpec>,
-        /// The divisor (6 in the paper).
-        divisor: i64,
-    },
-    /// `out[i] = in[i] * mul + add` (pattern-sized output).
-    AffineMap {
-        /// Multiplier.
-        mul: i64,
-        /// Addend.
-        add: i64,
-    },
-    /// Single-element output: the sum of the pattern.
-    SumReduce,
-    /// Single-element output: the dot product of the pattern with a fixed
-    /// integer weight vector — the elementary form of a 1-D convolution
-    /// stencil (blur `[1,2,1]`, gradient `[-1,0,1]`, delta `[1,-1]`, …).
-    /// `weights.len()` must equal the input pattern length.
-    WeightedSum {
-        /// One weight per pattern element.
-        weights: Vec<i64>,
-    },
-    /// `out = in` (pattern copy).
-    Copy,
-    /// Two fused elementary stages (built by the fusion pass, never written
-    /// in models): the pattern is split into `inner_count` chunks of
-    /// `inner_in_len`, `inner` runs on each chunk, and every row of
-    /// `outer_gathers` selects values from the concatenated inner outputs to
-    /// feed one `outer` application. The fused output concatenates the outer
-    /// results row by row.
-    Composed {
-        /// The producer stage's op.
-        inner: Box<ElementaryOp>,
-        /// How many producer applications one fused instance performs.
-        inner_count: usize,
-        /// Flat producer input pattern length.
-        inner_in_len: usize,
-        /// The consumer stage's op.
-        outer: Box<ElementaryOp>,
-        /// Per grouped consumer instance: flat indices into the inner
-        /// outputs forming its input pattern.
-        outer_gathers: Vec<Vec<usize>>,
-    },
-}
-
-impl ElementaryOp {
-    /// Output pattern length for a given input pattern length.
-    pub fn out_len(&self, in_len: usize) -> usize {
-        match self {
-            ElementaryOp::InterpolateWindows { windows, .. } => windows.len(),
-            ElementaryOp::AffineMap { .. } | ElementaryOp::Copy => in_len,
-            ElementaryOp::SumReduce | ElementaryOp::WeightedSum { .. } => 1,
-            ElementaryOp::Composed { outer, outer_gathers, .. } => {
-                let per_row = outer_gathers.first().map_or(0, |row| outer.out_len(row.len()));
-                outer_gathers.len() * per_row
-            }
-        }
-    }
-
-    /// Reference (host) semantics on one gathered pattern.
-    pub fn apply(&self, pattern: &[i64]) -> Vec<i64> {
-        match self {
-            ElementaryOp::InterpolateWindows { windows, divisor } => windows
-                .iter()
-                .map(|w| {
-                    let t: i64 = pattern[w.offset..w.offset + w.len].iter().sum();
-                    t / divisor - t % divisor
-                })
-                .collect(),
-            ElementaryOp::AffineMap { mul, add } => {
-                pattern.iter().map(|&v| v * mul + add).collect()
-            }
-            ElementaryOp::SumReduce => vec![pattern.iter().sum()],
-            ElementaryOp::WeightedSum { weights } => {
-                debug_assert_eq!(pattern.len(), weights.len());
-                vec![pattern.iter().zip(weights).map(|(&p, &w)| p * w).sum()]
-            }
-            ElementaryOp::Copy => pattern.to_vec(),
-            ElementaryOp::Composed { inner, inner_count, inner_in_len, outer, outer_gathers } => {
-                debug_assert_eq!(pattern.len(), inner_count * inner_in_len);
-                let mut mid = Vec::with_capacity(inner_count * inner.out_len(*inner_in_len));
-                for chunk in pattern.chunks(*inner_in_len) {
-                    mid.extend(inner.apply(chunk));
-                }
-                let mut out = Vec::new();
-                for row in outer_gathers {
-                    let gathered: Vec<i64> = row.iter().map(|&k| mid[k]).collect();
-                    out.extend(outer.apply(&gathered));
-                }
-                out
-            }
-        }
-    }
-}
+pub use arrayol::access::{ElementaryOp, TiledAccess, TilerSpec, WindowSpec};
 
 /// Port direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

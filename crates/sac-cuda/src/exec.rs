@@ -69,10 +69,26 @@ pub fn lower_plan(prog: &CudaProgram, channel_chunks: usize) -> Result<LaunchPla
         .iter()
         .map(|a| ArrayDecl { name: a.name.clone(), shape: a.shape.clone() })
         .collect();
+    // Where a kernel is a recognisable single-source affine gather, attach
+    // its tiled-access description so `simgpu::planopt`'s fusion pass can
+    // compose launches even on this route, where WITH-loop folding has
+    // already erased the model-level structure.
     let kernels: Vec<PlanKernel<'_>> = prog
         .kernels
         .iter()
-        .map(|ck| PlanKernel { kernel: &ck.kernel, config: ck.config, args: ck.buffers.clone() })
+        .map(|ck| {
+            let pk = PlanKernel::new(&ck.kernel, ck.config, ck.buffers.clone());
+            if ck.gen_index != usize::MAX {
+                if let Some((src, access)) =
+                    crate::access::recognize(flat, ck.step_index, ck.gen_index)
+                {
+                    if ck.buffers.len() == 2 && ck.buffers[0] == ck.target && ck.buffers[1] == src {
+                        return pk.with_access(access);
+                    }
+                }
+            }
+            pk
+        })
         .collect();
     let mut host_ops: Vec<HostOp<'_>> = Vec::new();
     let mut steps = Vec::with_capacity(prog.plan.len());

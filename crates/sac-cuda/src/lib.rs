@@ -24,6 +24,7 @@
 //! The emitted artefact is executable kernel IR for the [`simgpu`] simulator
 //! plus human-readable CUDA C ([`CudaProgram::emit_cuda_source`]).
 
+pub mod access;
 pub mod codegen;
 pub mod emit;
 pub mod exec;

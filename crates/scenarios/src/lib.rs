@@ -180,6 +180,24 @@ pub fn registry() -> Vec<Workload> {
     all
 }
 
+/// [`registry`] plus the extreme-size entries used only by static
+/// (plan-metric) sweeps — kept out of [`registry`] so existing ablations
+/// and their golden files are unaffected.
+pub fn registry_extended() -> Vec<Workload> {
+    let mut all = registry();
+    all.push(Workload {
+        name: "downscale-8k",
+        summary: "the paper's H.263 downscaler at 8K (static plan metrics only)",
+        kind: Kind::Downscale,
+        rows: 4320,
+        cols: 7680,
+        frames: 1,
+        seed: 0x5CE6,
+        mix: JobMix { jobs: 4, mean_gap_us: 80_000.0, tenants: 1, frames_per_job: 1 },
+    });
+    all
+}
+
 /// The registry restricted to cheap entries (everything but the large
 /// downscaler sizes) — what tests and CI smoke runs enumerate.
 pub fn registry_small() -> Vec<Workload> {
@@ -241,11 +259,25 @@ impl Workload {
     /// `PipelineError::Config`, and this crate enforces its own pipelines'
     /// constraints the same way.
     pub fn build(&self) -> Result<BuiltWorkload, ScenarioError> {
+        self.build_with_sac_config(&OptConfig::default())
+    }
+
+    /// [`Workload::build`] with an explicit SaC optimiser configuration.
+    ///
+    /// This is the WLF ablation knob at registry level: building with
+    /// `with_loop_folding: false` leaves the SaC route's per-stage kernels
+    /// unfused, which the plan-level fusion pass
+    /// (`simgpu::PlanOptLevel::FUSION`) must then recover. The GASPARD2
+    /// route is unaffected.
+    pub fn build_with_sac_config(
+        &self,
+        sac_cfg: &OptConfig,
+    ) -> Result<BuiltWorkload, ScenarioError> {
         let cfg = |msg: String| ScenarioError::Build(PipelineError::Config(msg));
         let (cuda, opencl, scenario) = match self.kind {
             Kind::Downscale => {
                 let s = Scenario::new(self.name, 3, self.rows, self.cols, self.frames)?;
-                let sac = build_sac(&s, Variant::NonGeneric, Part::Full, &OptConfig::default())?;
+                let sac = build_sac(&s, Variant::NonGeneric, Part::Full, sac_cfg)?;
                 let gasp = build_gaspard_fused(&s)?;
                 (sac.cuda, gasp.opencl, Some(s))
             }
@@ -259,6 +291,7 @@ impl Workload {
                 let cuda = build_sac_prog(
                     &sources::imagepipe_src(self.rows, self.cols),
                     vec![self.rows, self.cols],
+                    sac_cfg,
                 )?;
                 let opencl = build_opencl(models::imagepipe_model(self.rows, self.cols))?;
                 (cuda, opencl, None)
@@ -270,6 +303,7 @@ impl Workload {
                 let cuda = build_sac_prog(
                     &sources::delta_src(self.rows, self.cols),
                     vec![2, self.rows, self.cols],
+                    sac_cfg,
                 )?;
                 let opencl = build_opencl(models::delta_model(self.rows, self.cols))?;
                 (cuda, opencl, None)
@@ -284,6 +318,7 @@ impl Workload {
                 let cuda = build_sac_prog(
                     &sources::blockmean_src(self.rows, self.cols),
                     vec![self.rows, self.cols],
+                    sac_cfg,
                 )?;
                 let opencl = build_opencl(models::blockmean_model(self.rows, self.cols))?;
                 (cuda, opencl, None)
@@ -294,11 +329,14 @@ impl Workload {
 }
 
 /// Parse, optimise and compile one of this crate's SaC sources.
-fn build_sac_prog(src: &str, in_shape: Vec<usize>) -> Result<CudaProgram, ScenarioError> {
+fn build_sac_prog(
+    src: &str,
+    in_shape: Vec<usize>,
+    cfg: &OptConfig,
+) -> Result<CudaProgram, ScenarioError> {
     let prog = sac_lang::parse_program(src).map_err(PipelineError::from)?;
     let args = [ArgDesc::Array { name: "frame".into(), shape: in_shape }];
-    let (flat, _) =
-        sac_optimize(&prog, "main", &args, &OptConfig::default()).map_err(PipelineError::from)?;
+    let (flat, _) = sac_optimize(&prog, "main", &args, cfg).map_err(PipelineError::from)?;
     Ok(compile_flat_program(&flat).map_err(PipelineError::from)?)
 }
 

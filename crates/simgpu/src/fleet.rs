@@ -220,7 +220,7 @@ mod tests {
             arrays: vec![ArrayDecl { name: "a".into(), shape: vec![n] }],
             inputs: vec![0],
             outputs: vec![0],
-            kernels: vec![PlanKernel { kernel, config, args: vec![0] }],
+            kernels: vec![PlanKernel::new(kernel, config, vec![0])],
             host_ops: Vec::new(),
             steps: vec![
                 PlanStep::Upload { array: 0, chunks: 1 },

@@ -36,6 +36,7 @@ pub mod planopt;
 pub mod profiler;
 pub mod runtime;
 pub mod schedule;
+pub mod tiled;
 
 pub use cost::{Calibration, Engine};
 pub use device::{BufferId, Device, DeviceConfig, EventId, MemPool, StreamId};
@@ -48,6 +49,10 @@ pub use runtime::GpuRuntime;
 pub use schedule::{
     chunks_for, ArrayDecl, BatchOutput, BatchScheduler, ExecOptions, HostOp, LaunchPlan,
     PlanKernel, PlanStep, RunStats, ScheduleError,
+};
+pub use tiled::{
+    generate_tiled_kernel, generate_tiled_kernel_lean, TiledKernel, MAX_PATTERN_UNROLL,
+    WORK_GROUP_SIZE,
 };
 
 /// Errors raised by the simulator.

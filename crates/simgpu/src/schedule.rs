@@ -105,12 +105,31 @@ pub enum PlanStep {
 /// and the array ids bound to its buffer parameters, in parameter order.
 #[derive(Debug, Clone)]
 pub struct PlanKernel<'a> {
-    /// The executable kernel IR (borrowed from the route's compiled program).
-    pub kernel: &'a Kernel,
+    /// The executable kernel IR — borrowed from the route's compiled program,
+    /// or owned when a planopt pass (kernel fusion) synthesised it.
+    pub kernel: std::borrow::Cow<'a, Kernel>,
     /// Grid/block configuration.
     pub config: LaunchConfig,
     /// Array ids bound to the kernel's buffer parameters, in order.
     pub args: Vec<usize>,
+    /// How the launch touches its arrays in the o/F/P vocabulary, when the
+    /// route frontend could describe it (single input, single output,
+    /// tiler-addressed). The planopt `fusion` pass composes adjacent
+    /// descriptions; launches without one are simply never fused.
+    pub access: Option<arrayol::access::TiledAccess>,
+}
+
+impl<'a> PlanKernel<'a> {
+    /// A plan kernel borrowing route-compiled IR, with no access description.
+    pub fn new(kernel: &'a Kernel, config: LaunchConfig, args: Vec<usize>) -> Self {
+        PlanKernel { kernel: std::borrow::Cow::Borrowed(kernel), config, args, access: None }
+    }
+
+    /// Attach a tiled-access description (builder style).
+    pub fn with_access(mut self, access: arrayol::access::TiledAccess) -> Self {
+        self.access = Some(access);
+        self
+    }
 }
 
 impl PlanKernel<'_> {
@@ -1033,7 +1052,7 @@ impl<'a> BatchScheduler<'a> {
                             })
                         })
                         .collect::<Result<_, _>>()?;
-                    device.launch_on(pk.kernel, pk.config, &args, stream)?;
+                    device.launch_on(&pk.kernel, pk.config, &args, stream)?;
                     stats.launches += 1;
                 }
                 PlanStep::Download { array, chunks } => {
@@ -1207,7 +1226,7 @@ mod tests {
             arrays: vec![ArrayDecl { name: "a".into(), shape: vec![n] }],
             inputs: vec![0],
             outputs: vec![0],
-            kernels: vec![PlanKernel { kernel, config, args: vec![0] }],
+            kernels: vec![PlanKernel::new(kernel, config, vec![0])],
             host_ops: Vec::new(),
             steps: vec![
                 PlanStep::Upload { array: 0, chunks: 1 },
@@ -1432,8 +1451,8 @@ mod tests {
             inputs: vec![0],
             outputs: vec![1],
             kernels: vec![
-                PlanKernel { kernel: &kernel, config, args: vec![0] },
-                PlanKernel { kernel: &kernel, config, args: vec![1] },
+                PlanKernel::new(&kernel, config, vec![0]),
+                PlanKernel::new(&kernel, config, vec![1]),
             ],
             host_ops: vec![host_op],
             steps: vec![
@@ -1500,7 +1519,7 @@ mod tests {
             arrays: vec![ArrayDecl { name: "a".into(), shape: vec![n] }],
             inputs: vec![0],
             outputs: vec![0],
-            kernels: vec![PlanKernel { kernel: &kernel, config, args: vec![0] }],
+            kernels: vec![PlanKernel::new(&kernel, config, vec![0])],
             host_ops: vec![host_op],
             steps: vec![
                 PlanStep::Upload { array: 0, chunks: 1 },
@@ -1575,7 +1594,7 @@ mod tests {
             ],
             inputs: vec![0, 1],
             outputs: vec![1],
-            kernels: vec![PlanKernel { kernel, config, args: vec![0, 1] }],
+            kernels: vec![PlanKernel::new(kernel, config, vec![0, 1])],
             host_ops: Vec::new(),
             steps: vec![
                 PlanStep::Upload { array: 1, chunks: 1 },
@@ -1653,8 +1672,8 @@ mod tests {
             inputs: vec![0, 1],
             outputs: vec![0, 1],
             kernels: vec![
-                PlanKernel { kernel: &kernel, config, args: vec![0] },
-                PlanKernel { kernel: &kernel, config, args: vec![1] },
+                PlanKernel::new(&kernel, config, vec![0]),
+                PlanKernel::new(&kernel, config, vec![1]),
             ],
             host_ops: Vec::new(),
             steps: vec![
@@ -1745,7 +1764,7 @@ mod tests {
             ],
             inputs: vec![0, 1],
             outputs: vec![1],
-            kernels: vec![PlanKernel { kernel, config, args: vec![0, 1] }],
+            kernels: vec![PlanKernel::new(kernel, config, vec![0, 1])],
             host_ops: Vec::new(),
             steps: vec![
                 PlanStep::Upload { array: 0, chunks: 1 },

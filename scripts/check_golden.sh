@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Golden-numbers smoke check: rerun the six headline ablations on the
+# Golden-numbers smoke check: rerun the seven headline ablations on the
 # hd1080 scenario and diff the machine-readable records byte-for-byte
 # against the checked-in expected values.
 #
@@ -28,8 +28,8 @@ out_dir=$(mktemp -d)
 trap 'rm -rf "$out_dir"' EXIT
 
 status=0
-for exp in streams memory fusion planopt serve scenarios; do
-  record="${exp}_hd1080.json"
+for exp in streams memory fusion fusion-parity planopt serve scenarios; do
+  record="${exp//-/_}_hd1080.json"
   ./target/release/reproduce "$exp" --scenario hd1080 --json "$out_dir/$record" \
     > /dev/null
   if [[ $bless -eq 1 ]]; then

@@ -142,6 +142,7 @@ fn fused_gaspard_route_agrees_with_unfused_and_reference() {
 }
 
 #[test]
+#[allow(deprecated)] // route-local fusion stays pinned as the parity baseline
 fn fusion_refuses_multi_consumer_diamond() {
     use gaspard::transform::ScheduledArray;
     use gaspard::{
@@ -251,4 +252,105 @@ fn gaspard_and_sac_kernel_structure_differs_as_published() {
     let h2d1 = d1.profiler.class_total_us(simgpu::profiler::OpClass::H2D);
     let h2d2 = d2.profiler.class_total_us(simgpu::profiler::OpClass::H2D);
     assert!((h2d1 - h2d2).abs() < 1e-6, "equal frame traffic: {h2d1} vs {h2d2}");
+}
+
+/// The tentpole property of the plan-level fusion pass: a SaC route built
+/// with WITH-loop folding *disabled* plus plan fusion must recover (or
+/// beat) the WLF-on launch count and agree bit-exactly; the GASPARD2
+/// stencil chain must drop from three kernels per frame to one.
+#[test]
+fn plan_level_fusion_recovers_wlf_and_collapses_the_stencil_chain() {
+    use sac_lang::opt::OptConfig;
+    use scenarios::{registry_small, Kind, Route};
+    use simgpu::PlanOptLevel;
+
+    let w = registry_small().into_iter().find(|w| w.kind == Kind::ImagePipe).unwrap();
+    let wlf_on = w.build().unwrap();
+    let wlf_off = w
+        .build_with_sac_config(&OptConfig { with_loop_folding: false, resolve_modulo: true })
+        .unwrap();
+
+    let launches = |plan: &simgpu::schedule::LaunchPlan<'_>| {
+        plan.steps.iter().filter(|s| matches!(s, simgpu::schedule::PlanStep::Launch { .. })).count()
+    };
+
+    // Unfused baseline really is one kernel per stage.
+    let sac_unfused = wlf_off.plan(Route::Sac).unwrap();
+    assert_eq!(launches(&sac_unfused), 3, "WLF-off imagepipe should have 3 stage kernels");
+    let mut sac_fused = wlf_off.plan(Route::Sac).unwrap();
+    let report = simgpu::planopt::optimize(&mut sac_fused, PlanOptLevel::FUSION).unwrap();
+    assert!(
+        launches(&sac_fused) <= launches(&wlf_on.plan(Route::Sac).unwrap()),
+        "plan fusion must recover the WLF-on launch count: {:?}",
+        report.notes
+    );
+    assert_eq!(launches(&sac_fused), 1, "{:?}", report.notes);
+
+    // GASPARD2: 3 stencil kernels/frame collapse to 1.
+    let mut gasp_fused = wlf_off.plan(Route::Gaspard).unwrap();
+    let report = simgpu::planopt::optimize(&mut gasp_fused, PlanOptLevel::FUSION).unwrap();
+    assert_eq!(launches(&gasp_fused), 1, "{:?}", report.notes);
+
+    // Bit-identical outputs and timing parity across all four configs.
+    let run = |built: &scenarios::BuiltWorkload, route, optimize| {
+        let opts = simgpu::schedule::ExecOptions { optimize, ..Default::default() };
+        let mut device = Device::gtx480();
+        let (outs, stats) = built.run(route, &mut device, &opts).unwrap();
+        (outs, stats, device.now_us())
+    };
+    let (on_outs, on_stats, on_us) = run(&wlf_on, Route::Sac, simgpu::PlanOptLevel::OFF);
+    let (off_outs, off_stats, off_us) = run(&wlf_off, Route::Sac, simgpu::PlanOptLevel::OFF);
+    let (fus_outs, fus_stats, fus_us) = run(&wlf_off, Route::Sac, simgpu::PlanOptLevel::FUSION);
+    for (f, out) in fus_outs.iter().enumerate() {
+        assert_eq!(out, &wlf_off.reference(f), "frame {f} vs CPU reference");
+    }
+    assert_eq!(fus_outs, on_outs);
+    assert_eq!(fus_outs, off_outs);
+    assert!(off_stats.launches > on_stats.launches, "WLF-off must launch more kernels");
+    assert!(fus_stats.launches <= on_stats.launches, "fusion must recover WLF launch counts");
+    assert!(off_us > on_us, "unfused must be slower");
+    assert!(fus_us <= on_us, "fused-at-plan-level must match or beat WLF-on: {fus_us} vs {on_us}");
+
+    let (g_outs, g_stats, _) = run(&wlf_off, Route::Gaspard, simgpu::PlanOptLevel::OFF);
+    let (gf_outs, gf_stats, _) = run(&wlf_off, Route::Gaspard, simgpu::PlanOptLevel::FUSION);
+    assert_eq!(gf_outs, g_outs);
+    assert_eq!(gf_outs, fus_outs, "both routes agree after plan fusion");
+    assert!(gf_stats.launches < g_stats.launches);
+}
+
+/// Parity between the deprecated route-local `fuse_model` and the
+/// plan-level pass on the downscaler: identical outputs, equal-or-better
+/// launch counts.
+#[test]
+#[allow(deprecated)] // exercises the legacy entry point as the baseline
+fn plan_fusion_matches_route_local_fusion_on_the_downscaler() {
+    use simgpu::PlanOptLevel;
+
+    let s = Scenario::tiny();
+    let unfused = build_gaspard(&s).unwrap();
+    let fused = build_gaspard_fused(&s).unwrap();
+    let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 4242);
+    let frames: Vec<Vec<NdArray<i64>>> = (0..2).map(|f| gen.frame_channels(f)).collect();
+    let opts = gaspard::ExecOptions::default();
+
+    // Legacy: fuse_model at the scheduled-model level (6 -> 3 kernels).
+    let mut d_legacy = Device::gtx480();
+    let legacy = gaspard::run_opencl_frames(&fused.opencl, &mut d_legacy, &frames, opts).unwrap();
+
+    // New: unfused model, fusion at plan level.
+    let mut d_plan = Device::gtx480();
+    let plan_opts = gaspard::ExecOptions { optimize: PlanOptLevel::FUSION, ..opts };
+    let plan =
+        gaspard::run_opencl_frames(&unfused.opencl, &mut d_plan, &frames, plan_opts).unwrap();
+
+    assert_eq!(plan, legacy, "plan-level fusion must match route-local fusion bit-for-bit");
+    let launches = |d: &Device| {
+        d.profiler.records().filter(|r| r.class == OpClass::Kernel).map(|r| r.calls).sum::<u64>()
+    };
+    assert!(
+        launches(&d_plan) <= launches(&d_legacy),
+        "plan fusion must launch no more kernels than fuse_model: {} vs {}",
+        launches(&d_plan),
+        launches(&d_legacy)
+    );
 }

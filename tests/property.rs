@@ -1,5 +1,9 @@
 //! Property-based tests over the core invariants.
 
+// The deprecated route-local fusion entry points stay exercised here as the
+// parity baseline for the plan-level pass.
+#![allow(deprecated)]
+
 use arrayol::{IMat, Tiler};
 use gaspard::{
     deploy, generate_opencl, generate_opencl_fused, run_opencl_frames, schedule, to_arrayol,

@@ -105,11 +105,7 @@ fn chunk_fallback_reports_actual_transfer_counts() {
         arrays: vec![ArrayDecl { name: "x".into(), shape: vec![n] }],
         inputs: vec![0],
         outputs: vec![0],
-        kernels: vec![PlanKernel {
-            kernel: &kernel,
-            config: LaunchConfig::cover_1d(n, n as u32),
-            args: vec![0],
-        }],
+        kernels: vec![PlanKernel::new(&kernel, LaunchConfig::cover_1d(n, n as u32), vec![0])],
         host_ops: Vec::new(),
         steps: vec![
             PlanStep::Upload { array: 0, chunks: 3 },
@@ -189,11 +185,11 @@ fn prop_plan<'a>(
         steps.push_back(PlanStep::Upload { array: base, chunks });
         for i in 0..len {
             let k = plan_kernels.len();
-            plan_kernels.push(PlanKernel {
-                kernel: &kernels[kid],
-                config: LaunchConfig::cover_1d(PROP_N, PROP_N as u32),
-                args: vec![base + i, base + i + 1],
-            });
+            plan_kernels.push(PlanKernel::new(
+                &kernels[kid],
+                LaunchConfig::cover_1d(PROP_N, PROP_N as u32),
+                vec![base + i, base + i + 1],
+            ));
             kid += 1;
             steps.push_back(PlanStep::Alloc { array: base + i + 1 });
             steps.push_back(PlanStep::Launch { kernel: k });
@@ -269,6 +265,7 @@ proptest! {
 
         for mask in 1u32..16 {
             let level = simgpu::PlanOptLevel {
+                fusion: false,
                 residency: mask & 1 != 0,
                 dead_transfers: mask & 2 != 0,
                 reorder: mask & 4 != 0,
