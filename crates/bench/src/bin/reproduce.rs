@@ -13,7 +13,7 @@ use simgpu::Calibration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|fusion|fusion-parity|planopt|serve|scenarios|sweep|emit-artifacts|all] \
+        "usage: reproduce [fig3|fig8|fig9|fig11|fig12|table1|table2|cuda-src|summary|ablations|streams|memory|fusion|fusion-parity|planopt|serve|scenarios|tune|sweep|emit-artifacts|all] \
          [--scenario hd1080|cif|tiny] [--json <path>]"
     );
     std::process::exit(2);
@@ -38,7 +38,7 @@ fn main() {
             "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             cmd if !cmd.starts_with('-') => {
-                const KNOWN: [&str; 20] = [
+                const KNOWN: [&str; 21] = [
                     "all",
                     "fig3",
                     "fig8",
@@ -57,6 +57,7 @@ fn main() {
                     "planopt",
                     "serve",
                     "scenarios",
+                    "tune",
                     "sweep",
                     "emit-artifacts",
                 ];
@@ -235,6 +236,19 @@ fn main() {
                 }
             }
             Err(e) => eprintln!("scenarios ablation failed: {e}"),
+        }
+    }
+    if run("tune") {
+        match bench::tune::tune_ablation(s) {
+            Ok(a) => {
+                println!("{}", report::render_tune(&a));
+                if command == "tune" {
+                    if let Some(path) = &json_path {
+                        write_json(path, &bench::json::tune_json(s, &a));
+                    }
+                }
+            }
+            Err(e) => eprintln!("tune ablation failed: {e}"),
         }
     }
     if run("sweep") {

@@ -3,8 +3,8 @@
 use crate::calibration::{HOST_NS_PER_OP, SEQ_CPU_NS_PER_OP};
 use downscaler::frames::FrameGenerator;
 use downscaler::pipelines::{
-    build_gaspard, build_gaspard_fused, build_sac, reference_downscale, run_gaspard_batch,
-    run_gaspard_batch_placed, run_sac_batch, ExecOptions, PipelineError, SacRoute,
+    build_gaspard, build_sac, reference_downscale, run_gaspard_batch, run_gaspard_batch_placed,
+    run_sac_batch, ExecOptions, PipelineError, SacRoute,
 };
 use downscaler::sac_src::{Part, Variant};
 use downscaler::Scenario;
@@ -548,9 +548,10 @@ pub struct FusionAblation {
 /// worth, measured on the same scenario with the same batch driver.
 ///
 /// SaC's fusion knob is WITH-loop folding (paper §VI); GASPARD2's is the
-/// tiler-composition pass of [`gaspard::fusion`] (this reproduction's
-/// extension — the paper's GASPARD2 has no inter-task fusion, which is
-/// exactly why it pays 6 launches per frame to SaC's folded 12-step chain).
+/// plan-level tiler-composition pass (`simgpu::planopt`, faithful codegen —
+/// this reproduction's extension: the paper's GASPARD2 has no inter-task
+/// fusion, which is exactly why it pays 6 launches per frame to SaC's
+/// folded 12-step chain).
 /// Each configuration also runs under the composed option set from the
 /// earlier ablations (2 streams + pooled allocator) to show fusion stacks
 /// with pipelining and pooling rather than replacing them.
@@ -563,7 +564,6 @@ pub fn fusion_ablation(s: &Scenario) -> Result<FusionAblation, PipelineError> {
         &sac_lang::opt::OptConfig { with_loop_folding: false, resolve_modulo: true },
     )?;
     let unfused = build_gaspard(s)?;
-    let fused = build_gaspard_fused(s)?;
 
     let row = |config: &str, fused: bool, streams: usize, pool: bool, dev: &Device| FusionRow {
         config: config.into(),
@@ -595,8 +595,17 @@ pub fn fusion_ablation(s: &Scenario) -> Result<FusionAblation, PipelineError> {
         let mut unf_dev = Device::gtx480();
         let unf_out = run_gaspard_batch(s, &unfused, &mut unf_dev, 0xD05C, opts)?;
         rows.push(row("Gaspard2 unfused", false, streams, pool, &unf_dev));
+        // The fused route: the same unfused program with the plan-level
+        // fusion pass in faithful-codegen mode — bit-identical schedules to
+        // the removed model-level `fuse_model` route.
         let mut fus_dev = Device::gtx480();
-        let fus_out = run_gaspard_batch(s, &fused, &mut fus_dev, 0xD05C, opts)?;
+        let fus_out = run_gaspard_batch(
+            s,
+            &unfused,
+            &mut fus_dev,
+            0xD05C,
+            ExecOptions { optimize: simgpu::PlanOptLevel::FUSION_FAITHFUL, ..opts },
+        )?;
         rows.push(row("Gaspard2 fused", true, streams, pool, &fus_dev));
         fused_outputs_match &= unf_out == fus_out;
     }
@@ -724,15 +733,18 @@ pub fn fusion_parity_ablation(s: &Scenario) -> Result<FusionParityAblation, Pipe
         })
     };
 
-    // The deprecated route-local baseline: GASPARD2's `fuse_model` on the
-    // same three-stage model, run through the same batch driver.
+    // The faithful-codegen baseline, keeping the label of the removed
+    // model-level `fuse_model` route it schedules bit-identically to:
+    // GASPARD2's three-stage model, fused plan-level with the faithful
+    // tiled codegen, run through the same batch driver.
     let fuse_model_row = || -> Result<FusionParityRow, PipelineError> {
         let (model, alloc) = scenarios::models::imagepipe_model(s.rows, s.cols);
         let deployed = gaspard::deploy(model, gaspard::Platform::cpu_gpu(), alloc)?;
         let scheduled = gaspard::schedule(&deployed)?;
-        #[allow(deprecated)]
-        let (prog, _) = gaspard::generate_opencl_fused(&scheduled)?;
-        let plan = gaspard::exec::lower_plan(&prog);
+        let prog = gaspard::generate_opencl(&scheduled)?;
+        let mut plan = gaspard::exec::lower_plan(&prog);
+        simgpu::planopt::optimize(&mut plan, simgpu::PlanOptLevel::FUSION_FAITHFUL)
+            .map_err(sched_err)?;
         let mut dev = Device::gtx480();
         let frames = wlf_on.frames(Route::Gaspard, 1);
         let (outs, _) = simgpu::BatchScheduler::new(&plan)
@@ -849,14 +861,13 @@ const PLANOPT_LEVELS: [(&str, simgpu::PlanOptLevel); 6] = [
 /// placement a straight per-tiler translation emits — so the residency and
 /// dead-transfer passes have real redundancy to eliminate (they recover the
 /// device-resident placement mechanically). The *fused* rows start from the
-/// PR-3 fused route, whose placement is already transfer-minimal; there the
+/// faithfully fused plan, whose placement is already transfer-minimal; there the
 /// headline saving is transfer coalescing, which batches the three
 /// per-channel uploads (and downloads) into one transfer each and pays one
 /// PCIe latency instead of three — on the transfer-bound HD run that is
 /// what finally moves the 2-stream plateau.
 pub fn planopt_ablation(s: &Scenario) -> Result<PlanoptAblation, PipelineError> {
     let unfused = build_gaspard(s)?;
-    let fused = build_gaspard_fused(s)?;
     let frames = s.frames as f64;
 
     let mut rows = Vec::new();
@@ -908,11 +919,25 @@ pub fn planopt_ablation(s: &Scenario) -> Result<PlanoptAblation, PipelineError> 
         &PLANOPT_LEVELS,
         &mut rows,
     )?;
+    // The fused baseline: faithful plan-level fusion stands in for the
+    // removed pre-fused route (bit-identical schedules), so "off" means
+    // "fused, no further passes" and "all" layers the remaining passes on
+    // the same fused plan.
     run(
         "Gaspard2 fused",
-        &fused,
+        &unfused,
         gaspard::Placement::Resident,
-        &[PLANOPT_LEVELS[0], PLANOPT_LEVELS[5]],
+        &[
+            ("off", simgpu::PlanOptLevel::FUSION_FAITHFUL),
+            (
+                "all",
+                simgpu::PlanOptLevel {
+                    fusion: true,
+                    fusion_faithful: true,
+                    ..simgpu::PlanOptLevel::ALL
+                },
+            ),
+        ],
         &mut rows,
     )?;
     Ok(PlanoptAblation { rows, outputs_match })
@@ -1053,8 +1078,8 @@ fn serve_err(e: serve::ServeError) -> PipelineError {
 pub fn serve_ablation(s: &Scenario) -> Result<ServeAblation, PipelineError> {
     use std::collections::BTreeMap;
 
-    let route = build_gaspard_fused(s)?;
-    let plan = gaspard::exec::lower_plan(&route.opencl);
+    let route = build_gaspard(s)?;
+    let plan = downscaler::pipelines::fused_gaspard_plan(&route)?;
     let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 0xD05C);
 
     // Scenario-scaled trace shape: HD's 300 frames become 60 five-frame

@@ -381,6 +381,41 @@ pub fn scenarios_json(s: &Scenario, a: &ScenariosAblation) -> String {
     .render()
 }
 
+/// The `tune` record: the autotuner's best configuration per registry
+/// entry, the cost model it optimised under, and the warp-tile re-pricing.
+pub fn tune_json(s: &Scenario, a: &crate::tune::TuneAblation) -> String {
+    let rows = a
+        .rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("scenario".into(), Json::Str(r.scenario.clone())),
+                ("search".into(), Json::Str(r.search.clone())),
+                ("evals".into(), Json::Int(r.evals as i64)),
+                ("route".into(), Json::Str(r.config.route.clone())),
+                ("streams".into(), Json::Int(r.config.streams as i64)),
+                ("pool".into(), Json::Bool(r.config.pool)),
+                ("optimize".into(), Json::Str(r.config.optimize.clone())),
+                ("placement".into(), Json::Str(r.config.placement.clone())),
+                ("channel_chunks".into(), Json::Int(r.config.channel_chunks as i64)),
+                ("tuned_s".into(), Json::Num(r.best_s)),
+                ("default_s".into(), Json::Num(r.default_s)),
+                ("speedup".into(), Json::Num(r.speedup)),
+                ("warp_tile_s".into(), Json::Num(r.warp_tile_s)),
+                ("launches".into(), Json::Int(r.launches as i64)),
+                ("outputs_ok".into(), Json::Bool(r.outputs_ok)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("tune".into())),
+        ("scenario".into(), scenario_json(s)),
+        ("cost_model".into(), Json::Str(a.model.clone())),
+        ("rows".into(), Json::Arr(rows)),
+    ])
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -617,6 +652,57 @@ mod tests {
             r#""launches":3"#,
             r#""frames_per_job":4"#,
             r#""frames_per_s":812.5"#,
+            r#""outputs_ok":true"#,
+        ] {
+            assert!(text.contains(needle), "{needle} missing from {text}");
+        }
+    }
+
+    #[test]
+    fn tune_record_has_all_fields() {
+        use crate::tune::{TuneAblation, TuneConfig, TuneRow};
+        let s = Scenario::tiny();
+        let a = TuneAblation {
+            model: "paper-gtx480".into(),
+            rows: vec![TuneRow {
+                scenario: "downscale-hd1080".into(),
+                search: "beam".into(),
+                evals: 42,
+                config: TuneConfig {
+                    route: "gaspard".into(),
+                    streams: 2,
+                    pool: true,
+                    optimize: "fusion+transfers".into(),
+                    placement: "resident".into(),
+                    channel_chunks: 0,
+                },
+                best_s: 1.398,
+                default_s: 1.408,
+                speedup: 1.007,
+                warp_tile_s: 1.52,
+                launches: 3,
+                outputs_ok: true,
+            }],
+        };
+        let text = tune_json(&s, &a);
+        for needle in [
+            r#""experiment":"tune""#,
+            r#""scenario":{"name":"#,
+            r#""cost_model":"paper-gtx480""#,
+            r#""scenario":"downscale-hd1080""#,
+            r#""search":"beam""#,
+            r#""evals":42"#,
+            r#""route":"gaspard""#,
+            r#""streams":2"#,
+            r#""pool":true"#,
+            r#""optimize":"fusion+transfers""#,
+            r#""placement":"resident""#,
+            r#""channel_chunks":0"#,
+            r#""tuned_s":1.398"#,
+            r#""default_s":1.408"#,
+            r#""speedup":1.007"#,
+            r#""warp_tile_s":1.52"#,
+            r#""launches":3"#,
             r#""outputs_ok":true"#,
         ] {
             assert!(text.contains(needle), "{needle} missing from {text}");

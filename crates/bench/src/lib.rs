@@ -19,5 +19,6 @@ pub mod calibration;
 pub mod experiments;
 pub mod json;
 pub mod report;
+pub mod tune;
 
 pub use experiments::*;

@@ -159,7 +159,8 @@ pub fn render_fusion_parity(a: &FusionParityAblation) -> String {
     let mut out = String::from(
         "Ablation: plan-level kernel fusion vs route-local fusion (parity)\n\
          (imagepipe stencil chain; SaC's native fusion is WITH-loop folding,\n\
-         Gaspard2's is fuse_model; the plan-level pass must recover both)\n\n",
+         Gaspard2's faithful baseline is the fuse_model-equivalent\n\
+         faithful-codegen fusion; the plan-level pass must recover both)\n\n",
     );
     out.push_str(&format!(
         "{:<26} {:>8} {:>11} {:>14} {:>12} {:>9}\n",
@@ -443,6 +444,58 @@ pub fn render_scenarios(a: &ScenariosAblation) -> String {
         if a.cross_route_match { "bit-identical" } else { "DIFFER" },
         if a.temporal_serialized { "collapses" } else { "FAILS to collapse" },
     ));
+    out
+}
+
+/// Render the autotuner's best-config table.
+pub fn render_tune(a: &crate::tune::TuneAblation) -> String {
+    let mut out = format!(
+        "Ablation: simulator-as-oracle autotuner (bench::tune)\n\
+         (per registry entry: route x streams x pool x planopt preset x\n\
+         chunking/placement, scored by simulated full-batch makespan under\n\
+         the `{}` model; winners bit-checked against the CPU reference and\n\
+         re-priced under the opt-in `warp-tile` model)\n\n",
+        a.model
+    );
+    out.push_str(&format!(
+        "{:<18} {:<10} {:>5} {:<34} {:>11} {:>11} {:>7} {:>11} {:>4}\n",
+        "scenario",
+        "search",
+        "evals",
+        "best config",
+        "tuned",
+        "default",
+        "speedup",
+        "warp-tile",
+        "ok"
+    ));
+    for r in &a.rows {
+        let c = &r.config;
+        let cfg = format!(
+            "{} s{} {} {}{}",
+            c.route,
+            c.streams,
+            if c.pool { "pool" } else { "nopool" },
+            c.optimize,
+            match (c.route.as_str(), c.channel_chunks, c.placement.as_str()) {
+                ("sac", n, _) if n > 1 => format!(" chunk{n}"),
+                ("gaspard", _, p) if p != "resident" => format!(" {p}"),
+                _ => String::new(),
+            },
+        );
+        out.push_str(&format!(
+            "{:<18} {:<10} {:>5} {:<34} {:>10.3}s {:>10.3}s {:>6.2}x {:>10.3}s {:>4}\n",
+            r.scenario,
+            r.search,
+            r.evals,
+            cfg,
+            r.best_s,
+            r.default_s,
+            r.speedup,
+            r.warp_tile_s,
+            if r.outputs_ok { "yes" } else { "NO" },
+        ));
+    }
     out
 }
 

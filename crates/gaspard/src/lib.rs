@@ -10,9 +10,10 @@
 //! abstractions, while the code-generation phase will help partly addressing
 //! the performance issues" — notably, the chain performs *no* optimising
 //! transformations (no fusion, no folding): each elementary task becomes
-//! exactly one OpenCL kernel. The [`fusion`] module goes beyond the paper
-//! with an **opt-in** tiler-composition pass (Feautrier-style) that merges
-//! producer→consumer kernel pairs; the default chain stays faithful.
+//! exactly one OpenCL kernel. Kernel fusion is available *after* lowering,
+//! through `simgpu::planopt`'s tiler-composition pass (Feautrier-style),
+//! which merges producer→consumer launch pairs plan-level; the default
+//! chain stays faithful.
 //!
 //! Crate layout, mirroring the tooling it reproduces:
 //!
@@ -27,14 +28,12 @@
 //!   [`arrayol::ApplicationGraph`] for reference execution,
 //! * [`codegen`] — model-to-text: one OpenCL kernel per elementary task
 //!   (the paper's Figure 11 artefact), plus the host-side plan,
-//! * [`exec`] — execution of the generated program on the [`simgpu`] device,
-//! * [`fusion`] — the opt-in kernel fusion pass over the scheduled model.
+//! * [`exec`] — execution of the generated program on the [`simgpu`] device.
 
 pub mod codegen;
 pub mod emit;
 pub mod exec;
 pub mod fixtures;
-pub mod fusion;
 pub mod marte;
 pub mod model;
 pub mod openmp;
@@ -45,8 +44,6 @@ pub use exec::{
     lower_plan, lower_plan_with, run_opencl, run_opencl_frames, run_opencl_frames_placed,
     ExecOptions, Placement,
 };
-#[allow(deprecated)]
-pub use fusion::{fuse_model, generate_opencl_fused, FusionReport};
 pub use model::{
     Allocation, Component, ComponentKind, Connection, ElementaryOp, HwKind, Model, PartRef,
     Platform, Port, PortDir, Stereotype, TilerSpec, WindowSpec,

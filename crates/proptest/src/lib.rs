@@ -92,6 +92,18 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
+/// Uniform `f64` ranges, quantized to a 2³²-point grid — ample resolution
+/// for property sampling, and the draw stays a single deterministic
+/// `below` call so cases replay identically across platforms.
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let t = rng.below(1 << 32) as f64 / (1u64 << 32) as f64;
+        self.start + t * (self.end - self.start)
+    }
+}
+
 macro_rules! tuple_strategy {
     ($($name:ident),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {

@@ -33,7 +33,7 @@ pub mod sources;
 pub mod temporal;
 
 use downscaler::frames::FrameGenerator;
-use downscaler::pipelines::{build_gaspard_fused, build_sac, PipelineError};
+use downscaler::pipelines::{build_gaspard, build_sac, PipelineError};
 use downscaler::sac_src::{Part, Variant};
 use downscaler::Scenario;
 use gaspard::codegen::{generate_opencl, OpenClProgram};
@@ -278,7 +278,7 @@ impl Workload {
             Kind::Downscale => {
                 let s = Scenario::new(self.name, 3, self.rows, self.cols, self.frames)?;
                 let sac = build_sac(&s, Variant::NonGeneric, Part::Full, sac_cfg)?;
-                let gasp = build_gaspard_fused(&s)?;
+                let gasp = build_gaspard(&s)?;
                 (sac.cuda, gasp.opencl, Some(s))
             }
             Kind::ImagePipe => {
@@ -356,8 +356,8 @@ pub struct BuiltWorkload {
     pub spec: Workload,
     /// The compiled SaC→CUDA program.
     pub cuda: CudaProgram,
-    /// The generated GASPARD2→OpenCL program (fused route for the
-    /// downscaler entries).
+    /// The generated GASPARD2→OpenCL program (unfused; downscaler entries
+    /// fuse plan-level in [`BuiltWorkload::plan`]).
     pub opencl: OpenClProgram,
     /// The downscaler scenario, for `Kind::Downscale` entries.
     scenario: Option<Scenario>,
@@ -377,10 +377,38 @@ impl BuiltWorkload {
     /// Lower the launch plan for `route` (temporalized for the delta
     /// entry — identical plan surgery on both routes).
     pub fn plan(&self, route: Route) -> Result<LaunchPlan<'_>, ScenarioError> {
+        self.plan_placed(route, self.channels(), gaspard::Placement::Resident)
+    }
+
+    /// [`BuiltWorkload::plan`] with the lowering knobs the autotuner
+    /// searches made explicit: `channel_chunks` controls transfer chunking
+    /// on the SaC route (the Gaspard lowering always moves whole buffers),
+    /// and `placement` decides whether the Gaspard route keeps
+    /// intermediates device-resident or round-trips them per kernel (the
+    /// SaC lowering is always resident).
+    pub fn plan_placed(
+        &self,
+        route: Route,
+        channel_chunks: usize,
+        placement: gaspard::Placement,
+    ) -> Result<LaunchPlan<'_>, ScenarioError> {
         let plan = match route {
-            Route::Sac => sac_cuda::exec::lower_plan(&self.cuda, self.channels())
+            Route::Sac => sac_cuda::exec::lower_plan(&self.cuda, channel_chunks)
                 .map_err(PipelineError::from)?,
-            Route::Gaspard => gaspard::exec::lower_plan(&self.opencl),
+            Route::Gaspard => {
+                let mut plan = gaspard::exec::lower_plan_with(&self.opencl, placement);
+                // The downscaler entries ship the fused GASPARD2 route (one
+                // kernel per channel): the model-level fusion pass is gone,
+                // so fuse the lowered plan with the faithful codegen — the
+                // resulting schedule is bit-identical to the old route's.
+                // Under round-trip placement the pass refuses (transfers
+                // touch the intermediates) and leaves the plan unfused.
+                if self.spec.kind == Kind::Downscale {
+                    simgpu::planopt::optimize(&mut plan, simgpu::PlanOptLevel::FUSION_FAITHFUL)
+                        .map_err(|e| ScenarioError::Build(PipelineError::Config(e.to_string())))?;
+                }
+                plan
+            }
         };
         if self.spec.temporal() {
             temporal::temporalize(plan).map_err(ScenarioError::Plan)
@@ -492,7 +520,21 @@ impl BuiltWorkload {
         device: &mut Device,
         opts: &ExecOptions,
     ) -> Result<(Vec<NdArray<i64>>, RunStats), ScenarioError> {
-        let mut plan = self.plan(route)?;
+        self.run_placed(route, device, opts, self.channels(), gaspard::Placement::Resident)
+    }
+
+    /// [`BuiltWorkload::run`] over a plan lowered with explicit
+    /// `channel_chunks` / `placement` knobs ([`BuiltWorkload::plan_placed`])
+    /// — the autotuner's oracle entry point.
+    pub fn run_placed(
+        &self,
+        route: Route,
+        device: &mut Device,
+        opts: &ExecOptions,
+        channel_chunks: usize,
+        placement: gaspard::Placement,
+    ) -> Result<(Vec<NdArray<i64>>, RunStats), ScenarioError> {
+        let mut plan = self.plan_placed(route, channel_chunks, placement)?;
         let report = simgpu::planopt::optimize(&mut plan, opts.optimize)?;
         for note in report.notes {
             device.profiler.note(note);

@@ -20,8 +20,10 @@
 //!   asymmetric between host→device and device→host as measured in the paper
 //!   (Tables I/II imply ≈5.4 GB/s H2D and ≈6.3 GB/s D2H effective).
 
-use crate::exec::LaunchStats;
+use crate::device::DeviceConfig;
+use crate::exec::{LaunchConfig, LaunchStats};
 use crate::profiler::OpClass;
+use arrayol::access::TiledAccess;
 
 /// The device resource an operation occupies while it runs.
 ///
@@ -172,6 +174,342 @@ impl Calibration {
         let dram_ns = stats.distinct_accesses as f64 * self.dram_access_ns;
         let l1_ns = stats.l1_hits as f64 * self.l1_access_ns;
         self.kernel_launch_us + (compute_ns + dram_ns + l1_ns) / 1000.0
+    }
+}
+
+impl Calibration {
+    /// Bit-exact equality against another calibration.
+    ///
+    /// The `PartialEq` derive compares the `f64` fields with IEEE `==`,
+    /// which is a surprise the moment a constant is `NaN` (never equal,
+    /// even to itself) or a signed zero (`0.0 == -0.0` despite different
+    /// bits). Model *identity* therefore never goes through `PartialEq`
+    /// anymore — [`CostModel::describe`] names models explicitly — and the
+    /// one place that still wants "is this exactly that preset"
+    /// (the describe impl itself) compares bit patterns.
+    pub fn bit_eq(&self, other: &Calibration) -> bool {
+        let fields = |c: &Calibration| {
+            [
+                c.kernel_launch_us,
+                c.h2d_latency_us,
+                c.h2d_bytes_per_us,
+                c.d2h_latency_us,
+                c.d2h_bytes_per_us,
+                c.instr_ns,
+                c.dram_access_ns,
+                c.l1_access_ns,
+                c.malloc_us,
+                c.free_us,
+            ]
+            .map(f64::to_bits)
+        };
+        fields(self) == fields(other)
+    }
+}
+
+/// Static context of a kernel launch, handed to [`CostModel::kernel_time_us`]
+/// alongside the dynamic [`LaunchStats`].
+///
+/// The paper-faithful [`Calibration`] ignores it entirely (its pricing is
+/// device-wide and shape-blind, which is what the published numbers were
+/// calibrated against); occupancy-aware models like [`WarpTileModel`] read
+/// the device geometry, the launch configuration, and — when the launch came
+/// through a [`crate::schedule::PlanKernel`] that carries one — the kernel's
+/// [`TiledAccess`] description, whose paving/fitting structure determines
+/// memory coalescing.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchContext<'a> {
+    /// Static description of the device the launch runs on.
+    pub device: &'a DeviceConfig,
+    /// Grid/block geometry of the launch.
+    pub config: LaunchConfig,
+    /// The launch's tiled-access description, when the plan layer knows it.
+    pub access: Option<&'a TiledAccess>,
+}
+
+/// A pluggable pricing model for simulated device time.
+///
+/// The simulator executes kernels functionally and charges time through one
+/// of these; [`Calibration`] is the paper-faithful default implementation
+/// and every published golden number is produced under it. Implementations
+/// must be *pure functions of their inputs* — the same stats and context
+/// always price to the same duration — or timing replay and the golden
+/// records stop being exact.
+pub trait CostModel: std::fmt::Debug + Send + Sync {
+    /// Stable human-readable model name, used in profiler notes and bench
+    /// JSON records. Models are identified by this name — never by
+    /// comparing parameter structs (see [`Calibration::bit_eq`] for why
+    /// `PartialEq` on `f64` fields is not an identity test).
+    fn describe(&self) -> String;
+
+    /// Simulated duration of a PCIe transfer of `bytes` bytes (µs).
+    fn transfer_time_us(&self, bytes: usize, dir: Direction) -> f64;
+
+    /// Simulated duration of a kernel launch (µs) given its dynamic counts
+    /// and static context.
+    fn kernel_time_us(&self, stats: &LaunchStats, ctx: &LaunchContext<'_>) -> f64;
+
+    /// Cost of an allocation that reaches the driver (µs). Non-zero values
+    /// device-synchronize, modelling Fermi's `cudaMalloc`.
+    fn malloc_us(&self) -> f64 {
+        0.0
+    }
+
+    /// Cost of a free that reaches the driver (µs).
+    fn free_us(&self) -> f64 {
+        0.0
+    }
+
+    /// Clone into a box — lets [`crate::device::Device`] stay `Clone`.
+    fn clone_model(&self) -> Box<dyn CostModel>;
+
+    /// Downcast to the paper-faithful calibration, when this model is one.
+    /// Lets calibrated experiments read the raw constants without assuming
+    /// every device prices through a `Calibration`.
+    fn as_calibration(&self) -> Option<&Calibration> {
+        None
+    }
+}
+
+impl CostModel for Calibration {
+    fn describe(&self) -> String {
+        if self.bit_eq(&Calibration::gtx480()) {
+            "paper-gtx480".into()
+        } else if self.bit_eq(&Calibration::gtx480_alloc()) {
+            "paper-gtx480+alloc".into()
+        } else if self.bit_eq(&Calibration::zero()) {
+            "zero".into()
+        } else {
+            "calibration(custom)".into()
+        }
+    }
+
+    fn transfer_time_us(&self, bytes: usize, dir: Direction) -> f64 {
+        Calibration::transfer_time_us(self, bytes, dir)
+    }
+
+    fn kernel_time_us(&self, stats: &LaunchStats, _ctx: &LaunchContext<'_>) -> f64 {
+        Calibration::kernel_time_us(self, stats)
+    }
+
+    fn malloc_us(&self) -> f64 {
+        self.malloc_us
+    }
+
+    fn free_us(&self) -> f64 {
+        self.free_us
+    }
+
+    fn clone_model(&self) -> Box<dyn CostModel> {
+        Box::new(self.clone())
+    }
+
+    fn as_calibration(&self) -> Option<&Calibration> {
+        Some(self)
+    }
+}
+
+/// A clonable boxed cost model — the form [`crate::device::Device`] carries.
+#[derive(Debug)]
+pub struct BoxedCostModel(pub Box<dyn CostModel>);
+
+impl Clone for BoxedCostModel {
+    fn clone(&self) -> Self {
+        BoxedCostModel(self.0.clone_model())
+    }
+}
+
+impl std::ops::Deref for BoxedCostModel {
+    type Target = dyn CostModel;
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+impl<M: CostModel + 'static> From<M> for BoxedCostModel {
+    fn from(m: M) -> Self {
+        BoxedCostModel(Box::new(m))
+    }
+}
+
+/// An occupancy/warp-aware launch pricing model (opt-in).
+///
+/// Where [`Calibration`] charges device-wide amortised per-instruction and
+/// per-access costs, this model prices a launch from the machine geometry in
+/// the style of Jangda & Guha's model-based warp costing:
+///
+/// * **Issue throughput.** The launch's dynamic instructions are spread over
+///   the device's `sm_count × cores_per_sm` scalar lanes at one instruction
+///   per lane-cycle (`1 / clock_ghz` ns each), derated by occupancy.
+/// * **Occupancy.** Warps are `ceil(threads / warp_size)`; the device keeps
+///   at most `resident_warps_per_sm × sm_count` warps resident (the
+///   registers/shared-memory-free proxy). A launch smaller than one full
+///   wave leaves lanes idle: occupancy is the filled fraction of the wave
+///   slots its warps round up to, so undersized launches price *worse* per
+///   instruction, exactly the effect the flat model cannot express.
+/// * **Coalescing.** Distinct-address DRAM traffic is multiplied by a replay
+///   factor read from the launch's [`TiledAccess`]: a fitting step of ±1 in
+///   the innermost array axis means adjacent work-items touch adjacent
+///   addresses (one transaction per warp — factor 1); an innermost stride of
+///   `s` replays `min(|s|, warp_size)` transactions; any fitting step that
+///   walks a *non*-innermost axis serializes the warp entirely
+///   (`warp_size`). Launches without an access description get
+///   [`WarpTileModel::default_replay`].
+/// * **Transfers and launch overhead** keep the paper's calibrated PCIe and
+///   launch constants — the model refines kernel pricing only.
+///
+/// The model is deliberately coarse (no bank conflicts, no dual issue), but
+/// it makes fusion and tiling decisions change simulated time for
+/// model-grounded reasons: fusing kernels raises per-launch work and thus
+/// occupancy, and composed accesses keep their innermost-stride structure
+/// visible to the replay term.
+#[derive(Debug, Clone)]
+pub struct WarpTileModel {
+    /// Fixed overhead charged per kernel launch (µs).
+    pub kernel_launch_us: f64,
+    /// PCIe pricing (kept from the paper's calibration).
+    pub transfer: Calibration,
+    /// Resident-warp ceiling per SM (Fermi: 48).
+    pub resident_warps_per_sm: usize,
+    /// DRAM transaction latency per distinct access before replay (ns).
+    pub dram_access_ns: f64,
+    /// L1-hit latency (ns).
+    pub l1_access_ns: f64,
+    /// Replay factor used when a launch carries no access description.
+    pub default_replay: f64,
+}
+
+impl Default for WarpTileModel {
+    fn default() -> Self {
+        WarpTileModel {
+            kernel_launch_us: Calibration::gtx480().kernel_launch_us,
+            transfer: Calibration::gtx480(),
+            resident_warps_per_sm: 48,
+            dram_access_ns: 0.105,
+            l1_access_ns: 0.03,
+            default_replay: 4.0,
+        }
+    }
+}
+
+impl WarpTileModel {
+    /// The coalescing replay factor for an access description: how many
+    /// memory transactions a warp's gather of one pattern step costs,
+    /// derived from the signs/strides of the input tiler's fitting matrix.
+    pub fn replay_factor(&self, access: Option<&TiledAccess>, warp_size: usize) -> f64 {
+        let Some(a) = access else { return self.default_replay };
+        // The fitting matrix maps pattern steps to array-index steps: one
+        // row per array axis, one column per pattern dimension. The
+        // innermost (fastest-varying in memory) axis is the last row.
+        let rows = a.in_tiler.fitting.len();
+        if rows == 0 {
+            return self.default_replay;
+        }
+        let cols = a.in_tiler.fitting.iter().map(|r| r.len()).max().unwrap_or(0);
+        if cols == 0 {
+            return self.default_replay;
+        }
+        // Worst fitting column decides: each column is the array-index step
+        // between successive pattern elements a warp gathers together.
+        let mut worst = 1.0f64;
+        for c in 0..cols {
+            let mut non_inner = 0i64;
+            let mut inner_step = 0i64;
+            for (axis, row) in a.in_tiler.fitting.iter().enumerate() {
+                let v = row.get(c).copied().unwrap_or(0);
+                if axis == rows - 1 {
+                    inner_step = v;
+                } else {
+                    non_inner += v.abs();
+                }
+            }
+            let f = if non_inner != 0 {
+                warp_size as f64
+            } else {
+                (inner_step.unsigned_abs() as f64).clamp(1.0, warp_size as f64)
+            };
+            worst = worst.max(f);
+        }
+        worst
+    }
+}
+
+impl CostModel for WarpTileModel {
+    fn describe(&self) -> String {
+        "warp-tile".into()
+    }
+
+    fn transfer_time_us(&self, bytes: usize, dir: Direction) -> f64 {
+        Calibration::transfer_time_us(&self.transfer, bytes, dir)
+    }
+
+    fn kernel_time_us(&self, stats: &LaunchStats, ctx: &LaunchContext<'_>) -> f64 {
+        let d = ctx.device;
+        let warp = d.warp_size.max(1);
+        let threads = stats.threads.max(1) as usize;
+        let warps = threads.div_ceil(warp);
+        let wave_slots = (d.sm_count * self.resident_warps_per_sm).max(1);
+        let waves = warps.div_ceil(wave_slots);
+        let occupancy = warps as f64 / (waves * wave_slots) as f64;
+        let lanes = (d.sm_count * d.cores_per_sm) as f64;
+        let cycle_ns = 1.0 / d.clock_ghz;
+        let issue_ns = stats.instructions as f64 * cycle_ns / (lanes * occupancy);
+        let replay = self.replay_factor(ctx.access, warp);
+        let mem_ns = (stats.distinct_accesses as f64 * self.dram_access_ns * replay
+            + stats.l1_hits as f64 * self.l1_access_ns)
+            / (d.sm_count as f64 * occupancy);
+        self.kernel_launch_us + (issue_ns + mem_ns) / 1000.0
+    }
+
+    fn clone_model(&self) -> Box<dyn CostModel> {
+        Box::new(self.clone())
+    }
+}
+
+/// A `Copy` selector for the stock cost models, carried by
+/// [`crate::schedule::ExecOptions`] (which must stay `Copy + PartialEq`,
+/// so it cannot hold a boxed model directly).
+///
+/// The default, [`CostModelSpec::Inherit`], leaves the device's current
+/// model untouched — the refactor is observationally invisible until an
+/// experiment or the autotuner opts into a non-default model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModelSpec {
+    /// Keep whatever model the device already has (the default).
+    #[default]
+    Inherit,
+    /// The paper-faithful [`Calibration::gtx480`].
+    Paper,
+    /// [`Calibration::gtx480_alloc`]: paper constants plus Fermi
+    /// allocation costs.
+    PaperAlloc,
+    /// [`Calibration::zero`]: free everything (functional testing).
+    Zero,
+    /// The occupancy/coalescing-aware [`WarpTileModel`].
+    WarpTile,
+}
+
+impl CostModelSpec {
+    /// Stable name for JSON records and notes (`Inherit` has none).
+    pub fn name(self) -> Option<&'static str> {
+        match self {
+            CostModelSpec::Inherit => None,
+            CostModelSpec::Paper => Some("paper-gtx480"),
+            CostModelSpec::PaperAlloc => Some("paper-gtx480+alloc"),
+            CostModelSpec::Zero => Some("zero"),
+            CostModelSpec::WarpTile => Some("warp-tile"),
+        }
+    }
+
+    /// Build the selected model; `None` for [`CostModelSpec::Inherit`].
+    pub fn instantiate(self) -> Option<Box<dyn CostModel>> {
+        match self {
+            CostModelSpec::Inherit => None,
+            CostModelSpec::Paper => Some(Box::new(Calibration::gtx480())),
+            CostModelSpec::PaperAlloc => Some(Box::new(Calibration::gtx480_alloc())),
+            CostModelSpec::Zero => Some(Box::new(Calibration::zero())),
+            CostModelSpec::WarpTile => Some(Box::new(WarpTileModel::default())),
+        }
     }
 }
 

@@ -1,11 +1,14 @@
 //! The simulated device: configuration, memory, launches, simulated clock,
 //! and the asynchronous stream/engine timeline.
 
-use crate::cost::{Calibration, Direction, Engine, ENGINE_COUNT};
+use crate::cost::{
+    BoxedCostModel, Calibration, CostModel, Direction, Engine, LaunchContext, ENGINE_COUNT,
+};
 use crate::exec::{run_kernel, LaunchConfig, LaunchStats};
 use crate::kir::{Kernel, KernelArg};
 use crate::profiler::{OpClass, Profiler};
 use crate::SimError;
+use arrayol::access::TiledAccess;
 use std::collections::BTreeMap;
 
 /// Static description of a simulated GPU.
@@ -181,7 +184,7 @@ impl MemPool {
 #[derive(Debug, Clone)]
 pub struct Device {
     config: DeviceConfig,
-    calib: Calibration,
+    model: BoxedCostModel,
     buffers: Vec<Option<Vec<i32>>>,
     /// Bytes charged against device memory per slot (the size class with
     /// pooling on, the exact size otherwise).
@@ -205,12 +208,19 @@ pub struct Device {
 }
 
 impl Device {
-    /// Create a device with explicit configuration and calibration.
+    /// Create a device with explicit configuration and the paper-faithful
+    /// calibrated cost model. Equivalent to
+    /// [`Device::with_model`]`(config, calib.into())`.
     pub fn new(config: DeviceConfig, calib: Calibration) -> Self {
+        Device::with_model(config, calib.into())
+    }
+
+    /// Create a device pricing time through an arbitrary [`CostModel`].
+    pub fn with_model(config: DeviceConfig, model: BoxedCostModel) -> Self {
         let host_workers = config.host_workers.max(1);
         Device {
             config,
-            calib,
+            model,
             buffers: Vec::new(),
             buffer_bytes: Vec::new(),
             free_slots: Vec::new(),
@@ -236,14 +246,28 @@ impl Device {
         &self.config
     }
 
-    /// Cost calibration in use.
+    /// The cost model pricing this device's simulated time.
+    pub fn cost_model(&self) -> &dyn CostModel {
+        &*self.model
+    }
+
+    /// Replace the cost model.
+    pub fn set_cost_model(&mut self, model: BoxedCostModel) {
+        self.model = model;
+    }
+
+    /// The paper-faithful calibration in use.
+    ///
+    /// Panics when the device prices through a non-[`Calibration`] model —
+    /// calibrated experiments that read raw constants should only run on
+    /// calibrated devices. Use [`Device::cost_model`] for the general case.
     pub fn calibration(&self) -> &Calibration {
-        &self.calib
+        self.model.as_calibration().expect("device prices through a non-Calibration cost model")
     }
 
     /// Replace the calibration (used by ablation benches).
     pub fn set_calibration(&mut self, calib: Calibration) {
-        self.calib = calib;
+        self.model = calib.into();
     }
 
     /// Number of host threads used to execute launches.
@@ -408,7 +432,7 @@ impl Device {
                 break;
             }
             self.profiler.alloc.evictions += 1;
-            self.charge_driver_call("cudaFree", self.calib.free_us);
+            self.charge_driver_call("cudaFree", self.model.free_us());
         }
         self.note_footprint();
     }
@@ -491,7 +515,7 @@ impl Device {
                 available: self.config.global_mem_bytes.saturating_sub(self.footprint_bytes()),
             });
         }
-        self.charge_driver_call("cudaMalloc", self.calib.malloc_us);
+        self.charge_driver_call("cudaMalloc", self.model.malloc_us());
         self.profiler.alloc.mallocs += 1;
         Ok(self.install(vec![0i32; len], bytes))
     }
@@ -513,7 +537,7 @@ impl Device {
                 if self.pool.enabled {
                     self.pool.put(bytes / 4, block);
                 } else {
-                    self.charge_driver_call("cudaFree", self.calib.free_us);
+                    self.charge_driver_call("cudaFree", self.model.free_us());
                 }
                 self.note_footprint();
                 Ok(())
@@ -622,7 +646,7 @@ impl Device {
         let chunks = self.effective_chunks(host.len(), chunks);
         let bytes = host.len() * 4 / chunks;
         for _ in 0..chunks {
-            let us = self.calib.transfer_time_us(bytes, Direction::HostToDevice);
+            let us = self.model.transfer_time_us(bytes, Direction::HostToDevice);
             self.schedule_on("memcpyHtoDasync", OpClass::H2D, stream, us)?;
         }
         // Commit the functional copy only after every check and schedule
@@ -656,7 +680,7 @@ impl Device {
         if parts.is_empty() {
             return Ok(());
         }
-        let us = self.calib.transfer_time_us(total * 4, Direction::HostToDevice);
+        let us = self.model.transfer_time_us(total * 4, Direction::HostToDevice);
         self.schedule_on("memcpyHtoDbatched", OpClass::H2D, stream, us)?;
         for &(host, id) in parts {
             self.buffers[id.0].as_mut().expect("validated above").copy_from_slice(host);
@@ -682,7 +706,7 @@ impl Device {
         if ids.is_empty() {
             return Ok(Vec::new());
         }
-        let us = self.calib.transfer_time_us(total * 4, Direction::DeviceToHost);
+        let us = self.model.transfer_time_us(total * 4, Direction::DeviceToHost);
         self.schedule_on("memcpyDtoHbatched", OpClass::D2H, stream, us)?;
         ids.iter()
             .map(|&id| {
@@ -747,7 +771,7 @@ impl Device {
             .clone();
         let bytes = len * 4 / chunks;
         for _ in 0..chunks {
-            let us = self.calib.transfer_time_us(bytes, Direction::DeviceToHost);
+            let us = self.model.transfer_time_us(bytes, Direction::DeviceToHost);
             self.schedule_on("memcpyDtoHasync", OpClass::D2H, stream, us)?;
         }
         Ok((out, chunks))
@@ -791,13 +815,30 @@ impl Device {
         args: &[KernelArg],
         stream: StreamId,
     ) -> Result<LaunchStats, SimError> {
+        self.launch_with_access(kernel, cfg, args, stream, None)
+    }
+
+    /// [`Device::launch_on`] with the launch's tiled-access description,
+    /// when the caller (the plan scheduler) knows it. The description is
+    /// advisory context for occupancy/coalescing-aware cost models — the
+    /// paper-faithful [`Calibration`] ignores it, so passing it is
+    /// observationally invisible under the default model.
+    pub fn launch_with_access(
+        &mut self,
+        kernel: &Kernel,
+        cfg: LaunchConfig,
+        args: &[KernelArg],
+        stream: StreamId,
+        access: Option<&TiledAccess>,
+    ) -> Result<LaunchStats, SimError> {
         self.stream_tail(stream)?;
         let block_threads = (cfg.block.0 as usize) * (cfg.block.1 as usize);
         if block_threads > self.config.max_threads_per_block {
             return Err(SimError::BadParam { kernel: kernel.name.clone(), index: usize::MAX });
         }
         let stats = run_kernel(kernel, cfg, args, &mut self.buffers, self.host_workers)?;
-        let us = self.calib.kernel_time_us(&stats);
+        let ctx = LaunchContext { device: &self.config, config: cfg, access };
+        let us = self.model.kernel_time_us(&stats, &ctx);
         self.schedule_on(&kernel.name, OpClass::Kernel, stream, us)?;
         Ok(stats)
     }

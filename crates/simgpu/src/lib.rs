@@ -38,7 +38,10 @@ pub mod runtime;
 pub mod schedule;
 pub mod tiled;
 
-pub use cost::{Calibration, Engine};
+pub use cost::{
+    BoxedCostModel, Calibration, CostModel, CostModelSpec, Direction, Engine, LaunchContext,
+    WarpTileModel,
+};
 pub use device::{BufferId, Device, DeviceConfig, EventId, MemPool, StreamId};
 pub use exec::{LaunchConfig, LaunchStats};
 pub use fleet::Fleet;

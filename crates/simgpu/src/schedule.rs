@@ -656,6 +656,14 @@ pub struct ExecOptions {
     /// default) leaves the plan exactly as lowered, so every paper-faithful
     /// number is untouched unless an experiment opts in.
     pub optimize: crate::planopt::PlanOptLevel,
+    /// Which [`crate::cost::CostModel`] the batch prices time under.
+    /// [`crate::cost::CostModelSpec::Inherit`] (the default) keeps the
+    /// device's current model — every calibrated experiment is untouched;
+    /// any other value replaces the device's model before the batch runs
+    /// and surfaces the model name as a profiler note. Cost models change
+    /// *only* the simulated clock: outputs, launch counts and transfer
+    /// bytes are model-independent by construction.
+    pub cost: crate::cost::CostModelSpec,
 }
 
 impl Default for ExecOptions {
@@ -672,6 +680,7 @@ impl Default for ExecOptions {
             pool: false,
             degrade_on_oom: false,
             optimize: crate::planopt::PlanOptLevel::OFF,
+            cost: crate::cost::CostModelSpec::Inherit,
         }
     }
 }
@@ -763,6 +772,10 @@ impl<'a> BatchScheduler<'a> {
     ) -> Result<BatchOutput, ScheduleError> {
         opts.validate().map_err(ScheduleError::Config)?;
         self.plan.validate()?;
+        if let Some(model) = opts.cost.instantiate() {
+            device.profiler.note(format!("cost model: {}", model.describe()));
+            device.set_cost_model(crate::cost::BoxedCostModel(model));
+        }
         if frames.is_empty() {
             return Ok((Vec::new(), RunStats::default()));
         }
@@ -1052,7 +1065,13 @@ impl<'a> BatchScheduler<'a> {
                             })
                         })
                         .collect::<Result<_, _>>()?;
-                    device.launch_on(&pk.kernel, pk.config, &args, stream)?;
+                    device.launch_with_access(
+                        &pk.kernel,
+                        pk.config,
+                        &args,
+                        stream,
+                        pk.access.as_ref(),
+                    )?;
                     stats.launches += 1;
                 }
                 PlanStep::Download { array, chunks } => {

@@ -13,11 +13,11 @@
 //! deterministic, so rerunning with the same flags reproduces every number
 //! byte for byte.
 
-use gpu_abstractions::{downscaler, gaspard, serve, simgpu};
+use gpu_abstractions::{downscaler, serve, simgpu};
 
 use bench::arrivals::arrival_trace;
 use downscaler::frames::FrameGenerator;
-use downscaler::pipelines::{build_gaspard_fused, reference_downscale};
+use downscaler::pipelines::{build_gaspard, fused_gaspard_plan, reference_downscale};
 use downscaler::Scenario;
 use serve::{Job, JobOutcome, ServeConfig, ShardPolicy};
 use simgpu::schedule::ExecOptions;
@@ -41,8 +41,8 @@ fn main() {
     }
 
     let s = Scenario::cif();
-    let route = build_gaspard_fused(&s).expect("fused Gaspard route");
-    let plan = gaspard::exec::lower_plan(&route.opencl);
+    let route = build_gaspard(&s).expect("Gaspard route");
+    let plan = fused_gaspard_plan(&route).expect("fused Gaspard plan");
     println!(
         "serving {jobs_n} downscale jobs ({}x{} -> {}x{}, 2 frames each) across {devices} \
          simulated GTX480s\n",

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Golden-numbers smoke check: rerun the seven headline ablations on the
+# Golden-numbers smoke check: rerun the eight headline ablations on the
 # hd1080 scenario and diff the machine-readable records byte-for-byte
 # against the checked-in expected values.
 #
@@ -7,9 +7,11 @@
 # Rust's shortest-roundtrip formatting, so an exact diff is the right
 # check — any drift in the published numbers (streams 3.611s -> 2.001s,
 # memory 3.612s/2.781s pooled, fusion 2.246s / 3 launches, planopt
-# 1.408s -> 1.399s fused, serve 3.96x frames/s at 4 devices) fails
-# loudly. The serve ablation's replay templates and event loop are pure
-# IEEE arithmetic (no libm), so its numbers golden just as exactly.
+# 1.408s -> 1.399s fused, serve 3.96x frames/s at 4 devices, tune's
+# 1.399s autotuned headline) fails loudly. The serve ablation's replay
+# templates and event loop are pure IEEE arithmetic (no libm), so its
+# numbers golden just as exactly, and the autotuner's search is a
+# deterministic sweep with tie-keeps-first, so its table goldens too.
 #
 # Usage: scripts/check_golden.sh [--bless]
 #   --bless  regenerate expected/*.json instead of diffing
@@ -28,7 +30,7 @@ out_dir=$(mktemp -d)
 trap 'rm -rf "$out_dir"' EXIT
 
 status=0
-for exp in streams memory fusion fusion-parity planopt serve scenarios; do
+for exp in streams memory fusion fusion-parity planopt serve scenarios tune; do
   record="${exp//-/_}_hd1080.json"
   ./target/release/reproduce "$exp" --scenario hd1080 --json "$out_dir/$record" \
     > /dev/null

@@ -3,7 +3,7 @@
 //! same video frames — the property underlying the paper's entire comparison.
 
 use downscaler::frames::{FrameGenerator, FrameSink};
-use downscaler::pipelines::{build_gaspard, build_gaspard_fused, build_sac, reference_downscale};
+use downscaler::pipelines::{build_gaspard, build_sac, reference_downscale};
 use downscaler::sac_src::{program_src, Part, Variant};
 use downscaler::Scenario;
 use mdarray::NdArray;
@@ -119,21 +119,27 @@ fn per_filter_and_full_pipelines_compose() {
 #[test]
 fn fused_gaspard_route_agrees_with_unfused_and_reference() {
     let s = Scenario::tiny();
-    let unfused = build_gaspard(&s).unwrap();
-    let fused = build_gaspard_fused(&s).unwrap();
+    let route = build_gaspard(&s).unwrap();
     // Every per-channel H→V pair fuses; nothing is refused on the downscaler.
-    assert_eq!(fused.opencl.kernels.len(), s.channels);
-    assert_eq!(fused.fusion.fused.len(), s.channels);
-    assert!(fused.fusion.refused.is_empty(), "{:?}", fused.fusion.refused);
+    let fused_plan = downscaler::pipelines::fused_gaspard_plan(&route).unwrap();
+    let launches = fused_plan
+        .steps
+        .iter()
+        .filter(|st| matches!(st, simgpu::schedule::PlanStep::Launch { .. }))
+        .count();
+    assert_eq!(launches, s.channels, "{fused_plan:?}");
 
     let planes = FrameGenerator::new(s.channels, s.rows, s.cols, 77).frame_channels(0);
     let expect = reference_downscale(&s, &FrameGenerator::stack(&planes));
+    let frames = vec![planes];
+    let opts = gaspard::ExecOptions::default();
     let mut d_unf = Device::gtx480();
-    let out_unf = gaspard::run_opencl(&unfused.opencl, &mut d_unf, &planes).unwrap();
+    let out_unf = gaspard::run_opencl_frames(&route.opencl, &mut d_unf, &frames, opts).unwrap();
     let mut d_fus = Device::gtx480();
-    let out_fus = gaspard::run_opencl(&fused.opencl, &mut d_fus, &planes).unwrap();
+    let fus_opts = gaspard::ExecOptions { optimize: simgpu::PlanOptLevel::FUSION_FAITHFUL, ..opts };
+    let out_fus = gaspard::run_opencl_frames(&route.opencl, &mut d_fus, &frames, fus_opts).unwrap();
     assert_eq!(out_fus, out_unf, "fusion must preserve bits");
-    assert_eq!(FrameGenerator::stack(&out_fus), expect, "fused route vs golden filters");
+    assert_eq!(FrameGenerator::stack(&out_fus[0]), expect, "fused route vs golden filters");
     // Same bits for half the launches and strictly less simulated time.
     assert!(
         d_fus.profiler.class_calls(OpClass::Kernel) < d_unf.profiler.class_calls(OpClass::Kernel)
@@ -142,12 +148,9 @@ fn fused_gaspard_route_agrees_with_unfused_and_reference() {
 }
 
 #[test]
-#[allow(deprecated)] // route-local fusion stays pinned as the parity baseline
 fn fusion_refuses_multi_consumer_diamond() {
     use gaspard::transform::ScheduledArray;
-    use gaspard::{
-        deploy, generate_opencl, generate_opencl_fused, run_opencl_frames, schedule, Platform,
-    };
+    use gaspard::{deploy, generate_opencl, run_opencl_frames, schedule, Platform};
 
     let (model, alloc) = gaspard::fixtures::mini_two_stage_model();
     let mut sm = schedule(&deploy(model, Platform::cpu_gpu(), alloc).unwrap()).unwrap();
@@ -161,12 +164,21 @@ fn fusion_refuses_multi_consumer_diamond() {
     sm.kernels.push(extra);
     sm.outputs.push(sm.arrays.len() - 1);
 
-    let unfused = generate_opencl(&sm).unwrap();
-    let (fused, report) = generate_opencl_fused(&sm).unwrap();
-    // Refusal: kernel structure is unchanged and the reason is recorded.
-    assert_eq!(fused.kernels.len(), unfused.kernels.len());
-    assert!(report.fused.is_empty());
-    assert!(report.refused.iter().any(|r| r.contains("feeds 2 consumers")), "{:?}", report.refused);
+    let prog = generate_opencl(&sm).unwrap();
+    // Refusal: the plan-level pass leaves the launch structure unchanged and
+    // records the reason.
+    let unfused_plan = gaspard::exec::lower_plan(&prog);
+    let mut fused_plan = gaspard::exec::lower_plan(&prog);
+    let report = simgpu::planopt::optimize(&mut fused_plan, simgpu::PlanOptLevel::FUSION).unwrap();
+    let launches = |plan: &simgpu::schedule::LaunchPlan<'_>| {
+        plan.steps.iter().filter(|s| matches!(s, simgpu::schedule::PlanStep::Launch { .. })).count()
+    };
+    assert_eq!(launches(&fused_plan), launches(&unfused_plan));
+    assert!(
+        report.notes.iter().any(|n| n.contains("refused") && n.contains("feeds 2 consumers")),
+        "{:?}",
+        report.notes
+    );
 
     let frames: Vec<Vec<NdArray<i64>>> = (0..2)
         .map(|f| {
@@ -175,13 +187,14 @@ fn fusion_refuses_multi_consumer_diamond() {
         .collect();
     let opts = ExecOptions { streams: 2, ..Default::default() };
     let mut d_unf = Device::gtx480();
-    let base = run_opencl_frames(&unfused, &mut d_unf, &frames, opts).unwrap();
+    let base = run_opencl_frames(&prog, &mut d_unf, &frames, opts).unwrap();
     let mut d_fus = Device::gtx480();
-    let got = run_opencl_frames(&fused, &mut d_fus, &frames, opts).unwrap();
+    let fus_opts = ExecOptions { optimize: simgpu::PlanOptLevel::FUSION, ..opts };
+    let got = run_opencl_frames(&prog, &mut d_fus, &frames, fus_opts).unwrap();
     assert_eq!(got, base, "refused fusion must fall back to unfused results");
     // The fallback is surfaced to the profiler for ablation reports.
     assert!(
-        d_fus.profiler.notes().any(|n| n.contains("fusion refused") && n.contains("falling back")),
+        d_fus.profiler.notes().any(|n| n.contains("refused") && n.contains("feeds 2 consumers")),
         "missing refusal note"
     );
 }
@@ -318,39 +331,41 @@ fn plan_level_fusion_recovers_wlf_and_collapses_the_stencil_chain() {
     assert!(gf_stats.launches < g_stats.launches);
 }
 
-/// Parity between the deprecated route-local `fuse_model` and the
-/// plan-level pass on the downscaler: identical outputs, equal-or-better
-/// launch counts.
+/// Parity between the faithful-codegen fusion mode (the successor of the
+/// removed route-local `fuse_model`) and the default lean mode on the
+/// downscaler: identical outputs, equal-or-better launch counts and time.
 #[test]
-#[allow(deprecated)] // exercises the legacy entry point as the baseline
 fn plan_fusion_matches_route_local_fusion_on_the_downscaler() {
     use simgpu::PlanOptLevel;
 
     let s = Scenario::tiny();
     let unfused = build_gaspard(&s).unwrap();
-    let fused = build_gaspard_fused(&s).unwrap();
     let gen = FrameGenerator::new(s.channels, s.rows, s.cols, 4242);
     let frames: Vec<Vec<NdArray<i64>>> = (0..2).map(|f| gen.frame_channels(f)).collect();
     let opts = gaspard::ExecOptions::default();
 
-    // Legacy: fuse_model at the scheduled-model level (6 -> 3 kernels).
+    // Faithful: the exact kernels the scheduled-model-level fuse_model
+    // route generated (6 -> 3 kernels, same composed bodies).
     let mut d_legacy = Device::gtx480();
-    let legacy = gaspard::run_opencl_frames(&fused.opencl, &mut d_legacy, &frames, opts).unwrap();
+    let legacy_opts = gaspard::ExecOptions { optimize: PlanOptLevel::FUSION_FAITHFUL, ..opts };
+    let legacy =
+        gaspard::run_opencl_frames(&unfused.opencl, &mut d_legacy, &frames, legacy_opts).unwrap();
 
-    // New: unfused model, fusion at plan level.
+    // Default: the same pass with the lean fused codegen.
     let mut d_plan = Device::gtx480();
     let plan_opts = gaspard::ExecOptions { optimize: PlanOptLevel::FUSION, ..opts };
     let plan =
         gaspard::run_opencl_frames(&unfused.opencl, &mut d_plan, &frames, plan_opts).unwrap();
 
-    assert_eq!(plan, legacy, "plan-level fusion must match route-local fusion bit-for-bit");
+    assert_eq!(plan, legacy, "lean plan fusion must match the faithful mode bit-for-bit");
     let launches = |d: &Device| {
         d.profiler.records().filter(|r| r.class == OpClass::Kernel).map(|r| r.calls).sum::<u64>()
     };
+    assert_eq!(launches(&d_plan), launches(&d_legacy), "both fusion modes collapse the same pairs");
     assert!(
-        launches(&d_plan) <= launches(&d_legacy),
-        "plan fusion must launch no more kernels than fuse_model: {} vs {}",
-        launches(&d_plan),
-        launches(&d_legacy)
+        d_plan.now_us() <= d_legacy.now_us(),
+        "lean codegen must not be slower than the faithful baseline: {} vs {}",
+        d_plan.now_us(),
+        d_legacy.now_us()
     );
 }

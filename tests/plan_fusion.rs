@@ -93,7 +93,7 @@ fn chain_plan<'a>(
     }
 }
 
-/// The pass subset encoded by the low five bits of `bits`.
+/// The pass subset encoded by the low six bits of `bits`.
 fn level_from_bits(bits: u32) -> PlanOptLevel {
     PlanOptLevel {
         fusion: bits & 1 != 0,
@@ -101,6 +101,7 @@ fn level_from_bits(bits: u32) -> PlanOptLevel {
         dead_transfers: bits & 4 != 0,
         reorder: bits & 8 != 0,
         coalesce: bits & 16 != 0,
+        fusion_faithful: bits & 32 != 0,
     }
 }
 
@@ -159,7 +160,7 @@ proptest! {
             })
             .collect();
 
-        for bits in 0..32u32 {
+        for bits in 0..64u32 {
             let level = level_from_bits(bits);
             for streams in [1usize, 2] {
                 let mut plan = chain_plan(&kernels, &accesses, &shapes);

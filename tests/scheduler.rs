@@ -265,11 +265,11 @@ proptest! {
 
         for mask in 1u32..16 {
             let level = simgpu::PlanOptLevel {
-                fusion: false,
                 residency: mask & 1 != 0,
                 dead_transfers: mask & 2 != 0,
                 reorder: mask & 4 != 0,
                 coalesce: mask & 8 != 0,
+                ..simgpu::PlanOptLevel::OFF
             };
             for streams in [1usize, 2] {
                 let mut plan = prop_plan(&kernels, &chains, chunks, order_seed);

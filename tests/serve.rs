@@ -5,10 +5,10 @@
 //! saturation run showing weighted fairness keeps every tenant served
 //! while admission control sheds the overflow cleanly.
 
-use gpu_abstractions::{downscaler, gaspard, serve, simgpu};
+use gpu_abstractions::{downscaler, serve, simgpu};
 
 use downscaler::frames::FrameGenerator;
-use downscaler::pipelines::{build_gaspard_fused, reference_downscale};
+use downscaler::pipelines::{build_gaspard, fused_gaspard_plan, reference_downscale};
 use downscaler::Scenario;
 use proptest::prelude::*;
 use serve::{Job, JobOutcome, ServeConfig, ServeError, ShardPolicy};
@@ -31,12 +31,12 @@ struct Fixture {
 impl Fixture {
     fn new() -> Fixture {
         let s = Scenario::tiny();
-        let route = build_gaspard_fused(&s).unwrap();
+        let route = build_gaspard(&s).unwrap();
         Fixture { s, route }
     }
 
     fn plan(&self) -> simgpu::LaunchPlan<'_> {
-        gaspard::exec::lower_plan(&self.route.opencl)
+        fused_gaspard_plan(&self.route).unwrap()
     }
 
     /// `count` single-frame functional jobs over `tenants` tenants,
